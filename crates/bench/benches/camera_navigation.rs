@@ -1,0 +1,98 @@
+//! Experiment C1 — interactive animated navigation: camera projection
+//! over Figure-2-scale glyph sets, animated zoom transitions, fisheye
+//! transforms, and frame rasterisation (the interactivity budget behind
+//! claim 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stetho_bench::wide_graph;
+use stetho_layout::{layout, LayoutOptions};
+use stetho_zvtm::anim::{Animator, CameraSlide, Easing};
+use stetho_zvtm::render::{render, RenderOptions};
+use stetho_zvtm::{Camera, FisheyeLens, VirtualSpace};
+
+fn space_1000() -> (VirtualSpace, Camera) {
+    let g = wide_graph(66, 15);
+    let scene = layout(&g, &LayoutOptions::default());
+    let (space, _) = VirtualSpace::from_scene(&scene);
+    let mut cam = Camera::default();
+    cam.fit(space.bounds(), 1280.0, 800.0, 1.05);
+    (space, cam)
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let (space, cam) = space_1000();
+    let mut group = c.benchmark_group("camera/project_all_glyphs");
+    group.throughput(Throughput::Elements(space.len() as u64));
+    group.bench_function("1000_nodes", |b| {
+        b.iter(|| {
+            space
+                .glyphs()
+                .iter()
+                .map(|g| cam.project(g.x, g.y, 1280.0, 800.0).0 as i64)
+                .sum::<i64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_animated_zoom(c: &mut Criterion) {
+    let (space, cam) = space_1000();
+    c.bench_function("camera/animated_zoom_25_frames", |b| {
+        b.iter(|| {
+            let mut camera = cam.clone();
+            let mut space = space.clone();
+            let mut a = Animator::new();
+            a.add_slide(CameraSlide::new(
+                &camera,
+                (500.0, 300.0, 20.0),
+                400.0,
+                Easing::EaseInOut,
+            ));
+            let mut frames = 0;
+            while a.busy() {
+                a.step(16.0, &mut camera, &mut space);
+                frames += 1;
+            }
+            frames
+        })
+    });
+}
+
+fn bench_fisheye(c: &mut Criterion) {
+    let (space, _) = space_1000();
+    let lens = FisheyeLens::new(500.0, 300.0, 400.0, 3.0);
+    let mut group = c.benchmark_group("camera/fisheye_transform");
+    group.throughput(Throughput::Elements(space.len() as u64));
+    group.bench_function("1000_nodes", |b| {
+        b.iter(|| {
+            space
+                .glyphs()
+                .iter()
+                .map(|g| lens.transform(g.x, g.y).0 as i64)
+                .sum::<i64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_render_frames(c: &mut Criterion) {
+    let (space, cam) = space_1000();
+    let mut group = c.benchmark_group("camera/render_frame");
+    group.sample_size(10);
+    for (name, w, h) in [("320x200", 320usize, 200usize), ("640x400", 640, 400)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(w, h), |b, &(w, h)| {
+            b.iter(|| {
+                render(&space, &cam, w, h, &RenderOptions { lens: None, skip_text: true })
+                    .count_color(stetho_zvtm::Color::WHITE)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_projection, bench_animated_zoom, bench_fisheye, bench_render_frames
+}
+criterion_main!(benches);

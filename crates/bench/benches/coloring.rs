@@ -1,0 +1,73 @@
+//! Experiments A1 / A2 / X1 / C2 — the run-time coloring algorithms:
+//! pair-elision over sample-buffer snapshots (A1), the user-threshold
+//! streaming variant (A2), and the §6 gradient extension (X1). C2
+//! (color-coded monitoring) is the combination measured end-to-end in
+//! `online_session`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stetho_bench::synthetic_trace;
+use stetho_core::{GradientColoring, PairElision, ThresholdColoring};
+
+fn bench_pair_elision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring/pair_elision");
+    for size in [64usize, 256, 1024, 4096] {
+        let buffer = synthetic_trace(size / 2, 4, 7);
+        group.throughput(Throughput::Elements(buffer.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &buffer, |b, buf| {
+            b.iter(|| PairElision.analyse(buf).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pair_elision_changes(c: &mut Criterion) {
+    // The per-event online path: re-analysing the window after each
+    // arrival (what §4.2 does against the sample buffer).
+    let window = synthetic_trace(128, 4, 7);
+    c.bench_function("coloring/pair_elision_changes_256", |b| {
+        b.iter(|| PairElision.changes(&window).len())
+    });
+}
+
+fn bench_threshold(c: &mut Criterion) {
+    let events = synthetic_trace(5_000, 4, 9);
+    let mut group = c.benchmark_group("coloring/threshold");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for threshold in [100u64, 1_000, 10_000] {
+        let mut probe = ThresholdColoring::new(threshold);
+        let flagged = events
+            .iter()
+            .filter_map(|e| probe.on_event(e))
+            .filter(|c| matches!(c.state, stetho_core::ColorState::Red))
+            .count();
+        eprintln!("[threshold_coloring] {threshold}µs flags {flagged} instructions");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &t| {
+                b.iter(|| {
+                    let mut alg = ThresholdColoring::new(t);
+                    events.iter().filter_map(|e| alg.on_event(e)).count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gradient(c: &mut Criterion) {
+    let events = synthetic_trace(5_000, 4, 9);
+    c.bench_function("coloring/gradient", |b| {
+        b.iter(|| {
+            let mut g = GradientColoring::new();
+            events.iter().filter_map(|e| g.on_event(e)).count()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pair_elision, bench_pair_elision_changes, bench_threshold, bench_gradient
+}
+criterion_main!(benches);

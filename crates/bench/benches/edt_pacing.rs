@@ -1,0 +1,71 @@
+//! Experiment A3 + `ablate_edt_coalescing` — the Event-Dispatch-Thread
+//! render pacing: how long a burst of recolor requests takes to drain at
+//! the paper's 150 ms pacing versus faster settings, and how much
+//! coalescing relieves the backlog the §4.2 stream pressure creates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stetho_zvtm::{Color, EventDispatchThread, GlyphId};
+
+fn drain_time_ms(pacing: u64, n: usize, coalesce: bool, distinct_glyphs: usize) -> u64 {
+    let mut edt = EventDispatchThread::new(pacing);
+    edt.coalesce = coalesce;
+    // Burst: n recolors arriving 1ms apart over few glyphs.
+    for i in 0..n {
+        edt.enqueue(GlyphId(i % distinct_glyphs), Color::RED, i as u64);
+    }
+    let ops = edt.flush();
+    ops.last().map(|d| d.at).unwrap_or(0)
+}
+
+fn bench_pacing_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edt/pacing_drain");
+    for pacing in [0u64, 50, 150] {
+        let virtual_ms = drain_time_ms(pacing, 100, false, 100);
+        eprintln!(
+            "[edt_pacing] pacing {pacing}ms: 100 recolors drain in {virtual_ms} virtual ms"
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(pacing), &pacing, |b, &p| {
+            b.iter(|| drain_time_ms(p, 100, false, 100))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablate_coalescing(c: &mut Criterion) {
+    // Same glyphs recolored many times (RED then GREEN churn): with
+    // coalescing only the latest color per glyph renders.
+    let mut group = c.benchmark_group("edt/ablate_coalescing");
+    for coalesce in [false, true] {
+        let virtual_ms = drain_time_ms(150, 1_000, coalesce, 20);
+        eprintln!(
+            "[ablate_edt_coalescing] coalesce={coalesce}: 1000 recolors over 20 glyphs drain in {virtual_ms} virtual ms"
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(coalesce),
+            &coalesce,
+            |b, &co| b.iter(|| drain_time_ms(150, 1_000, co, 20)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_enqueue_advance_cost(c: &mut Criterion) {
+    // CPU cost of the queue itself (not the virtual pacing): enqueue +
+    // advance of 10k ops.
+    c.bench_function("edt/queue_cpu_10k", |b| {
+        b.iter(|| {
+            let mut edt = EventDispatchThread::new(0);
+            for i in 0..10_000usize {
+                edt.enqueue(GlyphId(i), Color::GREEN, i as u64);
+            }
+            edt.flush().len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pacing_sweep, bench_ablate_coalescing, bench_enqueue_advance_cost
+}
+criterion_main!(benches);

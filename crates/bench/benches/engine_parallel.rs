@@ -1,0 +1,155 @@
+//! Experiment D7 — multi-core exploitation: the same mitosis plan
+//! executed by the sequential interpreter versus the dataflow scheduler
+//! at increasing worker counts. The shape that must hold: for scan-heavy
+//! plans (Q6) the parallel runs beat serial once the per-partition work
+//! amortises scheduling. Also contains the candidates-vs-mask ablation
+//! (`ablate_candidates`) on the engine's selection design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stetho_bench::{catalog, plan_for};
+use stetho_engine::rt::RuntimeValue;
+use stetho_engine::{ops, Bat, Catalog, ExecCtx, ExecOptions, Interpreter, ProfilerConfig};
+use stetho_mal::Value;
+use stetho_tpch::queries;
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let cat = catalog(0.02); // ≈120k lineitem rows
+    let plan = plan_for(&cat, queries::Q6, 8);
+    eprintln!(
+        "[parallel_speedup] Q6 mitosis(8): {} instructions over {} rows",
+        plan.len(),
+        cat.table("lineitem").unwrap().rows()
+    );
+    let mut group = c.benchmark_group("engine/q6_workers");
+    group.sample_size(10);
+    let interp = Interpreter::new(std::sync::Arc::clone(&cat));
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            interp
+                .execute(&plan, &ExecOptions::default())
+                .unwrap()
+                .result
+                .unwrap()
+                .rows()
+        })
+    });
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    interp
+                        .execute(&plan, &ExecOptions::parallel(w, ProfilerConfig::off()))
+                        .unwrap()
+                        .result
+                        .unwrap()
+                        .rows()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_profiling_overhead(c: &mut Criterion) {
+    // How much the Figure-3 instrumentation costs: same plan, profiler
+    // off vs collecting to memory.
+    let cat = catalog(0.005);
+    let plan = plan_for(&cat, queries::Q1, 4);
+    let interp = Interpreter::new(std::sync::Arc::clone(&cat));
+    let mut group = c.benchmark_group("engine/profiling_overhead");
+    group.sample_size(10);
+    group.bench_function("off", |b| {
+        b.iter(|| interp.execute(&plan, &ExecOptions::default()).unwrap().events)
+    });
+    group.bench_function("vec_sink", |b| {
+        b.iter(|| {
+            let sink = stetho_engine::VecSink::new();
+            interp
+                .execute(&plan, &ExecOptions::profiled(ProfilerConfig::to_sink(sink)))
+                .unwrap()
+                .events
+        })
+    });
+    group.finish();
+}
+
+fn bench_ablate_candidates(c: &mut Criterion) {
+    // Engine design ablation: selection via candidate lists
+    // (thetaselect + projection — MonetDB's way) versus computing a bit
+    // mask and filtering through it (batcalc + mask-select + double
+    // projection).
+    let n = 200_000;
+    let values: Vec<i64> = (0..n).map(|i| i % 1000).collect();
+    let col = RuntimeValue::bat(Bat::ints(values));
+    let payload = RuntimeValue::bat(Bat::dbls((0..n).map(|i| i as f64).collect()));
+    let cand = RuntimeValue::bat(Bat::dense_oids(n as usize));
+    let ctx = ExecCtx::new(std::sync::Arc::new(Catalog::new()));
+
+    let mut group = c.benchmark_group("engine/ablate_candidates");
+    group.sample_size(10);
+    group.bench_function("candidate_list", |b| {
+        b.iter(|| {
+            let sel = ops::execute(
+                "algebra",
+                "thetaselect",
+                &[
+                    col.clone(),
+                    cand.clone(),
+                    RuntimeValue::Scalar(Value::Int(500)),
+                    RuntimeValue::Scalar(Value::Str("<".into())),
+                ],
+                &ctx,
+            )
+            .unwrap();
+            let out = ops::execute(
+                "algebra",
+                "projection",
+                &[sel[0].clone(), payload.clone()],
+                &ctx,
+            )
+            .unwrap();
+            out[0].as_bat("t").unwrap().len()
+        })
+    });
+    group.bench_function("bit_mask", |b| {
+        b.iter(|| {
+            let mask = ops::execute(
+                "batcalc",
+                "<",
+                &[col.clone(), RuntimeValue::Scalar(Value::Int(500))],
+                &ctx,
+            )
+            .unwrap();
+            let sel = ops::execute(
+                "algebra",
+                "select",
+                &[
+                    mask[0].clone(),
+                    RuntimeValue::Scalar(Value::Bit(true)),
+                    RuntimeValue::Scalar(Value::Bit(true)),
+                    RuntimeValue::Scalar(Value::Bit(true)),
+                ],
+                &ctx,
+            )
+            .unwrap();
+            let out = ops::execute(
+                "algebra",
+                "projection",
+                &[sel[0].clone(), payload.clone()],
+                &ctx,
+            )
+            .unwrap();
+            out[0].as_bat("t").unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_parallel_speedup, bench_profiling_overhead, bench_ablate_candidates
+}
+criterion_main!(benches);

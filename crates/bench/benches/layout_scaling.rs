@@ -1,0 +1,83 @@
+//! Experiments F2 / C5 — large-graph support: the full dot → svg →
+//! in-memory-graph pipeline at 100 / 300 / 1000 / 3000 nodes (claim 5 is
+//! ">1000 nodes"), plus the barycenter sweep-count ablation
+//! (`ablate_layout_sweeps`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stetho_bench::wide_graph;
+use stetho_dot::{parse_dot, write_dot};
+use stetho_layout::sugiyama::crossings;
+use stetho_layout::{layout, parse_svg, write_svg, LayoutOptions};
+
+fn graphs() -> Vec<(usize, stetho_dot::Graph)> {
+    // width × depth ≈ node count (mitosis-shaped plans).
+    vec![
+        (100, wide_graph(11, 9)),
+        (300, wide_graph(30, 10)),
+        (1000, wide_graph(66, 15)),
+        (3000, wide_graph(150, 20)),
+    ]
+}
+
+fn bench_layout_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout/nodes");
+    for (n, g) in graphs() {
+        eprintln!(
+            "[layout_scaling] {} nodes / {} edges",
+            g.node_count(),
+            g.edge_count()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| layout(g, &LayoutOptions::default()).nodes.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    // The complete paper pipeline (§4): dot text → parse → layout → svg
+    // → parse-svg → scene, at the claim-5 scale.
+    let g = wide_graph(66, 15);
+    let dot_text = write_dot(&g);
+    eprintln!(
+        "[pipeline_1000_nodes] dot file is {} KiB for {} nodes",
+        dot_text.len() / 1024,
+        g.node_count()
+    );
+    c.bench_function("layout/pipeline_1000_nodes", |b| {
+        b.iter(|| {
+            let graph = parse_dot(&dot_text).unwrap();
+            let scene = layout(&graph, &LayoutOptions::default());
+            let svg = write_svg(&scene);
+            parse_svg(&svg).unwrap().nodes.len()
+        })
+    });
+}
+
+fn bench_ablate_sweeps(c: &mut Criterion) {
+    // Ablation: crossing-reduction sweeps trade layout time for quality.
+    let g = wide_graph(40, 8);
+    let mut group = c.benchmark_group("layout/ablate_sweeps");
+    for sweeps in [0usize, 1, 4, 8] {
+        let opts = LayoutOptions {
+            sweeps,
+            ..Default::default()
+        };
+        let scene = layout(&g, &opts);
+        eprintln!(
+            "[ablate_layout_sweeps] sweeps={sweeps}: {} crossings",
+            crossings(&scene)
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(sweeps), &opts, |b, opts| {
+            b.iter(|| layout(&g, opts).nodes.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_layout_scaling, bench_full_pipeline, bench_ablate_sweeps
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiment D6 — online end-to-end: the complete §4.2 workflow (UDP
+//! textual Stethoscope, query thread, stream monitor, sampling, coloring)
+//! measured wall-to-wall, with the EDT pacing on and off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stetho_bench::catalog;
+use stetho_core::{OnlineConfig, OnlineSession};
+use stetho_tpch::queries;
+
+fn bench_online(c: &mut Criterion) {
+    let cat = catalog(0.002);
+    let mut group = c.benchmark_group("online/end_to_end");
+    group.sample_size(10);
+    for pacing in [0u64, 150] {
+        group.bench_with_input(
+            BenchmarkId::new("pacing_ms", pacing),
+            &pacing,
+            |b, &pacing| {
+                b.iter(|| {
+                    let cfg = OnlineConfig {
+                        pacing_ms: pacing,
+                        partitions: 2,
+                        workers: 2,
+                        ..Default::default()
+                    };
+                    let out = OnlineSession::run(
+                        std::sync::Arc::clone(&cat),
+                        queries::Q6,
+                        &cfg,
+                    )
+                    .unwrap();
+                    std::fs::remove_file(&cfg.dot_path).ok();
+                    std::fs::remove_file(&cfg.trace_path).ok();
+                    out.events.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_online_queries(c: &mut Criterion) {
+    let cat = catalog(0.002);
+    let mut group = c.benchmark_group("online/query");
+    group.sample_size(10);
+    for (name, sql) in [("figure1", queries::FIGURE1), ("q1", queries::Q1)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sql, |b, sql| {
+            b.iter(|| {
+                let cfg = OnlineConfig {
+                    pacing_ms: 0,
+                    ..Default::default()
+                };
+                let out =
+                    OnlineSession::run(std::sync::Arc::clone(&cat), sql, &cfg).unwrap();
+                std::fs::remove_file(&cfg.dot_path).ok();
+                std::fs::remove_file(&cfg.trace_path).ok();
+                out.result_rows
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_online, bench_online_queries
+}
+criterion_main!(benches);

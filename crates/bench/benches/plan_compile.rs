@@ -1,0 +1,67 @@
+//! Experiment F1 — plan generation. Regenerates the Figure-1 pipeline:
+//! SQL text → algebra → MAL → optimizers, for each demo query and for a
+//! sweep of mitosis partition counts (the knob that turns Figure-1 plans
+//! into Figure-2 plans).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stetho_bench::catalog;
+use stetho_sql::{compile_with, CompileOptions};
+use stetho_tpch::queries;
+
+fn bench_compile_each_query(c: &mut Criterion) {
+    let cat = catalog(0.0005);
+    let mut group = c.benchmark_group("plan_compile/query");
+    for (name, sql) in queries::all() {
+        let plan = compile_with(&cat, sql, &CompileOptions::default())
+            .unwrap()
+            .plan;
+        eprintln!("[plan_compile] {name}: {} instructions", plan.len());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sql, |b, sql| {
+            b.iter(|| {
+                compile_with(&cat, sql, &CompileOptions::default())
+                    .unwrap()
+                    .plan
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mitosis_sweep(c: &mut Criterion) {
+    let cat = catalog(0.0005);
+    let mut group = c.benchmark_group("plan_compile/mitosis_partitions");
+    for partitions in [1usize, 4, 16, 64] {
+        let plan = compile_with(
+            &cat,
+            queries::Q1,
+            &CompileOptions::with_partitions(partitions),
+        )
+        .unwrap()
+        .plan;
+        eprintln!(
+            "[plan_compile] Q1 @ {partitions} partitions: {} instructions",
+            plan.len()
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(partitions),
+            &partitions,
+            |b, &p| {
+                b.iter(|| {
+                    compile_with(&cat, queries::Q1, &CompileOptions::with_partitions(p))
+                        .unwrap()
+                        .plan
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compile_each_query, bench_mitosis_sweep
+}
+criterion_main!(benches);

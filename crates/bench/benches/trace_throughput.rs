@@ -1,0 +1,109 @@
+//! Experiments F3 / C4 — trace handling throughput: formatting and
+//! parsing the Figure-3 record format, filter evaluation (claim 4), and
+//! trace-file I/O, plus the sample-buffer-size ablation
+//! (`ablate_sample_buffer`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stetho_bench::synthetic_trace;
+use stetho_profiler::{
+    format_event, parse_event, EventStatus, FilterOptions, SampleBuffer, TraceFile,
+};
+
+fn bench_format_parse(c: &mut Criterion) {
+    let events = synthetic_trace(5_000, 4, 10);
+    let lines: Vec<String> = events.iter().map(format_event).collect();
+    let mut group = c.benchmark_group("trace/codec");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("format", |b| {
+        b.iter(|| {
+            events
+                .iter()
+                .map(|e| format_event(e).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| {
+            lines
+                .iter()
+                .map(|l| parse_event(l).unwrap().pc)
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let events = synthetic_trace(5_000, 4, 10);
+    let filters: Vec<(&str, FilterOptions)> = vec![
+        ("pass_all", FilterOptions::all()),
+        ("module", FilterOptions::all().with_module("algebra")),
+        ("pc_range", FilterOptions::all().with_pc_range(100, 200)),
+        (
+            "composite",
+            FilterOptions::all()
+                .with_module("algebra")
+                .with_status(EventStatus::Done)
+                .with_min_usec(100)
+                .without_administrative(),
+        ),
+    ];
+    let mut group = c.benchmark_group("trace/filter");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for (name, f) in filters {
+        let kept = events.iter().filter(|e| f.accepts(e)).count();
+        eprintln!("[filter_throughput] {name}: keeps {kept}/{}", events.len());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &f, |b, f| {
+            b.iter(|| events.iter().filter(|e| f.accepts(e)).count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_file_io(c: &mut Criterion) {
+    let events = synthetic_trace(5_000, 4, 10);
+    let path = std::env::temp_dir().join(format!("stetho_bench_{}.trace", std::process::id()));
+    let tf = TraceFile::new(&path);
+    let mut group = c.benchmark_group("trace/file");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("write", |b| b.iter(|| tf.write(&events).unwrap()));
+    tf.write(&events).unwrap();
+    group.bench_function("read", |b| b.iter(|| tf.read().unwrap().len()));
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+fn bench_sample_buffer(c: &mut Criterion) {
+    // Ablation: the §4.2 sample buffer — smaller windows are cheaper for
+    // the per-event coloring pass but drop more history.
+    let events = synthetic_trace(10_000, 4, 10);
+    let mut group = c.benchmark_group("trace/ablate_sample_buffer");
+    for cap in [64usize, 256, 1024, 4096] {
+        let mut probe = SampleBuffer::new(cap);
+        for e in &events {
+            probe.push(e.clone());
+        }
+        eprintln!(
+            "[ablate_sample_buffer] capacity {cap}: dropped {} of {}",
+            probe.dropped(),
+            events.len()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut buf = SampleBuffer::new(cap);
+                for e in &events {
+                    buf.push(e.clone());
+                }
+                buf.snapshot().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_format_parse, bench_filters, bench_trace_file_io, bench_sample_buffer
+}
+criterion_main!(benches);

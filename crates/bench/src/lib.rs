@@ -1,0 +1,108 @@
+//! Shared helpers for the Stethoscope benchmark harness.
+//!
+//! Every bench target regenerates one row of the experiment index in
+//! `DESIGN.md` (the paper has no numeric tables; the artifacts are its
+//! figures and feature claims — see `EXPERIMENTS.md` for the mapping).
+
+use std::sync::Arc;
+
+use stetho_engine::{Catalog, ExecOptions, Interpreter, ProfilerConfig, VecSink};
+use stetho_mal::Plan;
+use stetho_profiler::TraceEvent;
+use stetho_sql::{compile_with, CompileOptions};
+use stetho_tpch::{generate_catalog, TpchConfig};
+
+/// Generate (and memoise per call site) a TPC-H catalog.
+pub fn catalog(sf: f64) -> Arc<Catalog> {
+    Arc::new(generate_catalog(&TpchConfig::sf(sf)))
+}
+
+/// Compile a query with a given mitosis partition count.
+pub fn plan_for(cat: &Catalog, sql: &str, partitions: usize) -> Plan {
+    compile_with(cat, sql, &CompileOptions::with_partitions(partitions))
+        .expect("benchmark query compiles")
+        .plan
+}
+
+/// Execute a plan and return its profiler trace.
+pub fn trace_of(cat: &Arc<Catalog>, plan: &Plan, workers: usize) -> Vec<TraceEvent> {
+    let sink = VecSink::new();
+    let opts = if workers > 1 {
+        ExecOptions::parallel(workers, ProfilerConfig::to_sink(sink.clone()))
+    } else {
+        ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone()))
+    };
+    Interpreter::new(Arc::clone(cat))
+        .execute(plan, &opts)
+        .expect("benchmark query executes");
+    sink.take()
+}
+
+/// Build a synthetic trace of `n` instruction pairs across `threads`
+/// workers, with every `costly_every`-th instruction slow.
+pub fn synthetic_trace(n: usize, threads: usize, costly_every: usize) -> Vec<TraceEvent> {
+    let mut out = Vec::with_capacity(n * 2);
+    let mut seq = 0u64;
+    for pc in 0..n {
+        let clk = pc as u64 * 25;
+        let usec = if costly_every > 0 && pc % costly_every == 0 {
+            5_000
+        } else {
+            8
+        };
+        let stmt = format!("X_{pc} := algebra.select(X_0, {pc}:int);");
+        out.push(TraceEvent::start(seq, pc, pc % threads.max(1), clk, 1024, stmt.clone()));
+        seq += 1;
+        out.push(TraceEvent::done(
+            seq,
+            pc,
+            pc % threads.max(1),
+            clk + usec,
+            usec,
+            1024,
+            stmt,
+        ));
+        seq += 1;
+    }
+    out
+}
+
+/// A wide synthetic dot graph (mitosis shape): `width` parallel chains of
+/// `depth` nodes hanging off one root.
+pub fn wide_graph(width: usize, depth: usize) -> stetho_dot::Graph {
+    let mut g = stetho_dot::Graph::new("bench");
+    let mut attrs = std::collections::HashMap::new();
+    attrs.insert("label".to_string(), "root".to_string());
+    g.add_node("n0", attrs).unwrap();
+    let mut id = 1;
+    for w in 0..width {
+        let mut prev = stetho_dot::NodeId(0);
+        for d in 0..depth {
+            let mut attrs = std::collections::HashMap::new();
+            attrs.insert("label".to_string(), format!("algebra.select w{w} d{d}"));
+            let node = g.add_node(format!("n{id}"), attrs).unwrap();
+            id += 1;
+            g.add_edge(prev, node, Default::default()).unwrap();
+            prev = node;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_work() {
+        let cat = catalog(0.0003);
+        let plan = plan_for(&cat, stetho_tpch::queries::FIGURE1, 1);
+        let trace = trace_of(&cat, &plan, 1);
+        assert_eq!(trace.len(), plan.len() * 2);
+        let t = synthetic_trace(10, 2, 3);
+        assert_eq!(t.len(), 20);
+        let g = wide_graph(4, 3);
+        assert_eq!(g.node_count(), 13);
+        assert_eq!(g.edge_count(), 12);
+    }
+}

@@ -1,0 +1,155 @@
+//! The parallelism anomaly detector.
+//!
+//! "To illustrate, using Stethoscope we have uncovered several unusual
+//! cases, such as sequential execution of a MAL plan where multithreaded
+//! execution was expected." (§5)
+//!
+//! The detector compares two numbers:
+//!
+//! * the *expected* parallelism — the width of the plan's dataflow DAG
+//!   (how many instructions **could** run simultaneously), and
+//! * the *observed* concurrency — the maximum number of instructions
+//!   whose (start, done) intervals actually overlapped in the trace.
+//!
+//! A wide plan executing with observed concurrency ≈ 1 is exactly the
+//! paper's anomaly.
+
+use serde::Serialize;
+use stetho_mal::{DataflowGraph, Plan};
+use stetho_profiler::TraceEvent;
+
+use super::threads::observed_concurrency;
+
+/// Outcome of the expected-vs-observed comparison.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ParallelismReport {
+    /// DAG width — upper bound on exploitable instruction parallelism.
+    pub expected_width: usize,
+    /// Maximum observed overlap in the trace.
+    pub observed: usize,
+    /// Distinct worker threads seen.
+    pub threads_seen: usize,
+    /// True when a wide plan ran (almost) sequentially.
+    pub anomalous: bool,
+    /// Human-readable verdict.
+    pub verdict: String,
+}
+
+/// Analyse a plan/trace pair for the sequential-execution anomaly.
+///
+/// `min_width` guards against flagging genuinely narrow plans (default
+/// callers pass 4): a plan whose DAG width is below it can't
+/// meaningfully parallelise, so it is never anomalous.
+pub fn detect_parallelism_anomaly(
+    plan: &Plan,
+    events: &[TraceEvent],
+    min_width: usize,
+) -> ParallelismReport {
+    let width = DataflowGraph::from_plan(plan).width();
+    let observed = observed_concurrency(events);
+    let threads_seen = {
+        let mut t: Vec<usize> = events.iter().map(|e| e.thread).collect();
+        t.sort_unstable();
+        t.dedup();
+        t.len()
+    };
+    // Anomalous: plenty of exploitable width, but execution barely
+    // overlapped at all.
+    let anomalous = width >= min_width && observed <= 1 && !events.is_empty();
+    let verdict = if anomalous {
+        format!(
+            "ANOMALY: dataflow width {width} but execution was sequential \
+             (observed concurrency {observed}, {threads_seen} thread(s)) — \
+             multithreaded execution was expected"
+        )
+    } else if events.is_empty() {
+        "no trace events".to_string()
+    } else {
+        format!(
+            "ok: dataflow width {width}, observed concurrency {observed} \
+             on {threads_seen} thread(s)"
+        )
+    };
+    ParallelismReport {
+        expected_width: width,
+        observed,
+        threads_seen,
+        anomalous,
+        verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stetho_mal::parse_plan;
+
+    /// A plan with K independent branches (width K).
+    fn wide_plan(k: usize) -> Plan {
+        let mut text = String::from("X_0:int := sql.mvc();\n");
+        for i in 0..k {
+            text.push_str(&format!(
+                "X_{}:int := calc.+(X_0, {i}:int);\n",
+                i + 1
+            ));
+        }
+        parse_plan(&text).unwrap()
+    }
+
+    fn seq_trace(n: usize) -> Vec<TraceEvent> {
+        let mut t = Vec::new();
+        for pc in 0..n {
+            let base = pc as u64 * 100;
+            t.push(TraceEvent::start(0, pc, 0, base, 0, "calc.+(X_0);"));
+            t.push(TraceEvent::done(1, pc, 0, base + 50, 50, 0, "calc.+(X_0);"));
+        }
+        t
+    }
+
+    fn par_trace(n: usize) -> Vec<TraceEvent> {
+        let mut t = Vec::new();
+        for pc in 0..n {
+            t.push(TraceEvent::start(0, pc, pc % 4, 10, 0, "calc.+(X_0);"));
+        }
+        for pc in 0..n {
+            t.push(TraceEvent::done(1, pc, pc % 4, 500, 490, 0, "calc.+(X_0);"));
+        }
+        t
+    }
+
+    #[test]
+    fn wide_plan_sequential_trace_is_anomalous() {
+        let plan = wide_plan(8);
+        let report = detect_parallelism_anomaly(&plan, &seq_trace(9), 4);
+        assert!(report.anomalous, "{}", report.verdict);
+        assert!(report.expected_width >= 8);
+        assert_eq!(report.observed, 1);
+        assert!(report.verdict.contains("ANOMALY"));
+    }
+
+    #[test]
+    fn wide_plan_parallel_trace_is_fine() {
+        let plan = wide_plan(8);
+        let report = detect_parallelism_anomaly(&plan, &par_trace(9), 4);
+        assert!(!report.anomalous, "{}", report.verdict);
+        assert!(report.observed >= 4);
+    }
+
+    #[test]
+    fn narrow_plan_never_anomalous() {
+        let plan = parse_plan(
+            "X_0:int := sql.mvc();\nX_1:int := calc.+(X_0, 1:int);\nX_2:int := calc.+(X_1, 1:int);\n",
+        )
+        .unwrap();
+        let report = detect_parallelism_anomaly(&plan, &seq_trace(3), 4);
+        assert!(!report.anomalous, "a chain can't parallelise");
+    }
+
+    #[test]
+    fn empty_trace_not_anomalous() {
+        let plan = wide_plan(8);
+        let report = detect_parallelism_anomaly(&plan, &[], 4);
+        assert!(!report.anomalous);
+        assert_eq!(report.verdict, "no trace events");
+    }
+}

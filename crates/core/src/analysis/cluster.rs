@@ -1,0 +1,170 @@
+//! Costly instruction clustering (§5): group completed instructions by
+//! duration so the analyst sees "cheap bulk", "mid tier" and "the
+//! expensive few" as coherent clusters rather than a flat list.
+//!
+//! Durations are clustered with 1-D k-means on log-scaled values —
+//! instruction costs are heavy-tailed, and log scaling keeps the cheap
+//! bulk from swallowing everything.
+
+use serde::Serialize;
+use stetho_profiler::{EventStatus, TraceEvent};
+
+/// One duration cluster.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Cluster {
+    /// Representative duration (cluster mean, usec).
+    pub mean_usec: f64,
+    /// Smallest member duration.
+    pub min_usec: u64,
+    /// Largest member duration.
+    pub max_usec: u64,
+    /// Member pcs.
+    pub members: Vec<usize>,
+}
+
+/// Cluster the done-events of a trace into (up to) `k` duration bands,
+/// cheapest band first.
+pub fn cluster_durations(events: &[TraceEvent], k: usize) -> Vec<Cluster> {
+    let items: Vec<(usize, u64)> = events
+        .iter()
+        .filter(|e| e.status == EventStatus::Done)
+        .map(|e| (e.pc, e.usec))
+        .collect();
+    if items.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let logs: Vec<f64> = items.iter().map(|&(_, d)| (d as f64 + 1.0).ln()).collect();
+    let k = k.min(items.len());
+
+    // Init centroids evenly over the value range.
+    let (lo, hi) = logs
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &x| {
+            (l.min(x), h.max(x))
+        });
+    let mut centroids: Vec<f64> = (0..k)
+        .map(|i| lo + (hi - lo) * (i as f64 + 0.5) / k as f64)
+        .collect();
+    let mut assign = vec![0usize; logs.len()];
+    for _ in 0..32 {
+        let mut changed = false;
+        for (i, &x) in logs.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    (a.1 - x)
+                        .abs()
+                        .partial_cmp(&(b.1 - x).abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(j, _)| j)
+                .unwrap_or(0);
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        for (j, c) in centroids.iter_mut().enumerate() {
+            let members: Vec<f64> = logs
+                .iter()
+                .zip(&assign)
+                .filter(|(_, &a)| a == j)
+                .map(|(&x, _)| x)
+                .collect();
+            if !members.is_empty() {
+                *c = members.iter().sum::<f64>() / members.len() as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut clusters: Vec<Cluster> = (0..k)
+        .filter_map(|j| {
+            let members: Vec<(usize, u64)> = items
+                .iter()
+                .zip(&assign)
+                .filter(|(_, &a)| a == j)
+                .map(|(&it, _)| it)
+                .collect();
+            if members.is_empty() {
+                return None;
+            }
+            let durations: Vec<u64> = members.iter().map(|&(_, d)| d).collect();
+            Some(Cluster {
+                mean_usec: durations.iter().sum::<u64>() as f64 / durations.len() as f64,
+                min_usec: *durations.iter().min().expect("non-empty"),
+                max_usec: *durations.iter().max().expect("non-empty"),
+                members: members.iter().map(|&(pc, _)| pc).collect(),
+            })
+        })
+        .collect();
+    clusters.sort_by(|a, b| a.mean_usec.partial_cmp(&b.mean_usec).unwrap_or(std::cmp::Ordering::Equal));
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn done(pc: usize, usec: u64) -> TraceEvent {
+        TraceEvent::done(0, pc, 0, 0, usec, 0, "f.g();")
+    }
+
+    #[test]
+    fn separates_cheap_and_costly() {
+        let mut t: Vec<TraceEvent> = (0..20).map(|i| done(i, 10 + i as u64 % 3)).collect();
+        t.push(done(100, 1_000_000));
+        t.push(done(101, 1_100_000));
+        let clusters = cluster_durations(&t, 2);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].members.len(), 20, "cheap bulk together");
+        let mut costly = clusters[1].members.clone();
+        costly.sort_unstable();
+        assert_eq!(costly, vec![100, 101]);
+        assert!(clusters[1].mean_usec > clusters[0].mean_usec * 1000.0);
+    }
+
+    #[test]
+    fn three_tiers() {
+        let mut t = Vec::new();
+        for i in 0..10 {
+            t.push(done(i, 10));
+        }
+        for i in 10..16 {
+            t.push(done(i, 10_000));
+        }
+        for i in 16..18 {
+            t.push(done(i, 10_000_000));
+        }
+        let clusters = cluster_durations(&t, 3);
+        assert_eq!(clusters.len(), 3);
+        assert_eq!(clusters[0].members.len(), 10);
+        assert_eq!(clusters[1].members.len(), 6);
+        assert_eq!(clusters[2].members.len(), 2);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(cluster_durations(&[], 3).is_empty());
+        let one = vec![done(0, 42)];
+        let c = cluster_durations(&one, 3);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].members, vec![0]);
+        assert_eq!(c[0].min_usec, 42);
+        assert!(cluster_durations(&one, 0).is_empty());
+    }
+
+    #[test]
+    fn starts_are_ignored() {
+        let t = vec![
+            TraceEvent::start(0, 0, 0, 0, 0, "f.g();"),
+            done(1, 10),
+        ];
+        let c = cluster_durations(&t, 2);
+        let total: usize = c.iter().map(|c| c.members.len()).sum();
+        assert_eq!(total, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Trace comparison — diff two executions of the same plan.
+//!
+//! The §5 offline demo replays traces to find regressions; comparing the
+//! trace of a fresh run against a baseline (serial vs parallel, before
+//! vs after an optimizer change) is the natural next step. The diff is
+//! per-pc: duration deltas, thread migration, and instructions that
+//! appear in only one trace.
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+use stetho_profiler::{EventStatus, TraceEvent};
+
+/// Per-instruction comparison row.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DiffRow {
+    /// Program counter.
+    pub pc: usize,
+    /// Statement text (from whichever trace has it).
+    pub stmt: String,
+    /// Total duration in the baseline (µs), if executed there.
+    pub base_usec: Option<u64>,
+    /// Total duration in the candidate (µs), if executed there.
+    pub new_usec: Option<u64>,
+    /// `new − base` when both ran.
+    pub delta_usec: Option<i64>,
+    /// Relative change (`delta / base`) when both ran and base > 0.
+    pub ratio: Option<f64>,
+    /// Thread in baseline / candidate.
+    pub threads: (Option<usize>, Option<usize>),
+}
+
+/// The whole comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceDiff {
+    /// Per-pc rows, sorted by |delta| descending (movers first).
+    pub rows: Vec<DiffRow>,
+    /// Total duration of the baseline trace (µs).
+    pub base_total: u64,
+    /// Total duration of the candidate trace (µs).
+    pub new_total: u64,
+    /// pcs only in the baseline.
+    pub only_in_base: Vec<usize>,
+    /// pcs only in the candidate.
+    pub only_in_new: Vec<usize>,
+}
+
+fn fold(events: &[TraceEvent]) -> HashMap<usize, (u64, usize, String)> {
+    let mut out: HashMap<usize, (u64, usize, String)> = HashMap::new();
+    for e in events {
+        if e.status == EventStatus::Done {
+            let slot = out.entry(e.pc).or_insert((0, e.thread, e.stmt.clone()));
+            slot.0 += e.usec;
+            slot.1 = e.thread;
+        }
+    }
+    out
+}
+
+/// Compare a candidate trace against a baseline of the same plan.
+pub fn diff_traces(base: &[TraceEvent], new: &[TraceEvent]) -> TraceDiff {
+    let b = fold(base);
+    let n = fold(new);
+    let mut pcs: Vec<usize> = b.keys().chain(n.keys()).copied().collect();
+    pcs.sort_unstable();
+    pcs.dedup();
+
+    let mut rows = Vec::with_capacity(pcs.len());
+    let mut only_in_base = Vec::new();
+    let mut only_in_new = Vec::new();
+    for pc in pcs {
+        let bv = b.get(&pc);
+        let nv = n.get(&pc);
+        match (bv, nv) {
+            (Some(_), None) => only_in_base.push(pc),
+            (None, Some(_)) => only_in_new.push(pc),
+            _ => {}
+        }
+        let stmt = bv
+            .map(|(_, _, s)| s.clone())
+            .or_else(|| nv.map(|(_, _, s)| s.clone()))
+            .unwrap_or_default();
+        let base_usec = bv.map(|(u, _, _)| *u);
+        let new_usec = nv.map(|(u, _, _)| *u);
+        let delta_usec = match (base_usec, new_usec) {
+            (Some(a), Some(c)) => Some(c as i64 - a as i64),
+            _ => None,
+        };
+        let ratio = match (base_usec, delta_usec) {
+            (Some(a), Some(d)) if a > 0 => Some(d as f64 / a as f64),
+            _ => None,
+        };
+        rows.push(DiffRow {
+            pc,
+            stmt,
+            base_usec,
+            new_usec,
+            delta_usec,
+            ratio,
+            threads: (bv.map(|(_, t, _)| *t), nv.map(|(_, t, _)| *t)),
+        });
+    }
+    rows.sort_by_key(|r| std::cmp::Reverse(r.delta_usec.map(i64::abs).unwrap_or(i64::MAX)));
+    TraceDiff {
+        base_total: b.values().map(|(u, _, _)| u).sum(),
+        new_total: n.values().map(|(u, _, _)| u).sum(),
+        rows,
+        only_in_base,
+        only_in_new,
+    }
+}
+
+impl TraceDiff {
+    /// The `k` instructions that regressed the most (positive delta).
+    pub fn top_regressions(&self, k: usize) -> Vec<&DiffRow> {
+        let mut v: Vec<&DiffRow> = self
+            .rows
+            .iter()
+            .filter(|r| r.delta_usec.map(|d| d > 0).unwrap_or(false))
+            .collect();
+        v.sort_by_key(|r| std::cmp::Reverse(r.delta_usec.unwrap_or(0)));
+        v.truncate(k);
+        v
+    }
+
+    /// The `k` instructions that improved the most (negative delta).
+    pub fn top_improvements(&self, k: usize) -> Vec<&DiffRow> {
+        let mut v: Vec<&DiffRow> = self
+            .rows
+            .iter()
+            .filter(|r| r.delta_usec.map(|d| d < 0).unwrap_or(false))
+            .collect();
+        v.sort_by_key(|r| r.delta_usec.unwrap_or(0));
+        v.truncate(k);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(pc: usize, thread: usize, usec: u64) -> [TraceEvent; 2] {
+        let stmt = format!("X_{pc} := f.g();");
+        [
+            TraceEvent::start(0, pc, thread, 0, 0, stmt.clone()),
+            TraceEvent::done(1, pc, thread, usec, usec, 0, stmt),
+        ]
+    }
+
+    #[test]
+    fn deltas_and_ratios() {
+        let mut base = Vec::new();
+        base.extend(pair(0, 0, 100));
+        base.extend(pair(1, 0, 200));
+        let mut new = Vec::new();
+        new.extend(pair(0, 1, 150)); // regressed +50 (and moved thread)
+        new.extend(pair(1, 0, 100)); // improved −100
+        let d = diff_traces(&base, &new);
+        assert_eq!(d.base_total, 300);
+        assert_eq!(d.new_total, 250);
+        let r0 = d.rows.iter().find(|r| r.pc == 0).unwrap();
+        assert_eq!(r0.delta_usec, Some(50));
+        assert_eq!(r0.ratio, Some(0.5));
+        assert_eq!(r0.threads, (Some(0), Some(1)));
+        let regressions = d.top_regressions(5);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].pc, 0);
+        let improvements = d.top_improvements(5);
+        assert_eq!(improvements[0].pc, 1);
+        assert_eq!(improvements[0].delta_usec, Some(-100));
+    }
+
+    #[test]
+    fn disjoint_instructions_reported() {
+        let mut base = Vec::new();
+        base.extend(pair(0, 0, 10));
+        base.extend(pair(7, 0, 10));
+        let mut new = Vec::new();
+        new.extend(pair(0, 0, 10));
+        new.extend(pair(9, 0, 10));
+        let d = diff_traces(&base, &new);
+        assert_eq!(d.only_in_base, vec![7]);
+        assert_eq!(d.only_in_new, vec![9]);
+        // Rows without both sides have no delta and sort first.
+        assert!(d.rows[0].delta_usec.is_none());
+    }
+
+    #[test]
+    fn repeated_executions_accumulate() {
+        let mut base = Vec::new();
+        base.extend(pair(0, 0, 10));
+        base.extend(pair(0, 0, 30));
+        let d = diff_traces(&base, &base.clone());
+        let r = d.rows.iter().find(|r| r.pc == 0).unwrap();
+        assert_eq!(r.base_usec, Some(40));
+        assert_eq!(r.delta_usec, Some(0));
+    }
+
+    #[test]
+    fn empty_traces() {
+        let d = diff_traces(&[], &[]);
+        assert!(d.rows.is_empty());
+        assert_eq!((d.base_total, d.new_total), (0, 0));
+    }
+}

@@ -1,0 +1,120 @@
+//! Memory usage by operators — the §5 offline demo's "memory usage by
+//! operators" view, built from the trace's `rss` field.
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+use stetho_profiler::{EventStatus, TraceEvent};
+
+/// Memory summary for one `module.function`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct OperatorMemory {
+    /// `module.function`.
+    pub operator: String,
+    /// Executions observed.
+    pub count: usize,
+    /// Peak rss (KiB) seen at any of its events.
+    pub peak_rss: u64,
+    /// Mean rss (KiB) over its done events.
+    pub mean_rss: f64,
+    /// Largest rss growth across one execution (done.rss − start.rss),
+    /// a proxy for the operator's own allocation.
+    pub max_growth: i64,
+}
+
+/// Aggregate rss by operator.
+pub fn memory_by_operator(events: &[TraceEvent]) -> Vec<OperatorMemory> {
+    struct Acc {
+        count: usize,
+        peak: u64,
+        sum: u64,
+        max_growth: i64,
+        open_start_rss: HashMap<usize, u64>,
+    }
+    let mut per: HashMap<String, Acc> = HashMap::new();
+    for e in events {
+        let acc = per.entry(e.operator().to_string()).or_insert(Acc {
+            count: 0,
+            peak: 0,
+            sum: 0,
+            max_growth: i64::MIN,
+            open_start_rss: HashMap::new(),
+        });
+        acc.peak = acc.peak.max(e.rss);
+        match e.status {
+            EventStatus::Start => {
+                acc.open_start_rss.insert(e.pc, e.rss);
+            }
+            EventStatus::Done => {
+                acc.count += 1;
+                acc.sum += e.rss;
+                if let Some(start_rss) = acc.open_start_rss.remove(&e.pc) {
+                    acc.max_growth = acc.max_growth.max(e.rss as i64 - start_rss as i64);
+                }
+            }
+        }
+    }
+    let mut out: Vec<OperatorMemory> = per
+        .into_iter()
+        .map(|(operator, a)| OperatorMemory {
+            operator,
+            count: a.count,
+            peak_rss: a.peak,
+            mean_rss: if a.count == 0 {
+                0.0
+            } else {
+                a.sum as f64 / a.count as f64
+            },
+            max_growth: if a.max_growth == i64::MIN {
+                0
+            } else {
+                a.max_growth
+            },
+        })
+        .collect();
+    out.sort_by(|a, b| b.peak_rss.cmp(&a.peak_rss).then(a.operator.cmp(&b.operator)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(pc: usize, op: &str, start_rss: u64, done_rss: u64) -> [TraceEvent; 2] {
+        let stmt = format!("X := {op}(Y);");
+        [
+            TraceEvent::start(0, pc, 0, 0, start_rss, stmt.clone()),
+            TraceEvent::done(1, pc, 0, 10, 10, done_rss, stmt),
+        ]
+    }
+
+    #[test]
+    fn aggregates_by_operator() {
+        let mut t = Vec::new();
+        t.extend(pair(0, "algebra.join", 100, 500));
+        t.extend(pair(1, "algebra.join", 500, 900));
+        t.extend(pair(2, "sql.bind", 100, 110));
+        let m = memory_by_operator(&t);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].operator, "algebra.join", "heaviest first");
+        assert_eq!(m[0].count, 2);
+        assert_eq!(m[0].peak_rss, 900);
+        assert_eq!(m[0].mean_rss, 700.0);
+        assert_eq!(m[0].max_growth, 400);
+        assert_eq!(m[1].max_growth, 10);
+    }
+
+    #[test]
+    fn unmatched_start_counts_peak_only() {
+        let t = vec![TraceEvent::start(0, 0, 0, 0, 999, "X := a.b(Y);")];
+        let m = memory_by_operator(&t);
+        assert_eq!(m[0].count, 0);
+        assert_eq!(m[0].peak_rss, 999);
+        assert_eq!(m[0].max_growth, 0);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(memory_by_operator(&[]).is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Micro analysis — the §6 "analytic interface for micro analysis of
+//! trace" extension: per-operator duration distributions (count, mean,
+//! percentiles), exportable as JSON for downstream tooling.
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+use stetho_profiler::{EventStatus, TraceEvent};
+
+/// Distribution statistics for one operator.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MicroStats {
+    /// `module.function`.
+    pub operator: String,
+    /// Completed executions.
+    pub count: usize,
+    /// Total time (usec).
+    pub total_usec: u64,
+    /// Mean duration.
+    pub mean_usec: f64,
+    /// Minimum duration.
+    pub min_usec: u64,
+    /// Median duration.
+    pub p50_usec: u64,
+    /// 95th percentile duration.
+    pub p95_usec: u64,
+    /// Maximum duration.
+    pub max_usec: u64,
+}
+
+/// Per-operator micro statistics, heaviest total first.
+pub fn micro_stats(events: &[TraceEvent]) -> Vec<MicroStats> {
+    let mut per: HashMap<String, Vec<u64>> = HashMap::new();
+    for e in events {
+        if e.status == EventStatus::Done {
+            per.entry(e.operator().to_string()).or_default().push(e.usec);
+        }
+    }
+    let mut out: Vec<MicroStats> = per
+        .into_iter()
+        .map(|(operator, mut d)| {
+            d.sort_unstable();
+            let pct = |q: f64| d[((d.len() - 1) as f64 * q).round() as usize];
+            let total: u64 = d.iter().sum();
+            MicroStats {
+                operator,
+                count: d.len(),
+                total_usec: total,
+                mean_usec: total as f64 / d.len() as f64,
+                min_usec: d[0],
+                p50_usec: pct(0.5),
+                p95_usec: pct(0.95),
+                max_usec: *d.last().expect("non-empty"),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.total_usec.cmp(&a.total_usec).then(a.operator.cmp(&b.operator)));
+    out
+}
+
+/// Serialise an analysis bundle as JSON (the export behind the analytic
+/// interface).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("analysis structs serialise")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn done(pc: usize, op: &str, usec: u64) -> TraceEvent {
+        TraceEvent::done(0, pc, 0, 0, usec, 0, format!("X := {op}(Y);"))
+    }
+
+    #[test]
+    fn percentiles_computed() {
+        let t: Vec<TraceEvent> = (1..=100).map(|i| done(i, "algebra.select", i as u64)).collect();
+        let stats = micro_stats(&t);
+        assert_eq!(stats.len(), 1);
+        let s = &stats[0];
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min_usec, 1);
+        assert_eq!(s.max_usec, 100);
+        assert!((49..=51).contains(&s.p50_usec));
+        assert!((94..=96).contains(&s.p95_usec));
+        assert!((s.mean_usec - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordered_by_total_time() {
+        let mut t = vec![done(0, "sql.bind", 5)];
+        t.push(done(1, "algebra.join", 10_000));
+        t.push(done(2, "algebra.select", 100));
+        let stats = micro_stats(&t);
+        let ops: Vec<&str> = stats.iter().map(|s| s.operator.as_str()).collect();
+        assert_eq!(ops, vec!["algebra.join", "algebra.select", "sql.bind"]);
+    }
+
+    #[test]
+    fn json_export_is_valid() {
+        let t = vec![done(0, "aggr.sum", 7)];
+        let stats = micro_stats(&t);
+        let json = to_json(&stats);
+        let back: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(back[0]["operator"], "aggr.sum");
+        assert_eq!(back[0]["count"], 1);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(micro_stats(&[]).is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline/online trace analyses (§5).
+//!
+//! * [`threads`] — "utilization distribution of threads" and "multi-core
+//!   utilization analysis";
+//! * [`memory`] — "memory usage by operators";
+//! * [`cluster`] — "costly instruction clustering";
+//! * [`anomaly`] — the parallelism anomaly detector: "using Stethoscope
+//!   we have uncovered several unusual cases, such as sequential
+//!   execution of a MAL plan where multithreaded execution was
+//!   expected";
+//! * [`micro`] — the §6 "analytic interface for micro analysis of trace"
+//!   extension: per-operator distribution statistics.
+
+pub mod anomaly;
+pub mod cluster;
+pub mod diff;
+pub mod memory;
+pub mod micro;
+pub mod report;
+pub mod threads;
+
+pub use anomaly::{detect_parallelism_anomaly, ParallelismReport};
+pub use cluster::{cluster_durations, Cluster};
+pub use diff::{diff_traces, TraceDiff};
+pub use memory::{memory_by_operator, OperatorMemory};
+pub use micro::{micro_stats, MicroStats};
+pub use report::SessionReport;
+pub use threads::{thread_utilisation, ThreadUtilisation};

@@ -1,0 +1,158 @@
+//! The full analysis bundle — everything Stethoscope's analytic
+//! interface computes for one plan/trace pair, in one serialisable
+//! report. This is the machine-readable form of the §5 demo outputs
+//! (and the export path of the §6 "analytic interface" extension).
+
+use serde::Serialize;
+use stetho_mal::Plan;
+use stetho_profiler::{TraceEvent, TraceStats};
+
+use super::anomaly::{detect_parallelism_anomaly, ParallelismReport};
+use super::cluster::{cluster_durations, Cluster};
+use super::memory::{memory_by_operator, OperatorMemory};
+use super::micro::{micro_stats, MicroStats};
+use super::threads::{thread_utilisation, ThreadUtilisation};
+
+/// Aggregate report over one executed plan.
+#[derive(Debug, Clone, Serialize)]
+pub struct SessionReport {
+    /// Plan name.
+    pub plan_name: String,
+    /// Plan size (instructions).
+    pub plan_len: usize,
+    /// Trace event count.
+    pub events: usize,
+    /// Wall-clock span of the trace (µs).
+    pub span_usec: u64,
+    /// Total instruction time (µs, sums across threads).
+    pub total_usec: u64,
+    /// Peak rss seen (KiB).
+    pub peak_rss: u64,
+    /// pc of the single longest instruction.
+    pub hottest_pc: Option<usize>,
+    /// Per-thread utilisation.
+    pub threads: Vec<ThreadUtilisation>,
+    /// Memory by operator.
+    pub memory: Vec<OperatorMemory>,
+    /// Duration clusters (cheap → costly).
+    pub clusters: Vec<Cluster>,
+    /// Per-operator micro statistics.
+    pub micro: Vec<MicroStats>,
+    /// Parallelism verdict.
+    pub parallelism: ParallelismReport,
+}
+
+impl SessionReport {
+    /// Build the full report for a plan/trace pair. `cluster_k` bands
+    /// and `min_width` as in the individual analyses.
+    pub fn build(plan: &Plan, events: &[TraceEvent], cluster_k: usize, min_width: usize) -> Self {
+        let stats = TraceStats::compute(events);
+        SessionReport {
+            plan_name: plan.name.clone(),
+            plan_len: plan.len(),
+            events: events.len(),
+            span_usec: stats.span_usec,
+            total_usec: stats.total_usec,
+            peak_rss: stats.peak_rss,
+            hottest_pc: stats.max_usec_pc,
+            threads: thread_utilisation(events),
+            memory: memory_by_operator(events),
+            clusters: cluster_durations(events, cluster_k),
+            micro: micro_stats(events),
+            parallelism: detect_parallelism_anomaly(plan, events, min_width),
+        }
+    }
+
+    /// Pretty JSON export.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// A terse human summary (the debug-window header line).
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} instr, {} events, span {} µs, busy {} µs, peak rss {} KiB, {} threads — {}",
+            self.plan_name,
+            self.plan_len,
+            self.events,
+            self.span_usec,
+            self.total_usec,
+            self.peak_rss,
+            self.threads.len(),
+            if self.parallelism.anomalous {
+                "PARALLELISM ANOMALY"
+            } else {
+                "ok"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stetho_mal::parse_plan;
+
+    fn plan() -> Plan {
+        parse_plan(
+            "X_0:int := sql.mvc();\n\
+             X_1:int := calc.+(X_0, 1:int);\n\
+             X_2:int := calc.+(X_0, 2:int);\n\
+             X_3:int := calc.+(X_0, 3:int);\n\
+             X_4:int := calc.+(X_0, 4:int);\n\
+             io.print(X_1);\n",
+        )
+        .unwrap()
+    }
+
+    fn trace() -> Vec<TraceEvent> {
+        let mut v = Vec::new();
+        for pc in 0..6 {
+            let clk = pc as u64 * 100;
+            v.push(TraceEvent::start(0, pc, pc % 2, clk, 50 + pc as u64, "X := calc.+(a);"));
+            v.push(TraceEvent::done(
+                1,
+                pc,
+                pc % 2,
+                clk + 40,
+                40,
+                60 + pc as u64,
+                "X := calc.+(a);",
+            ));
+        }
+        v
+    }
+
+    #[test]
+    fn report_aggregates_everything() {
+        let p = plan();
+        let r = SessionReport::build(&p, &trace(), 2, 4);
+        assert_eq!(r.plan_len, 6);
+        assert_eq!(r.events, 12);
+        assert_eq!(r.threads.len(), 2);
+        assert!(!r.memory.is_empty());
+        assert!(!r.micro.is_empty());
+        assert!(r.parallelism.anomalous, "4-wide plan ran sequentially");
+        assert!(r.summary().contains("PARALLELISM ANOMALY"));
+    }
+
+    #[test]
+    fn json_round_trips_structurally() {
+        let p = plan();
+        let r = SessionReport::build(&p, &trace(), 2, 4);
+        let json = r.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["plan_len"], 6);
+        assert_eq!(v["parallelism"]["anomalous"], true);
+        assert!(v["threads"].as_array().unwrap().len() == 2);
+    }
+
+    #[test]
+    fn empty_trace_report() {
+        let p = plan();
+        let r = SessionReport::build(&p, &[], 3, 4);
+        assert_eq!(r.events, 0);
+        assert!(!r.parallelism.anomalous);
+        assert!(r.summary().contains("ok"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Thread utilisation — which workers were busy when, and how evenly the
+//! MAL instructions spread across cores.
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+use stetho_profiler::{EventStatus, TraceEvent};
+
+/// Utilisation summary for one worker thread.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ThreadUtilisation {
+    /// Thread id from the trace.
+    pub thread: usize,
+    /// Instructions completed on this thread.
+    pub instructions: usize,
+    /// Total busy time (sum of instruction durations, usec).
+    pub busy_usec: u64,
+    /// Busy time as a fraction of the trace wall-clock span.
+    pub utilisation: f64,
+}
+
+/// Compute per-thread utilisation over a trace.
+pub fn thread_utilisation(events: &[TraceEvent]) -> Vec<ThreadUtilisation> {
+    if events.is_empty() {
+        return Vec::new();
+    }
+    let span = events.iter().map(|e| e.clk).max().unwrap_or(0)
+        - events.iter().map(|e| e.clk).min().unwrap_or(0);
+    let span = span.max(1);
+    let mut per: HashMap<usize, (usize, u64)> = HashMap::new();
+    for e in events {
+        if e.status == EventStatus::Done {
+            let slot = per.entry(e.thread).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += e.usec;
+        }
+    }
+    let mut out: Vec<ThreadUtilisation> = per
+        .into_iter()
+        .map(|(thread, (instructions, busy_usec))| ThreadUtilisation {
+            thread,
+            instructions,
+            busy_usec,
+            utilisation: busy_usec as f64 / span as f64,
+        })
+        .collect();
+    out.sort_by_key(|t| t.thread);
+    out
+}
+
+/// Maximum number of instructions executing simultaneously anywhere in
+/// the trace — the *observed* degree of parallelism.
+pub fn observed_concurrency(events: &[TraceEvent]) -> usize {
+    // Sweep start/done as +1/−1 in clk order (done before start on ties
+    // so adjacent sequential instructions don't count as overlapping).
+    let mut deltas: Vec<(u64, i32)> = events
+        .iter()
+        .map(|e| match e.status {
+            EventStatus::Start => (e.clk, 1),
+            EventStatus::Done => (e.clk, -1),
+        })
+        .collect();
+    deltas.sort_by_key(|&(clk, d)| (clk, d));
+    let mut cur = 0i32;
+    let mut max = 0i32;
+    for (_, d) in deltas {
+        cur += d;
+        max = max.max(cur);
+    }
+    max.max(0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pc: usize, thread: usize, start_clk: u64, usec: u64) -> [TraceEvent; 2] {
+        [
+            TraceEvent::start(0, pc, thread, start_clk, 0, "f.g();"),
+            TraceEvent::done(1, pc, thread, start_clk + usec, usec, 0, "f.g();"),
+        ]
+    }
+
+    #[test]
+    fn utilisation_sums_per_thread() {
+        let mut t = Vec::new();
+        t.extend(ev(0, 0, 0, 50));
+        t.extend(ev(1, 1, 0, 30));
+        t.extend(ev(2, 0, 60, 40));
+        let u = thread_utilisation(&t);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[0].thread, 0);
+        assert_eq!(u[0].instructions, 2);
+        assert_eq!(u[0].busy_usec, 90);
+        assert_eq!(u[1].busy_usec, 30);
+        assert!(u[0].utilisation > u[1].utilisation);
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert!(thread_utilisation(&[]).is_empty());
+        assert_eq!(observed_concurrency(&[]), 0);
+    }
+
+    #[test]
+    fn sequential_trace_has_concurrency_one() {
+        let mut t = Vec::new();
+        t.extend(ev(0, 0, 0, 10));
+        t.extend(ev(1, 0, 10, 10));
+        t.extend(ev(2, 0, 20, 10));
+        assert_eq!(observed_concurrency(&t), 1);
+    }
+
+    #[test]
+    fn overlapping_trace_counts_overlap() {
+        let mut t = Vec::new();
+        t.extend(ev(0, 0, 0, 100));
+        t.extend(ev(1, 1, 10, 100));
+        t.extend(ev(2, 2, 20, 100));
+        assert_eq!(observed_concurrency(&t), 3);
+    }
+
+    #[test]
+    fn back_to_back_on_same_tick_not_overlap() {
+        // done at clk=10 and start at clk=10 → not concurrent.
+        let mut t = Vec::new();
+        t.extend(ev(0, 0, 0, 10));
+        t.extend(ev(1, 0, 10, 10));
+        assert_eq!(observed_concurrency(&t), 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! The run-time coloring algorithms of §4.2.1 (plus the §6 gradient
+//! extension).
+//!
+//! "A node is colored RED or GREEN based on the instruction status of
+//! `start` or `done` respectively. ... A consecutive `start` and `done`
+//! event status for the same instruction, with presence of more
+//! instructions afterwards, indicates that the instruction under
+//! analysis executed in least time. Hence, it is not a costly
+//! instruction. All such instructions are not colored. An instruction
+//! which does not appear in a sequence of pairs of `start` and `done`
+//! event is colored."
+//!
+//! The paper's worked example (fields `{status, pc}`):
+//! `{start,1},{done,1},{start,2},{done,2},{start,3},{start,4}` — the
+//! first four statements stay uncolored (two immediate pairs), the fifth
+//! (`pc=3`) is colored RED. The sixth is the last event in the buffer,
+//! so its fate is not yet decidable ("presence of more instructions
+//! afterwards") — it stays pending until more of the stream arrives.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use stetho_profiler::{EventStatus, TraceEvent};
+use stetho_zvtm::Color;
+
+/// Visual state of one plan node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ColorState {
+    /// Not colored (default fill).
+    Uncolored,
+    /// Executing — `start` seen, still running (or long-running).
+    Red,
+    /// Finished after having been highlighted.
+    Green,
+    /// Gradient fill for the §6 extension (duration-scaled).
+    Gradient {
+        /// Interpolation position 0..=1 between cheap and costly.
+        t: f64,
+    },
+}
+
+impl ColorState {
+    /// The concrete fill for rendering.
+    pub fn fill(&self) -> Color {
+        match self {
+            ColorState::Uncolored => Color::DEFAULT_FILL,
+            ColorState::Red => Color::RED,
+            ColorState::Green => Color::GREEN,
+            ColorState::Gradient { t } => Color::lerp(Color::DEFAULT_FILL, Color::RED, *t),
+        }
+    }
+}
+
+/// One coloring decision: node `pc` changes to `state`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColorChange {
+    /// The plan node.
+    pub pc: usize,
+    /// Its new visual state.
+    pub state: ColorState,
+}
+
+/// The §4.2.1 pair-elision algorithm over a (sampled) event buffer.
+///
+/// Stateless with respect to the stream: it is re-run over the current
+/// [`stetho_profiler::SampleBuffer`] snapshot each round, exactly like
+/// the original which analyses "the buffer content".
+#[derive(Debug, Clone, Default)]
+pub struct PairElision;
+
+impl PairElision {
+    /// Analyse a buffer snapshot; returns the color per pc mentioned in
+    /// the buffer. The final event is *pending* (not classifiable yet)
+    /// unless it completes a pair whose start is present.
+    pub fn analyse(&self, buffer: &[TraceEvent]) -> HashMap<usize, ColorState> {
+        let mut out: HashMap<usize, ColorState> = HashMap::new();
+        let mut i = 0;
+        while i < buffer.len() {
+            let e = &buffer[i];
+            match e.status {
+                EventStatus::Start => {
+                    // Immediate pair with more instructions after it?
+                    let paired = i + 1 < buffer.len()
+                        && buffer[i + 1].status == EventStatus::Done
+                        && buffer[i + 1].pc == e.pc;
+                    if paired {
+                        let more_after = i + 2 < buffer.len();
+                        if more_after {
+                            // Fast instruction: elided, not colored.
+                            out.insert(e.pc, ColorState::Uncolored);
+                            i += 2;
+                            continue;
+                        }
+                        // The pair ends the buffer: classifiable as done.
+                        out.insert(e.pc, ColorState::Green);
+                        i += 2;
+                        continue;
+                    }
+                    let is_last = i + 1 == buffer.len();
+                    if is_last {
+                        // Undecidable yet; leave existing state alone.
+                        out.entry(e.pc).or_insert(ColorState::Uncolored);
+                    } else {
+                        // Unpaired start with later activity: costly,
+                        // color RED.
+                        out.insert(e.pc, ColorState::Red);
+                    }
+                    i += 1;
+                }
+                EventStatus::Done => {
+                    // A done arriving for an instruction colored RED
+                    // earlier turns it GREEN.
+                    let was_red = matches!(out.get(&e.pc), Some(ColorState::Red));
+                    if was_red {
+                        out.insert(e.pc, ColorState::Green);
+                    } else {
+                        out.entry(e.pc).or_insert(ColorState::Uncolored);
+                    }
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Like [`Self::analyse`] but returning only the nodes that must
+    /// visibly change (RED/GREEN), ordered by pc — what gets queued on
+    /// the EDT.
+    pub fn changes(&self, buffer: &[TraceEvent]) -> Vec<ColorChange> {
+        let mut v: Vec<ColorChange> = self
+            .analyse(buffer)
+            .into_iter()
+            .filter(|(_, s)| !matches!(s, ColorState::Uncolored))
+            .map(|(pc, state)| ColorChange { pc, state })
+            .collect();
+        v.sort_by_key(|c| c.pc);
+        v
+    }
+}
+
+/// The second §4.2.1 algorithm: "another algorithm which allows the user
+/// to specify an instruction execution threshold time". Tracks running
+/// instructions across calls (streaming, not buffer-bound).
+#[derive(Debug, Clone)]
+pub struct ThresholdColoring {
+    /// Threshold in microseconds.
+    pub threshold_usec: u64,
+    running: HashMap<usize, u64>, // pc -> start clk
+    states: HashMap<usize, ColorState>,
+}
+
+impl ThresholdColoring {
+    /// New with a user threshold.
+    pub fn new(threshold_usec: u64) -> Self {
+        ThresholdColoring {
+            threshold_usec,
+            running: HashMap::new(),
+            states: HashMap::new(),
+        }
+    }
+
+    /// Feed one event; returns a state change if one occurred.
+    pub fn on_event(&mut self, e: &TraceEvent) -> Option<ColorChange> {
+        match e.status {
+            EventStatus::Start => {
+                self.running.insert(e.pc, e.clk);
+                None
+            }
+            EventStatus::Done => {
+                self.running.remove(&e.pc);
+                let state = if e.usec >= self.threshold_usec {
+                    // Costly: highlight RED (it stays highlighted so the
+                    // analyst can find it later).
+                    ColorState::Red
+                } else {
+                    ColorState::Uncolored
+                };
+                let prev = self
+                    .states
+                    .insert(e.pc, state)
+                    .unwrap_or(ColorState::Uncolored);
+                (prev != state).then_some(ColorChange { pc: e.pc, state })
+            }
+        }
+    }
+
+    /// Poll at current stream time: instructions running longer than the
+    /// threshold turn RED before their `done` arrives.
+    pub fn on_tick(&mut self, now_clk: u64) -> Vec<ColorChange> {
+        let mut changes = Vec::new();
+        for (&pc, &started) in &self.running {
+            if now_clk.saturating_sub(started) >= self.threshold_usec
+                && self.states.get(&pc) != Some(&ColorState::Red)
+            {
+                changes.push(ColorChange {
+                    pc,
+                    state: ColorState::Red,
+                });
+            }
+        }
+        for c in &changes {
+            self.states.insert(c.pc, c.state);
+        }
+        changes.sort_by_key(|c| c.pc);
+        changes
+    }
+
+    /// Current state of a node.
+    pub fn state(&self, pc: usize) -> ColorState {
+        self.states.get(&pc).copied().unwrap_or(ColorState::Uncolored)
+    }
+}
+
+/// The §6 future-work extension: "gradient coloring of graph nodes to
+/// display a range of execution times". Durations map onto a
+/// default-fill→RED ramp, scaled by the observed maximum.
+#[derive(Debug, Clone, Default)]
+pub struct GradientColoring {
+    max_usec: u64,
+    durations: HashMap<usize, u64>,
+}
+
+impl GradientColoring {
+    /// Empty gradient state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one event; `done` events update the node's gradient. A new
+    /// maximum rescales every previously colored node, so callers should
+    /// re-render from [`Self::state`] rather than caching the change.
+    pub fn on_event(&mut self, e: &TraceEvent) -> Option<ColorChange> {
+        if e.status != EventStatus::Done {
+            return None;
+        }
+        self.max_usec = self.max_usec.max(e.usec.max(1));
+        self.durations.insert(e.pc, e.usec);
+        Some(ColorChange {
+            pc: e.pc,
+            state: self.state(e.pc),
+        })
+    }
+
+    /// Current gradient of a node, rescaled to the latest maximum.
+    pub fn state(&self, pc: usize) -> ColorState {
+        match self.durations.get(&pc) {
+            Some(&usec) => ColorState::Gradient {
+                t: usec as f64 / self.max_usec.max(1) as f64,
+            },
+            None => ColorState::Uncolored,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(status: EventStatus, pc: usize) -> TraceEvent {
+        TraceEvent {
+            event: 0,
+            status,
+            pc,
+            thread: 0,
+            clk: 0,
+            usec: 0,
+            rss: 0,
+            stmt: format!("X_{pc} := algebra.select(X_0);"),
+        }
+    }
+
+    fn start(pc: usize) -> TraceEvent {
+        ev(EventStatus::Start, pc)
+    }
+
+    fn done(pc: usize) -> TraceEvent {
+        ev(EventStatus::Done, pc)
+    }
+
+    /// The paper's own worked example, verbatim.
+    #[test]
+    fn paper_worked_example() {
+        let buffer = vec![start(1), done(1), start(2), done(2), start(3), start(4)];
+        let states = PairElision.analyse(&buffer);
+        assert_eq!(states[&1], ColorState::Uncolored, "pc=1 paired, elided");
+        assert_eq!(states[&2], ColorState::Uncolored, "pc=2 paired, elided");
+        assert_eq!(states[&3], ColorState::Red, "pc=3 unpaired start → RED");
+        assert_eq!(
+            states[&4],
+            ColorState::Uncolored,
+            "pc=4 is the buffer's last event — not classifiable yet"
+        );
+    }
+
+    #[test]
+    fn done_after_red_turns_green() {
+        let buffer = vec![start(3), start(4), done(3), start(5)];
+        let states = PairElision.analyse(&buffer);
+        assert_eq!(states[&3], ColorState::Green, "red instruction finished");
+        assert_eq!(states[&4], ColorState::Red);
+    }
+
+    #[test]
+    fn trailing_pair_is_green_not_elided() {
+        // A pair at the very end has no "more instructions afterwards";
+        // the instruction demonstrably completed, so it shows GREEN.
+        let buffer = vec![start(1), done(1)];
+        let states = PairElision.analyse(&buffer);
+        assert_eq!(states[&1], ColorState::Green);
+    }
+
+    #[test]
+    fn empty_and_single_event_buffers() {
+        assert!(PairElision.analyse(&[]).is_empty());
+        let states = PairElision.analyse(&[start(0)]);
+        assert_eq!(states[&0], ColorState::Uncolored, "lone start pending");
+    }
+
+    #[test]
+    fn changes_are_sorted_and_filtered() {
+        let buffer = vec![start(9), start(2), done(9), start(5)];
+        let changes = PairElision.changes(&buffer);
+        // 9: red then done→green; 2: red; 5: last event pending.
+        assert_eq!(changes.len(), 2);
+        assert_eq!(changes[0].pc, 2);
+        assert_eq!(changes[0].state, ColorState::Red);
+        assert_eq!(changes[1].pc, 9);
+        assert_eq!(changes[1].state, ColorState::Green);
+    }
+
+    #[test]
+    fn interleaved_parallel_trace_colors_overlapping() {
+        // Two instructions overlapping (parallel execution): both are
+        // unpaired starts → both RED while running.
+        let buffer = vec![start(1), start(2), done(1), done(2), start(3)];
+        let states = PairElision.analyse(&buffer);
+        assert_eq!(states[&1], ColorState::Green);
+        assert_eq!(states[&2], ColorState::Green);
+    }
+
+    #[test]
+    fn color_state_fill_mapping() {
+        assert_eq!(ColorState::Red.fill(), Color::RED);
+        assert_eq!(ColorState::Green.fill(), Color::GREEN);
+        assert_eq!(ColorState::Uncolored.fill(), Color::DEFAULT_FILL);
+        let g0 = ColorState::Gradient { t: 0.0 }.fill();
+        assert_eq!(g0, Color::DEFAULT_FILL);
+        let g1 = ColorState::Gradient { t: 1.0 }.fill();
+        assert_eq!(g1, Color::RED);
+    }
+
+    #[test]
+    fn threshold_marks_slow_done_events() {
+        let mut t = ThresholdColoring::new(100);
+        let mut e = done(4);
+        e.usec = 250;
+        let c = t.on_event(&e).unwrap();
+        assert_eq!(c.state, ColorState::Red);
+        let mut fast = done(5);
+        fast.usec = 10;
+        assert!(t.on_event(&fast).is_none(), "uncolored → uncolored is no change");
+        assert_eq!(t.state(5), ColorState::Uncolored);
+    }
+
+    #[test]
+    fn threshold_tick_flags_long_running_before_done() {
+        let mut t = ThresholdColoring::new(1000);
+        let mut s = start(7);
+        s.clk = 0;
+        t.on_event(&s);
+        assert!(t.on_tick(500).is_empty(), "not over threshold yet");
+        let changes = t.on_tick(1500);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].pc, 7);
+        assert_eq!(changes[0].state, ColorState::Red);
+        // Second tick: already red, no repeat.
+        assert!(t.on_tick(2000).is_empty());
+    }
+
+    #[test]
+    fn gradient_scales_with_max() {
+        let mut g = GradientColoring::new();
+        let mut e1 = done(1);
+        e1.usec = 10;
+        let c1 = g.on_event(&e1).unwrap();
+        assert_eq!(c1.state, ColorState::Gradient { t: 1.0 }, "first is the max");
+        let mut e2 = done(2);
+        e2.usec = 100;
+        g.on_event(&e2).unwrap();
+        match g.state(1) {
+            ColorState::Gradient { t } => assert_eq!(t, 0.1, "rescaled to the new max"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match g.state(2) {
+            ColorState::Gradient { t } => assert_eq!(t, 1.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(g.on_event(&start(3)).is_none());
+    }
+}

@@ -1,0 +1,182 @@
+//! Tool-tips and debug windows — §3 feature 3: "run time analysis of
+//! execution states using debug window, tool tip text", and §5: "analyze
+//! runtime resource utilization by long running instructions using
+//! multiple instances of debug options window, and tool tip text
+//! display".
+
+use std::fmt::Write as _;
+
+use crate::mapping::TraceDotMap;
+use crate::replay::{NodeRuntime, ReplayController};
+
+/// The tool-tip content for one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolTip {
+    /// The node's pc.
+    pub pc: usize,
+    /// Statement text.
+    pub stmt: String,
+    /// Current runtime facts.
+    pub runtime: NodeRuntime,
+}
+
+impl ToolTip {
+    /// Render as the multi-line text a hover box would show.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "pc      : {}", self.pc);
+        let _ = writeln!(s, "stmt    : {}", self.stmt);
+        let _ = writeln!(
+            s,
+            "state   : {}",
+            if self.runtime.running() {
+                "running"
+            } else if self.runtime.dones > 0 {
+                "done"
+            } else {
+                "not started"
+            }
+        );
+        let _ = writeln!(s, "execs   : {}", self.runtime.dones);
+        let _ = writeln!(s, "usec    : {}", self.runtime.total_usec);
+        let _ = writeln!(s, "thread  : {}", self.runtime.thread);
+        let _ = writeln!(s, "rss KiB : {}", self.runtime.rss);
+        s
+    }
+}
+
+/// Produce the tool-tip for a node under the cursor.
+pub fn tooltip(map: &TraceDotMap, replay: &ReplayController, pc: usize) -> Option<ToolTip> {
+    let stmt = map.label_of_pc(pc)?.to_string();
+    Some(ToolTip {
+        pc,
+        stmt,
+        runtime: replay.node(pc),
+    })
+}
+
+/// A debug window following a set of nodes — the analyst can open
+/// "multiple instances" (§5), each watching different instructions.
+#[derive(Debug, Clone, Default)]
+pub struct DebugWindow {
+    /// Window title.
+    pub title: String,
+    /// Watched pcs, display order.
+    pub watched: Vec<usize>,
+}
+
+impl DebugWindow {
+    /// New window with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        DebugWindow {
+            title: title.into(),
+            watched: Vec::new(),
+        }
+    }
+
+    /// Watch a node (idempotent).
+    pub fn watch(&mut self, pc: usize) {
+        if !self.watched.contains(&pc) {
+            self.watched.push(pc);
+        }
+    }
+
+    /// Stop watching a node.
+    pub fn unwatch(&mut self, pc: usize) {
+        self.watched.retain(|&p| p != pc);
+    }
+
+    /// Render the window's current panel text.
+    pub fn render(&self, map: &TraceDotMap, replay: &ReplayController) -> String {
+        let mut s = format!("== {} ==\n", self.title);
+        let _ = writeln!(
+            s,
+            "{:>5} {:>8} {:>6} {:>9} {:>7}  stmt",
+            "pc", "state", "execs", "usec", "rss"
+        );
+        for &pc in &self.watched {
+            let rt = replay.node(pc);
+            let stmt = map.label_of_pc(pc).unwrap_or("?");
+            let state = if rt.running() {
+                "RUN"
+            } else if rt.dones > 0 {
+                "DONE"
+            } else {
+                "-"
+            };
+            let _ = writeln!(
+                s,
+                "{:>5} {:>8} {:>6} {:>9} {:>7}  {}",
+                pc, state, rt.dones, rt.total_usec, rt.rss, stmt
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stetho_dot::parse_dot;
+    use stetho_profiler::TraceEvent;
+
+    fn setup() -> (TraceDotMap, ReplayController) {
+        let g = parse_dot(
+            r#"digraph p {
+                n0 [label="X_0 := sql.mvc();"];
+                n1 [label="X_1 := algebra.select(X_0);"];
+                n0 -> n1;
+            }"#,
+        )
+        .unwrap();
+        let map = TraceDotMap::from_graph(&g);
+        let events = vec![
+            TraceEvent::start(0, 0, 0, 0, 100, "X_0 := sql.mvc();"),
+            TraceEvent::done(1, 0, 0, 10, 10, 110, "X_0 := sql.mvc();"),
+            TraceEvent::start(2, 1, 1, 11, 120, "X_1 := algebra.select(X_0);"),
+        ];
+        let mut rc = ReplayController::new(events);
+        rc.seek(3);
+        (map, rc)
+    }
+
+    #[test]
+    fn tooltip_reflects_runtime() {
+        let (map, rc) = setup();
+        let tip = tooltip(&map, &rc, 1).unwrap();
+        assert!(tip.runtime.running());
+        let text = tip.render();
+        assert!(text.contains("running"));
+        assert!(text.contains("algebra.select"));
+        let tip0 = tooltip(&map, &rc, 0).unwrap();
+        assert!(tip0.render().contains("done"));
+        assert!(tooltip(&map, &rc, 42).is_none());
+    }
+
+    #[test]
+    fn debug_window_watch_unwatch() {
+        let (map, rc) = setup();
+        let mut w = DebugWindow::new("hot ops");
+        w.watch(0);
+        w.watch(1);
+        w.watch(1);
+        assert_eq!(w.watched, vec![0, 1]);
+        let panel = w.render(&map, &rc);
+        assert!(panel.contains("hot ops"));
+        assert!(panel.contains("DONE"));
+        assert!(panel.contains("RUN"));
+        w.unwatch(0);
+        assert_eq!(w.watched, vec![1]);
+        let panel = w.render(&map, &rc);
+        assert!(!panel.contains("sql.mvc"));
+    }
+
+    #[test]
+    fn unknown_pc_renders_placeholder() {
+        let (map, rc) = setup();
+        let mut w = DebugWindow::new("w");
+        w.watch(99);
+        let panel = w.render(&map, &rc);
+        assert!(panel.contains('?'));
+    }
+}

@@ -1,0 +1,164 @@
+//! Trace ↔ dot ↔ glyph mapping.
+//!
+//! "The program counter (pc) is an important field in the trace, and is
+//! used to map pc to a node number in a dot file. For example, an
+//! instruction execution trace statement with pc=1 maps to the node `n1`
+//! in the dot file. The `stmt` field in instruction execution trace
+//! represents a MAL instruction and maps to the `label` field in the dot
+//! file." (§3.3)
+
+use std::collections::HashMap;
+
+use stetho_dot::Graph;
+use stetho_layout::SceneGraph;
+use stetho_zvtm::space::NodeGlyphs;
+use stetho_zvtm::GlyphId;
+
+/// Resolves pcs to dot nodes, scene nodes, and glyphs.
+#[derive(Debug, Clone, Default)]
+pub struct TraceDotMap {
+    /// pc → dot/scene node index (scene preserves dot ordering).
+    by_pc: HashMap<usize, usize>,
+    /// pc → (shape glyph, text glyph), when a virtual space was built.
+    glyphs: HashMap<usize, (GlyphId, GlyphId)>,
+    /// node label per pc (the plan statement text).
+    labels: HashMap<usize, String>,
+}
+
+impl TraceDotMap {
+    /// Build from a parsed dot graph: node `n<pc>` → pc.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let mut m = TraceDotMap::default();
+        for (idx, node) in graph.nodes().iter().enumerate() {
+            if let Some(pc) = stetho_dot::plan_conv::node_name_to_pc(&node.name) {
+                m.by_pc.insert(pc, idx);
+                m.labels.insert(
+                    pc,
+                    node.attrs
+                        .get("label")
+                        .cloned()
+                        .unwrap_or_else(|| node.name.clone()),
+                );
+            }
+        }
+        m
+    }
+
+    /// Build from a laid-out scene graph (same `n<pc>` naming).
+    pub fn from_scene(scene: &SceneGraph) -> Self {
+        let mut m = TraceDotMap::default();
+        for (idx, node) in scene.nodes.iter().enumerate() {
+            if let Some(pc) = stetho_dot::plan_conv::node_name_to_pc(&node.name) {
+                m.by_pc.insert(pc, idx);
+                m.labels.insert(pc, node.label.clone());
+            }
+        }
+        m
+    }
+
+    /// Attach glyph ids (from [`stetho_zvtm::VirtualSpace::from_scene`]).
+    pub fn attach_glyphs(&mut self, node_glyphs: &[NodeGlyphs]) {
+        for ng in node_glyphs {
+            if let Some(pc) = stetho_dot::plan_conv::node_name_to_pc(&ng.name) {
+                self.glyphs.insert(pc, (ng.shape, ng.text));
+            }
+        }
+    }
+
+    /// Scene/dot node index for a pc.
+    pub fn node_of_pc(&self, pc: usize) -> Option<usize> {
+        self.by_pc.get(&pc).copied()
+    }
+
+    /// Shape glyph for a pc (the box that gets colored).
+    pub fn shape_of_pc(&self, pc: usize) -> Option<GlyphId> {
+        self.glyphs.get(&pc).map(|(s, _)| *s)
+    }
+
+    /// Text glyph for a pc.
+    pub fn text_of_pc(&self, pc: usize) -> Option<GlyphId> {
+        self.glyphs.get(&pc).map(|(_, t)| *t)
+    }
+
+    /// Node label (statement text) for a pc.
+    pub fn label_of_pc(&self, pc: usize) -> Option<&str> {
+        self.labels.get(&pc).map(String::as_str)
+    }
+
+    /// Number of mapped pcs.
+    pub fn len(&self) -> usize {
+        self.by_pc.len()
+    }
+
+    /// True when no pcs are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.by_pc.is_empty()
+    }
+
+    /// Check the §3.3 contract against a trace statement: does the trace
+    /// `stmt` match the dot `label` for this pc? Used by sessions to
+    /// detect mismatched dot/trace file pairs.
+    pub fn stmt_matches(&self, pc: usize, stmt: &str) -> bool {
+        match self.labels.get(&pc) {
+            Some(label) => label == stmt,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stetho_dot::parse_dot;
+    use stetho_layout::{layout, LayoutOptions};
+    use stetho_zvtm::VirtualSpace;
+
+    const DOT: &str = r#"digraph p {
+        n0 [label="X_0 := sql.mvc();"];
+        n1 [label="X_1 := sql.tid(X_0);"];
+        n2 [label="X_2 := algebra.select(X_1);"];
+        n0 -> n1; n1 -> n2;
+    }"#;
+
+    #[test]
+    fn pc_to_node_contract() {
+        let g = parse_dot(DOT).unwrap();
+        let m = TraceDotMap::from_graph(&g);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.node_of_pc(1), Some(1));
+        assert_eq!(m.node_of_pc(7), None);
+        assert_eq!(m.label_of_pc(2), Some("X_2 := algebra.select(X_1);"));
+    }
+
+    #[test]
+    fn stmt_label_contract() {
+        let g = parse_dot(DOT).unwrap();
+        let m = TraceDotMap::from_graph(&g);
+        assert!(m.stmt_matches(0, "X_0 := sql.mvc();"));
+        assert!(!m.stmt_matches(0, "X_0 := sql.tid();"));
+        assert!(!m.stmt_matches(9, "anything"));
+    }
+
+    #[test]
+    fn scene_and_glyph_wiring() {
+        let g = parse_dot(DOT).unwrap();
+        let scene = layout(&g, &LayoutOptions::default());
+        let mut m = TraceDotMap::from_scene(&scene);
+        let (space, node_glyphs) = VirtualSpace::from_scene(&scene);
+        m.attach_glyphs(&node_glyphs);
+        for pc in 0..3 {
+            let shape = m.shape_of_pc(pc).expect("shape glyph");
+            let text = m.text_of_pc(pc).expect("text glyph");
+            assert_ne!(shape, text);
+            assert!(shape.0 < space.len() && text.0 < space.len());
+        }
+    }
+
+    #[test]
+    fn non_plan_nodes_ignored() {
+        let g = parse_dot("digraph { legend; n0; }").unwrap();
+        let m = TraceDotMap::from_graph(&g);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.node_of_pc(0), Some(1));
+    }
+}

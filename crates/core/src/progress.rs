@@ -1,0 +1,258 @@
+//! Query progress tracking — §5 online demo: "Monitor the progress of
+//! query plan execution, and highlight long running instructions".
+//!
+//! [`ProgressModel`] folds the trace stream into a live completion
+//! picture: counts of pending/running/done instructions, the fraction
+//! complete, and a critical-path-based remaining-work estimate using the
+//! plan's dataflow depths.
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+use stetho_mal::{DataflowGraph, Plan};
+use stetho_profiler::{EventStatus, TraceEvent};
+
+/// Execution state of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum InstrState {
+    /// No event yet.
+    Pending,
+    /// `start` seen.
+    Running,
+    /// `done` seen.
+    Done,
+}
+
+/// Live progress over one plan execution.
+#[derive(Debug, Clone)]
+pub struct ProgressModel {
+    total: usize,
+    depths: Vec<usize>,
+    max_depth: usize,
+    state: HashMap<usize, InstrState>,
+    done: usize,
+    running: usize,
+    last_clk: u64,
+    total_usec_done: u64,
+}
+
+/// Snapshot of the progress for display.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProgressSnapshot {
+    /// Total instructions in the plan.
+    pub total: usize,
+    /// Completed instructions.
+    pub done: usize,
+    /// Currently executing instructions.
+    pub running: usize,
+    /// Fraction complete (0..=1).
+    pub fraction: f64,
+    /// Deepest dataflow level fully completed (plan "wavefront").
+    pub completed_depth: usize,
+    /// Number of dataflow levels in the plan.
+    pub depth_levels: usize,
+    /// Trace clock at the latest event (µs).
+    pub clk: u64,
+    /// Naive remaining-time estimate (µs): observed mean instruction
+    /// cost × remaining instructions. None until something completed.
+    pub eta_usec: Option<u64>,
+}
+
+impl ProgressModel {
+    /// Track progress of `plan`.
+    pub fn new(plan: &Plan) -> Self {
+        let depths = DataflowGraph::from_plan(plan).depths();
+        let max_depth = depths.iter().copied().max().unwrap_or(0);
+        ProgressModel {
+            total: plan.len(),
+            depths,
+            max_depth,
+            state: HashMap::new(),
+            done: 0,
+            running: 0,
+            last_clk: 0,
+            total_usec_done: 0,
+        }
+    }
+
+    /// Feed one trace event.
+    pub fn on_event(&mut self, e: &TraceEvent) {
+        self.last_clk = self.last_clk.max(e.clk);
+        match e.status {
+            EventStatus::Start => {
+                let prev = self.state.insert(e.pc, InstrState::Running);
+                if prev != Some(InstrState::Running) {
+                    self.running += 1;
+                }
+            }
+            EventStatus::Done => {
+                let prev = self.state.insert(e.pc, InstrState::Done);
+                if prev == Some(InstrState::Running) {
+                    self.running -= 1;
+                }
+                if prev != Some(InstrState::Done) {
+                    self.done += 1;
+                    self.total_usec_done += e.usec;
+                }
+            }
+        }
+    }
+
+    /// State of one instruction.
+    pub fn state_of(&self, pc: usize) -> InstrState {
+        self.state.get(&pc).copied().unwrap_or(InstrState::Pending)
+    }
+
+    /// Current snapshot.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        // Wavefront: deepest level with every instruction done.
+        let mut completed_depth = 0;
+        'levels: for level in 0..=self.max_depth {
+            for pc in 0..self.total {
+                if self.depths.get(pc) == Some(&level)
+                    && self.state_of(pc) != InstrState::Done
+                {
+                    break 'levels;
+                }
+            }
+            completed_depth = level + 1;
+        }
+        let remaining = self.total.saturating_sub(self.done);
+        let eta_usec = if self.done > 0 && remaining > 0 {
+            Some(self.total_usec_done / self.done as u64 * remaining as u64)
+        } else if remaining == 0 {
+            Some(0)
+        } else {
+            None
+        };
+        ProgressSnapshot {
+            total: self.total,
+            done: self.done,
+            running: self.running,
+            fraction: if self.total == 0 {
+                1.0
+            } else {
+                self.done as f64 / self.total as f64
+            },
+            completed_depth: completed_depth.min(self.max_depth + 1),
+            depth_levels: self.max_depth + 1,
+            clk: self.last_clk,
+            eta_usec,
+        }
+    }
+
+    /// Render a one-line progress bar.
+    pub fn bar(&self, width: usize) -> String {
+        let snap = self.snapshot();
+        let filled = ((snap.fraction * width as f64).round() as usize).min(width);
+        format!(
+            "[{}{}] {}/{} ({} running)",
+            "#".repeat(filled),
+            "-".repeat(width - filled),
+            snap.done,
+            snap.total,
+            snap.running
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stetho_mal::parse_plan;
+
+    fn plan() -> Plan {
+        parse_plan(
+            "X_0:int := sql.mvc();\n\
+             X_1:int := calc.+(X_0, 1:int);\n\
+             X_2:int := calc.+(X_1, 1:int);\n\
+             X_3:int := calc.+(X_0, 2:int);\n",
+        )
+        .unwrap()
+    }
+
+    fn start(pc: usize, clk: u64) -> TraceEvent {
+        TraceEvent::start(0, pc, 0, clk, 0, "f.g();")
+    }
+
+    fn done(pc: usize, clk: u64, usec: u64) -> TraceEvent {
+        TraceEvent::done(0, pc, 0, clk, usec, 0, "f.g();")
+    }
+
+    #[test]
+    fn tracks_states_and_fraction() {
+        let p = plan();
+        let mut m = ProgressModel::new(&p);
+        assert_eq!(m.snapshot().fraction, 0.0);
+        m.on_event(&start(0, 1));
+        assert_eq!(m.state_of(0), InstrState::Running);
+        assert_eq!(m.snapshot().running, 1);
+        m.on_event(&done(0, 10, 9));
+        assert_eq!(m.state_of(0), InstrState::Done);
+        let s = m.snapshot();
+        assert_eq!(s.done, 1);
+        assert_eq!(s.running, 0);
+        assert_eq!(s.fraction, 0.25);
+        assert_eq!(s.clk, 10);
+    }
+
+    #[test]
+    fn wavefront_depth_advances() {
+        let p = plan();
+        // Depths: pc0=0, pc1=1, pc2=2, pc3=1.
+        let mut m = ProgressModel::new(&p);
+        assert_eq!(m.snapshot().completed_depth, 0);
+        m.on_event(&done(0, 1, 1));
+        assert_eq!(m.snapshot().completed_depth, 1);
+        m.on_event(&done(1, 2, 1));
+        // Level 1 has pc1 and pc3; pc3 not done.
+        assert_eq!(m.snapshot().completed_depth, 1);
+        m.on_event(&done(3, 3, 1));
+        assert_eq!(m.snapshot().completed_depth, 2);
+        m.on_event(&done(2, 4, 1));
+        let s = m.snapshot();
+        assert_eq!(s.completed_depth, 3);
+        assert_eq!(s.depth_levels, 3);
+        assert_eq!(s.eta_usec, Some(0));
+    }
+
+    #[test]
+    fn eta_scales_with_mean_cost() {
+        let p = plan();
+        let mut m = ProgressModel::new(&p);
+        m.on_event(&done(0, 100, 100));
+        m.on_event(&done(1, 200, 300));
+        // Mean 200 µs, 2 remaining → 400.
+        assert_eq!(m.snapshot().eta_usec, Some(400));
+    }
+
+    #[test]
+    fn duplicate_events_do_not_double_count() {
+        let p = plan();
+        let mut m = ProgressModel::new(&p);
+        m.on_event(&start(0, 1));
+        m.on_event(&start(0, 2));
+        assert_eq!(m.snapshot().running, 1);
+        m.on_event(&done(0, 3, 1));
+        m.on_event(&done(0, 4, 1));
+        assert_eq!(m.snapshot().done, 1);
+    }
+
+    #[test]
+    fn bar_renders() {
+        let p = plan();
+        let mut m = ProgressModel::new(&p);
+        m.on_event(&done(0, 1, 1));
+        m.on_event(&done(1, 2, 1));
+        let bar = m.bar(8);
+        assert!(bar.starts_with("[####----]"), "{bar}");
+        assert!(bar.contains("2/4"));
+    }
+
+    #[test]
+    fn empty_plan_complete() {
+        let p = parse_plan("").unwrap();
+        let m = ProgressModel::new(&p);
+        assert_eq!(m.snapshot().fraction, 1.0);
+    }
+}

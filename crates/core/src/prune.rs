@@ -1,0 +1,209 @@
+//! Selective pruning of administrative instructions — the §6 planned
+//! feature "selective pruning of MAL plan to remove unimportant
+//! administrative instructions", implemented over the dot graph so the
+//! viewer can toggle it without recompiling the plan.
+//!
+//! Pruned nodes are removed and their dataflow bypassed: every
+//! predecessor gets an edge to every successor, so reachability through
+//! the pruned node is preserved.
+
+use std::collections::{HashMap, HashSet};
+
+use stetho_dot::{Graph, NodeId};
+
+/// Is a node label an administrative statement?
+pub fn is_administrative_label(label: &str) -> bool {
+    let body = match label.find(":=") {
+        Some(i) => label[i + 2..].trim_start(),
+        None => label.trim_start(),
+    };
+    ["language.pass", "language.dataflow", "querylog.define", "mal.end", "mal.function"]
+        .iter()
+        .any(|p| body.starts_with(p))
+}
+
+/// Remove administrative nodes from a plan graph, bypassing their edges.
+/// Returns the pruned graph and the names of removed nodes.
+pub fn prune_administrative(graph: &Graph) -> (Graph, Vec<String>) {
+    let keep: Vec<bool> = graph
+        .nodes()
+        .iter()
+        .map(|n| {
+            let label = n.attrs.get("label").map(String::as_str).unwrap_or(&n.name);
+            !is_administrative_label(label)
+        })
+        .collect();
+
+    let mut pruned = Graph::new(graph.name.clone());
+    pruned.attrs = graph.attrs.clone();
+    let mut remap: HashMap<usize, NodeId> = HashMap::new();
+    let mut removed = Vec::new();
+    for (i, n) in graph.nodes().iter().enumerate() {
+        if keep[i] {
+            let id = pruned
+                .add_node(n.name.clone(), n.attrs.clone())
+                .expect("unique names preserved");
+            remap.insert(i, id);
+        } else {
+            removed.push(n.name.clone());
+        }
+    }
+
+    // For each kept node, follow edges through pruned nodes to find the
+    // kept successors.
+    let succs = graph.successors();
+    let mut added: HashSet<(usize, usize)> = HashSet::new();
+    for (i, n_keep) in keep.iter().enumerate() {
+        if !n_keep {
+            continue;
+        }
+        // BFS through pruned nodes only.
+        let mut stack: Vec<usize> = succs[i].iter().map(|s| s.0).collect();
+        let mut seen: HashSet<usize> = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if !seen.insert(t) {
+                continue;
+            }
+            if keep[t] {
+                if t != i && added.insert((i, t)) {
+                    pruned
+                        .add_edge(remap[&i], remap[&t], HashMap::new())
+                        .expect("nodes exist");
+                }
+            } else {
+                stack.extend(succs[t].iter().map(|s| s.0));
+            }
+        }
+    }
+    // Preserve original edge attributes where the edge survived intact.
+    for e in graph.edges() {
+        if keep[e.from.0] && keep[e.to.0] {
+            // Replace the attribute-less bypass copy with the original.
+            if let Some(edge) = pruned
+                .edges()
+                .iter()
+                .position(|pe| pe.from == remap[&e.from.0] && pe.to == remap[&e.to.0])
+            {
+                // Safe: positions stay valid, we only enrich attributes.
+                let (from, to) = (remap[&e.from.0], remap[&e.to.0]);
+                let attrs = e.attrs.clone();
+                let _ = edge;
+                replace_edge_attrs(&mut pruned, from, to, attrs);
+            }
+        }
+    }
+    (pruned, removed)
+}
+
+fn replace_edge_attrs(
+    g: &mut Graph,
+    from: NodeId,
+    to: NodeId,
+    attrs: HashMap<String, String>,
+) {
+    // Graph has no direct edge-attr mutation; rebuild the edge list via a
+    // copy-on-write pass only when attributes are non-empty.
+    if attrs.is_empty() {
+        return;
+    }
+    let mut rebuilt = Graph::new(g.name.clone());
+    rebuilt.attrs = g.attrs.clone();
+    for n in g.nodes() {
+        rebuilt
+            .add_node(n.name.clone(), n.attrs.clone())
+            .expect("names unique");
+    }
+    for e in g.edges() {
+        let a = if e.from == from && e.to == to {
+            attrs.clone()
+        } else {
+            e.attrs.clone()
+        };
+        rebuilt.add_edge(e.from, e.to, a).expect("nodes exist");
+    }
+    *g = rebuilt;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stetho_dot::parse_dot;
+
+    const DOT: &str = r#"digraph p {
+        n0 [label="X_0 := sql.mvc();"];
+        n1 [label="language.pass(X_0);"];
+        n2 [label="X_2 := sql.tid(X_0);"];
+        n3 [label="querylog.define(\"q\");"];
+        n4 [label="X_4 := algebra.select(X_2);"];
+        n0 -> n1; n1 -> n2; n2 -> n4; n0 -> n3;
+    }"#;
+
+    #[test]
+    fn administrative_labels_detected() {
+        assert!(is_administrative_label("language.pass(X_0);"));
+        assert!(is_administrative_label("querylog.define(\"q\");"));
+        assert!(!is_administrative_label("X_2 := algebra.select(X_1);"));
+        assert!(!is_administrative_label("X := mylanguage.passthing();"));
+    }
+
+    #[test]
+    fn prune_removes_and_bypasses() {
+        let g = parse_dot(DOT).unwrap();
+        let (pruned, removed) = prune_administrative(&g);
+        assert_eq!(removed.len(), 2);
+        assert!(removed.contains(&"n1".to_string()));
+        assert!(removed.contains(&"n3".to_string()));
+        assert_eq!(pruned.node_count(), 3);
+        // n0 -> n1 -> n2 must become n0 -> n2.
+        let n0 = pruned.node_by_name("n0").unwrap();
+        let n2 = pruned.node_by_name("n2").unwrap();
+        assert!(
+            pruned.edges().iter().any(|e| e.from == n0 && e.to == n2),
+            "bypass edge n0 -> n2 missing"
+        );
+        // Original direct edge n2 -> n4 survives.
+        let n4 = pruned.node_by_name("n4").unwrap();
+        assert!(pruned.edges().iter().any(|e| e.from == n2 && e.to == n4));
+    }
+
+    #[test]
+    fn chain_of_pruned_nodes_bypassed() {
+        let g = parse_dot(
+            r#"digraph p {
+                n0 [label="X_0 := sql.mvc();"];
+                n1 [label="language.pass(X_0);"];
+                n2 [label="language.pass(X_0);"];
+                n3 [label="X_3 := sql.tid(X_0);"];
+                n0 -> n1; n1 -> n2; n2 -> n3;
+            }"#,
+        )
+        .unwrap();
+        let (pruned, removed) = prune_administrative(&g);
+        assert_eq!(removed.len(), 2);
+        let n0 = pruned.node_by_name("n0").unwrap();
+        let n3 = pruned.node_by_name("n3").unwrap();
+        assert!(pruned.edges().iter().any(|e| e.from == n0 && e.to == n3));
+    }
+
+    #[test]
+    fn graph_without_admin_unchanged() {
+        let g = parse_dot(
+            "digraph p { n0 [label=\"X_0 := sql.mvc();\"]; n1 [label=\"X_1 := sql.tid(X_0);\"]; n0 -> n1; }",
+        )
+        .unwrap();
+        let (pruned, removed) = prune_administrative(&g);
+        assert!(removed.is_empty());
+        assert_eq!(pruned.node_count(), 2);
+        assert_eq!(pruned.edge_count(), 1);
+    }
+
+    #[test]
+    fn edge_labels_preserved_on_surviving_edges() {
+        let g = parse_dot(
+            "digraph p { n0 [label=\"X_0 := sql.mvc();\"]; n1 [label=\"X_1 := sql.tid(X_0);\"]; n0 -> n1 [label=\"X_0\"]; }",
+        )
+        .unwrap();
+        let (pruned, _) = prune_administrative(&g);
+        assert_eq!(pruned.edges()[0].attrs.get("label").map(String::as_str), Some("X_0"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Multi-server monitoring (§3.2).
+//!
+//! "The textual Stethoscope can connect to multiple MonetDB servers at
+//! the same time to receive execution traces from all (distributed)
+//! sources. Its filter options allow for selective tracing of execution
+//! states on each of the connected servers."
+//!
+//! [`MultiServerSession`] launches one query per "server" (each an
+//! engine instance in its own thread with its own UDP emitter), listens
+//! on a single textual Stethoscope, and demultiplexes the merged stream
+//! by source address.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stetho_engine::{Catalog, ExecOptions, Interpreter, ProfilerConfig, UdpSink};
+use stetho_profiler::udp::StreamItem;
+use stetho_profiler::{FilterOptions, ProfilerEmitter, TextualStethoscope, TraceEvent};
+use stetho_sql::compile;
+
+use crate::analysis::SessionReport;
+use crate::session::SessionError;
+
+/// One server's workload.
+#[derive(Clone)]
+pub struct ServerSpec {
+    /// A name for reporting.
+    pub name: String,
+    /// The database this server hosts.
+    pub catalog: Arc<Catalog>,
+    /// The query it will run.
+    pub sql: String,
+    /// Per-server filter ("selective tracing ... on each of the
+    /// connected servers").
+    pub filter: Option<FilterOptions>,
+}
+
+/// The per-server outcome.
+#[derive(Debug)]
+pub struct ServerOutcome {
+    /// Spec name.
+    pub name: String,
+    /// The source address its stream arrived from.
+    pub source: SocketAddr,
+    /// Its (filtered) events, arrival order.
+    pub events: Vec<TraceEvent>,
+    /// Result rows of its query.
+    pub result_rows: usize,
+    /// Full analysis over its trace.
+    pub report: SessionReport,
+}
+
+/// Drives several servers against one textual Stethoscope.
+pub struct MultiServerSession;
+
+impl MultiServerSession {
+    /// Run every server's query concurrently; returns outcomes in spec
+    /// order.
+    pub fn run(specs: Vec<ServerSpec>) -> Result<Vec<ServerOutcome>, SessionError> {
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut steth = TextualStethoscope::bind()?;
+        let addr = steth.local_addr()?;
+
+        // Launch each server: connect its emitter first (so we can
+        // register its per-server filter before any event flows), then
+        // run the query in a thread.
+        let mut handles = Vec::new();
+        let mut sources = Vec::new();
+        let mut plans = Vec::new();
+        for spec in &specs {
+            let compiled = compile(&spec.catalog, &spec.sql)
+                .map_err(|e| SessionError::new(format!("{}: compile: {e}", spec.name)))?;
+            let emitter = ProfilerEmitter::connect(addr)?;
+            let source = emitter.local_addr()?;
+            if let Some(f) = &spec.filter {
+                steth.set_server_filter(source, f.clone());
+            }
+            sources.push(source);
+            plans.push(compiled.plan.clone());
+            let catalog = Arc::clone(&spec.catalog);
+            let plan = compiled.plan;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mserver-{}", spec.name))
+                    .spawn(move || -> Result<usize, String> {
+                        let sink = UdpSink::new(emitter);
+                        let interp = Interpreter::new(catalog);
+                        let out = interp
+                            .execute(
+                                &plan,
+                                &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())),
+                            )
+                            .map_err(|e| e.to_string())?;
+                        sink.emitter()
+                            .send_end_of_trace()
+                            .map_err(|e| e.to_string())?;
+                        Ok(out.result.map(|r| r.rows()).unwrap_or(0))
+                    })
+                    .map_err(SessionError::from)?,
+            );
+        }
+
+        // Demultiplex the merged stream until every server sent its EOT.
+        let rx = steth.start();
+        let mut per_source: HashMap<SocketAddr, Vec<TraceEvent>> = HashMap::new();
+        let mut eots: usize = 0;
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while eots < specs.len() {
+            if Instant::now() > deadline {
+                steth.stop();
+                return Err(SessionError::new("multi-server session timed out"));
+            }
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(StreamItem::Event { source, event }) => {
+                    per_source.entry(source).or_default().push(event);
+                }
+                Ok(StreamItem::EndOfTrace { .. }) => eots += 1,
+                Ok(_) => {}
+                Err(_) => continue,
+            }
+        }
+        steth.stop();
+
+        let mut outcomes = Vec::with_capacity(specs.len());
+        for (((spec, source), handle), plan) in specs
+            .into_iter()
+            .zip(sources)
+            .zip(handles)
+            .zip(plans)
+        {
+            let result_rows = handle
+                .join()
+                .map_err(|_| SessionError::new(format!("{}: query thread panicked", spec.name)))?
+                .map_err(SessionError::new)?;
+            let events = per_source.remove(&source).unwrap_or_default();
+            let report = SessionReport::build(&plan, &events, 3, 4);
+            outcomes.push(ServerOutcome {
+                name: spec.name,
+                source,
+                events,
+                result_rows,
+                report,
+            });
+        }
+        Ok(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stetho_engine::{Bat, TableDef};
+    use stetho_mal::MalType;
+
+    fn catalog(rows: i64, tag: f64) -> Arc<Catalog> {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableDef::new(
+                "t",
+                vec![
+                    ("k".into(), MalType::Int, Bat::ints((0..rows).map(|i| i % 5).collect())),
+                    (
+                        "v".into(),
+                        MalType::Dbl,
+                        Bat::dbls((0..rows).map(|i| i as f64 * tag).collect()),
+                    ),
+                ],
+            )
+            .unwrap(),
+        );
+        Arc::new(c)
+    }
+
+    #[test]
+    fn two_servers_streams_demultiplexed() {
+        let outcomes = MultiServerSession::run(vec![
+            ServerSpec {
+                name: "alpha".into(),
+                catalog: catalog(200, 1.0),
+                sql: "select v from t where k = 1".into(),
+                filter: None,
+            },
+            ServerSpec {
+                name: "beta".into(),
+                catalog: catalog(300, 2.0),
+                sql: "select sum(v) as s from t".into(),
+                filter: None,
+            },
+        ])
+        .unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].name, "alpha");
+        assert_eq!(outcomes[0].result_rows, 40);
+        assert_eq!(outcomes[1].result_rows, 1);
+        assert_ne!(outcomes[0].source, outcomes[1].source);
+        // Each server's events mention only its own plan's statements.
+        assert!(!outcomes[0].events.is_empty());
+        assert!(!outcomes[1].events.is_empty());
+        assert!(outcomes[1]
+            .events
+            .iter()
+            .any(|e| e.stmt.contains("aggr.sum")));
+        assert!(!outcomes[0]
+            .events
+            .iter()
+            .any(|e| e.stmt.contains("aggr.sum")));
+    }
+
+    #[test]
+    fn per_server_filters_apply_independently() {
+        let outcomes = MultiServerSession::run(vec![
+            ServerSpec {
+                name: "unfiltered".into(),
+                catalog: catalog(100, 1.0),
+                sql: "select v from t where k = 2".into(),
+                filter: None,
+            },
+            ServerSpec {
+                name: "algebra-only".into(),
+                catalog: catalog(100, 1.0),
+                sql: "select v from t where k = 2".into(),
+                filter: Some(FilterOptions::all().with_module("algebra")),
+            },
+        ])
+        .unwrap();
+        let all = &outcomes[0].events;
+        let algebra_only = &outcomes[1].events;
+        assert!(algebra_only.len() < all.len());
+        assert!(algebra_only.iter().all(|e| e.module() == "algebra"));
+    }
+
+    #[test]
+    fn empty_spec_list() {
+        assert!(MultiServerSession::run(vec![]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compile_error_reports_server_name() {
+        let err = MultiServerSession::run(vec![ServerSpec {
+            name: "broken".into(),
+            catalog: catalog(10, 1.0),
+            sql: "select nope from missing".into(),
+            filter: None,
+        }])
+        .unwrap_err();
+        assert!(err.to_string().contains("broken"));
+    }
+}

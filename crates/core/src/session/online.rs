@@ -1,0 +1,402 @@
+//! Online mode (§4.2) — the full multi-threaded workflow over real UDP.
+//!
+//! "As a first step, the textual Stethoscope is launched in a dedicated
+//! thread. ... The query whose execution plan needs to be analyzed is
+//! launched next in a separate thread. ... The MonetDB server generates
+//! the dot file content and sends it over on the UDP stream to the
+//! textual Stethoscope, before query execution begins. A separate thread
+//! monitors the received UDP stream for dot file and execution trace
+//! file content. It filters the dot file content, generates a new dot
+//! file ... As the trace file grows in size, its content is sampled in a
+//! buffer. ... An algorithm for run-time analysis, to filter lengthy MAL
+//! instructions is applied on the buffer content."
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stetho_dot::plan_to_dot;
+use stetho_engine::{Catalog, ExecOptions, Interpreter, ProfilerConfig, UdpSink};
+use stetho_layout::{layout, parse_svg, write_svg, LayoutOptions, SceneGraph};
+use stetho_mal::Plan;
+use stetho_profiler::tracefile::TraceWriter;
+use stetho_profiler::udp::StreamItem;
+use stetho_profiler::{
+    FilterOptions, ProfilerEmitter, SampleBuffer, TextualStethoscope, TraceEvent,
+};
+use stetho_sql::{compile_with, CompileOptions};
+use stetho_zvtm::edt::EdtStats;
+use stetho_zvtm::{EventDispatchThread, VirtualSpace};
+
+use crate::color::{ColorState, PairElision, ThresholdColoring};
+use crate::mapping::TraceDotMap;
+use crate::progress::{ProgressModel, ProgressSnapshot};
+use crate::session::SessionError;
+
+static SESSION_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Online session configuration.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Mitosis partitions for the compiled plan (1 = serial plan).
+    pub partitions: usize,
+    /// Engine worker threads (0 = sequential interpreter).
+    pub workers: usize,
+    /// EDT pacing in ms (paper default 150).
+    pub pacing_ms: u64,
+    /// Sample buffer capacity (§4.2).
+    pub sample_capacity: usize,
+    /// Optional user threshold (µs) enabling the second §4.2.1 algorithm.
+    pub threshold_usec: Option<u64>,
+    /// Server-side profiler filter.
+    pub filter: FilterOptions,
+    /// Where the monitor writes the received dot file.
+    pub dot_path: PathBuf,
+    /// Where the monitor redirects the received trace.
+    pub trace_path: PathBuf,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        let id = SESSION_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir();
+        OnlineConfig {
+            partitions: 1,
+            workers: 0,
+            pacing_ms: 150,
+            sample_capacity: 256,
+            threshold_usec: None,
+            filter: FilterOptions::all(),
+            dot_path: dir.join(format!("stetho_online_{}_{id}.dot", std::process::id())),
+            trace_path: dir.join(format!("stetho_online_{}_{id}.trace", std::process::id())),
+        }
+    }
+}
+
+/// Everything an online run produces for inspection.
+pub struct OnlineOutcome {
+    /// The executed plan.
+    pub plan: Plan,
+    /// Dot text as received over the stream.
+    pub dot_text: String,
+    /// Scene built when the dot stream completed.
+    pub scene: SceneGraph,
+    /// Final glyph canvas (colors as the EDT left them).
+    pub space: VirtualSpace,
+    /// pc ↔ node ↔ glyph mapping.
+    pub map: TraceDotMap,
+    /// All received (filtered) trace events, arrival order.
+    pub events: Vec<TraceEvent>,
+    /// Final pair-elision states over the whole trace.
+    pub final_states: HashMap<usize, ColorState>,
+    /// Threshold-algorithm states, when a threshold was configured.
+    pub threshold_states: HashMap<usize, ColorState>,
+    /// EDT statistics (dispatched, coalesced, backlog peak).
+    pub edt_stats: EdtStats,
+    /// Events lost to sample-buffer eviction.
+    pub samples_dropped: u64,
+    /// Result-set row count of the query.
+    pub result_rows: usize,
+    /// Final progress snapshot (should read 100% done).
+    pub progress: ProgressSnapshot,
+    /// Wall-clock duration of the whole session.
+    pub elapsed: Duration,
+}
+
+/// The online-mode driver.
+pub struct OnlineSession;
+
+impl OnlineSession {
+    /// Run the complete §4.2 workflow for `sql` against `catalog`:
+    /// textual-Stethoscope thread, query thread, stream monitoring, dot
+    /// capture, trace redirection, sampling, and run-time coloring.
+    pub fn run(
+        catalog: Arc<Catalog>,
+        sql: &str,
+        cfg: &OnlineConfig,
+    ) -> Result<OnlineOutcome, SessionError> {
+        let started = Instant::now();
+        // Compile up front: the server needs the plan (and its dot) at
+        // query launch.
+        let compiled = compile_with(
+            &catalog,
+            sql,
+            &CompileOptions {
+                plan_name: "user.online".into(),
+                partitions: cfg.partitions.max(1),
+                skip_optimizers: false,
+            },
+        )
+        .map_err(|e| SessionError::new(format!("compile: {e}")))?;
+        let plan = compiled.plan;
+        let dot_text = plan_to_dot(&plan, stetho_dot::LabelStyle::FullStatement);
+
+        // Textual Stethoscope thread (the listener runs inside).
+        let mut steth =
+            TextualStethoscope::bind().map_err(SessionError::from)?;
+        steth.set_default_filter(cfg.filter.clone());
+        let rx = steth.start();
+        let addr = steth.local_addr().map_err(SessionError::from)?;
+
+        // Query thread: send dot first, run, then mark end of trace.
+        let plan_for_query = plan.clone();
+        let catalog_for_query = Arc::clone(&catalog);
+        let dot_for_query = dot_text.clone();
+        let workers = cfg.workers;
+        let query_thread = std::thread::Builder::new()
+            .name("mserver-query".into())
+            .spawn(move || -> Result<usize, String> {
+                let emitter = ProfilerEmitter::connect(addr).map_err(|e| e.to_string())?;
+                emitter
+                    .send_dot(&plan_for_query.name, &dot_for_query)
+                    .map_err(|e| e.to_string())?;
+                let sink = UdpSink::new(emitter);
+                let opts = if workers > 1 {
+                    ExecOptions::parallel(workers, ProfilerConfig::to_sink(sink.clone()))
+                } else {
+                    ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone()))
+                };
+                let interp = Interpreter::new(catalog_for_query);
+                let out = interp
+                    .execute(&plan_for_query, &opts)
+                    .map_err(|e| e.to_string())?;
+                sink.emitter().send_end_of_trace().map_err(|e| e.to_string())?;
+                Ok(out.result.map(|r| r.rows()).unwrap_or(0))
+            })
+            .map_err(SessionError::from)?;
+
+        // Monitor: split dot vs trace content, redirect to files, sample,
+        // color.
+        let mut dot_buffer = String::new();
+        let mut received_dot: Option<String> = None;
+        let mut scene: Option<SceneGraph> = None;
+        let mut space: Option<VirtualSpace> = None;
+        let mut map = TraceDotMap::default();
+        let mut trace_writer =
+            TraceWriter::create(&cfg.trace_path).map_err(SessionError::from)?;
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let mut sample = SampleBuffer::new(cfg.sample_capacity);
+        let mut edt = EventDispatchThread::new(cfg.pacing_ms);
+        let mut threshold = cfg.threshold_usec.map(ThresholdColoring::new);
+        let mut progress = ProgressModel::new(&plan);
+        let mut last_states: HashMap<usize, ColorState> = HashMap::new();
+        let mut saw_eot = false;
+        let deadline = Instant::now() + Duration::from_secs(120);
+
+        while !saw_eot {
+            if Instant::now() > deadline {
+                steth.stop();
+                return Err(SessionError::new("online session timed out"));
+            }
+            let item = match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(i) => i,
+                Err(_) => continue,
+            };
+            match item {
+                StreamItem::DotBegin { .. } => dot_buffer.clear(),
+                StreamItem::DotLine { line, .. } => {
+                    dot_buffer.push_str(&line);
+                    dot_buffer.push('\n');
+                }
+                StreamItem::DotEnd { .. } => {
+                    // "It filters the dot file content, generates a new
+                    // dot file, and stores the content in it."
+                    std::fs::write(&cfg.dot_path, &dot_buffer)?;
+                    let graph = stetho_dot::parse_dot(&dot_buffer)
+                        .map_err(|e| SessionError::new(format!("received dot: {e}")))?;
+                    let laid = layout(&graph, &LayoutOptions::default());
+                    let svg = write_svg(&laid);
+                    let sc = parse_svg(&svg)
+                        .map_err(|e| SessionError::new(format!("svg: {e}")))?;
+                    let (sp, node_glyphs) = VirtualSpace::from_scene(&sc);
+                    map = TraceDotMap::from_scene(&sc);
+                    map.attach_glyphs(&node_glyphs);
+                    scene = Some(sc);
+                    space = Some(sp);
+                    received_dot = Some(dot_buffer.clone());
+                }
+                StreamItem::Event { event, .. } => {
+                    trace_writer.write_event(&event)?;
+                    progress.on_event(&event);
+                    sample.push(event.clone());
+                    if let Some(t) = threshold.as_mut() {
+                        t.on_event(&event);
+                        t.on_tick(event.clk);
+                    }
+                    events.push(event);
+                    // Run-time analysis over the sample buffer (§4.2.1).
+                    let snapshot = sample.snapshot();
+                    let changes = PairElision.changes(&snapshot);
+                    let now_ms = started.elapsed().as_millis() as u64;
+                    if let Some(sp) = space.as_mut() {
+                        for c in changes {
+                            if last_states.get(&c.pc) != Some(&c.state) {
+                                if let Some(g) = map.shape_of_pc(c.pc) {
+                                    edt.enqueue(g, c.state.fill(), now_ms);
+                                }
+                                last_states.insert(c.pc, c.state);
+                            }
+                        }
+                        edt.advance_into(now_ms, sp);
+                    }
+                }
+                StreamItem::EndOfTrace { .. } => saw_eot = true,
+                StreamItem::Garbled { line, .. } => {
+                    return Err(SessionError::new(format!("garbled stream line: {line}")))
+                }
+            }
+        }
+        trace_writer.flush()?;
+        steth.stop();
+        let result_rows = query_thread
+            .join()
+            .map_err(|_| SessionError::new("query thread panicked"))?
+            .map_err(SessionError::new)?;
+
+        let mut space = space.ok_or_else(|| SessionError::new("no dot file received"))?;
+        let scene = scene.expect("scene set with space");
+        // Drain the EDT so the final frame shows every landed color.
+        let ops = edt.flush();
+        for d in &ops {
+            space.glyph_mut(d.op.glyph).color = d.op.color;
+        }
+
+        let final_states = PairElision.analyse(&events);
+        let threshold_states = threshold
+            .map(|t| {
+                events
+                    .iter()
+                    .map(|e| (e.pc, t.state(e.pc)))
+                    .collect::<HashMap<_, _>>()
+            })
+            .unwrap_or_default();
+
+        Ok(OnlineOutcome {
+            plan,
+            dot_text: received_dot.unwrap_or(dot_text),
+            scene,
+            space,
+            map,
+            events,
+            final_states,
+            threshold_states,
+            edt_stats: edt.stats,
+            samples_dropped: sample.dropped(),
+            result_rows,
+            progress: progress.snapshot(),
+            elapsed: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stetho_engine::{Bat, TableDef};
+    use stetho_mal::MalType;
+
+    fn catalog_sized(n: i64) -> Arc<Catalog> {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableDef::new(
+                "lineitem",
+                vec![
+                    (
+                        "l_partkey".into(),
+                        MalType::Int,
+                        Bat::ints((0..n).map(|i| i % 10).collect()),
+                    ),
+                    (
+                        "l_tax".into(),
+                        MalType::Dbl,
+                        Bat::dbls((0..n).map(|i| i as f64 * 0.001).collect()),
+                    ),
+                ],
+            )
+            .unwrap(),
+        );
+        Arc::new(c)
+    }
+
+    fn catalog() -> Arc<Catalog> {
+        catalog_sized(500)
+    }
+
+    #[test]
+    fn online_session_end_to_end() {
+        let cfg = OnlineConfig {
+            pacing_ms: 0, // drain immediately in tests
+            ..Default::default()
+        };
+        let out = OnlineSession::run(
+            catalog(),
+            "select l_tax from lineitem where l_partkey = 1",
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(out.result_rows, 50);
+        assert_eq!(out.events.len(), out.plan.len() * 2);
+        assert_eq!(out.progress.done, out.plan.len(), "progress reads 100%");
+        assert_eq!(out.progress.fraction, 1.0);
+        assert!(!out.dot_text.is_empty());
+        assert_eq!(out.scene.nodes.len(), out.plan.len());
+        assert!(out.edt_stats.dispatched > 0);
+        // Trace and dot files were written by the monitor.
+        assert!(cfg.trace_path.exists());
+        assert!(cfg.dot_path.exists());
+        std::fs::remove_file(&cfg.trace_path).ok();
+        std::fs::remove_file(&cfg.dot_path).ok();
+    }
+
+    #[test]
+    fn online_parallel_with_mitosis() {
+        let cfg = OnlineConfig {
+            partitions: 4,
+            workers: 4,
+            pacing_ms: 0,
+            ..Default::default()
+        };
+        let out = OnlineSession::run(
+            catalog_sized(200_000),
+            "select l_tax from lineitem where l_partkey = 3",
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(out.result_rows, 20_000);
+        // The mitosis plan is wide; all its instructions traced.
+        assert!(out.plan.len() > 20);
+        assert_eq!(out.events.len(), out.plan.len() * 2);
+        let threads: std::collections::HashSet<usize> =
+            out.events.iter().map(|e| e.thread).collect();
+        assert!(threads.len() >= 2, "parallel execution visible in trace");
+        std::fs::remove_file(&cfg.trace_path).ok();
+        std::fs::remove_file(&cfg.dot_path).ok();
+    }
+
+    #[test]
+    fn threshold_algorithm_runs_when_configured() {
+        let cfg = OnlineConfig {
+            threshold_usec: Some(0), // everything is "costly"
+            pacing_ms: 0,
+            ..Default::default()
+        };
+        let out = OnlineSession::run(
+            catalog(),
+            "select sum(l_tax) as s from lineitem",
+            &cfg,
+        )
+        .unwrap();
+        assert!(!out.threshold_states.is_empty());
+        std::fs::remove_file(&cfg.trace_path).ok();
+        std::fs::remove_file(&cfg.dot_path).ok();
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        let cfg = OnlineConfig::default();
+        let r = OnlineSession::run(catalog(), "select nothing from nowhere", &cfg);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Session snapshots — save/restore an offline analysis position
+//! (replay cursor, camera pose, session clock, watched nodes) so an
+//! analyst can bookmark a point of interest in a long trace and return
+//! to it later, or hand it to a colleague as JSON.
+
+use serde::{Deserialize, Serialize};
+
+use crate::session::offline::OfflineSession;
+use crate::session::SessionError;
+
+/// A serialisable bookmark into an offline session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// Replay cursor (events applied).
+    pub position: usize,
+    /// Camera centre x.
+    pub camera_cx: f64,
+    /// Camera centre y.
+    pub camera_cy: f64,
+    /// Camera altitude.
+    pub camera_altitude: f64,
+    /// Virtual session clock (ms).
+    pub now_ms: u64,
+    /// Trace length when saved — restore refuses a different trace.
+    pub trace_len: usize,
+    /// Free-form note.
+    pub note: String,
+}
+
+impl SessionSnapshot {
+    /// Capture the session's current position.
+    pub fn capture(session: &OfflineSession, note: impl Into<String>) -> Self {
+        SessionSnapshot {
+            position: session.replay.position(),
+            camera_cx: session.camera.cx,
+            camera_cy: session.camera.cy,
+            camera_altitude: session.camera.altitude,
+            now_ms: session.now_ms,
+            trace_len: session.replay.len(),
+            note: note.into(),
+        }
+    }
+
+    /// Re-apply onto a session over the same trace.
+    pub fn restore(&self, session: &mut OfflineSession) -> Result<(), SessionError> {
+        if session.replay.len() != self.trace_len {
+            return Err(SessionError::new(format!(
+                "snapshot is for a {}-event trace, session has {}",
+                self.trace_len,
+                session.replay.len()
+            )));
+        }
+        session.seek(self.position);
+        session.camera.cx = self.camera_cx;
+        session.camera.cy = self.camera_cy;
+        session.camera.altitude = self.camera_altitude;
+        // Advance (never rewind) the session clock so pending EDT work
+        // keeps its ordering guarantees.
+        if self.now_ms > session.now_ms {
+            session.advance_ms(self.now_ms - session.now_ms);
+        }
+        Ok(())
+    }
+
+    /// JSON export.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialises")
+    }
+
+    /// JSON import.
+    pub fn from_json(text: &str) -> Result<Self, SessionError> {
+        serde_json::from_str(text).map_err(|e| SessionError::new(format!("snapshot json: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stetho_profiler::{format_event, TraceEvent};
+
+    fn session() -> OfflineSession {
+        let dot = r#"digraph p {
+            n0 [label="X_0 := sql.mvc();"];
+            n1 [label="X_1 := sql.tid(X_0);"];
+            n0 -> n1;
+        }"#;
+        let mut lines = Vec::new();
+        for pc in 0..2usize {
+            lines.push(format_event(&TraceEvent::start(
+                0,
+                pc,
+                0,
+                pc as u64 * 10,
+                0,
+                if pc == 0 { "X_0 := sql.mvc();" } else { "X_1 := sql.tid(X_0);" },
+            )));
+            lines.push(format_event(&TraceEvent::done(
+                1,
+                pc,
+                0,
+                pc as u64 * 10 + 5,
+                5,
+                0,
+                if pc == 0 { "X_0 := sql.mvc();" } else { "X_1 := sql.tid(X_0);" },
+            )));
+        }
+        OfflineSession::load_text(dot, &lines.join("\n")).unwrap()
+    }
+
+    #[test]
+    fn capture_restore_round_trip() {
+        let mut s = session();
+        s.seek(3);
+        s.camera.cx = 123.0;
+        s.camera.altitude = 77.0;
+        s.advance_ms(500);
+        let snap = SessionSnapshot::capture(&s, "mid join");
+        assert_eq!(snap.position, 3);
+        assert_eq!(snap.note, "mid join");
+
+        // Wander off, then restore.
+        s.seek(0);
+        s.camera.cx = 0.0;
+        snap.restore(&mut s).unwrap();
+        assert_eq!(s.replay.position(), 3);
+        assert_eq!(s.camera.cx, 123.0);
+        assert_eq!(s.camera.altitude, 77.0);
+        assert!(s.now_ms >= 500);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = session();
+        let snap = SessionSnapshot::capture(&s, "start");
+        let back = SessionSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        assert!(SessionSnapshot::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn restore_refuses_different_trace() {
+        let s = session();
+        let mut snap = SessionSnapshot::capture(&s, "x");
+        snap.trace_len = 99;
+        let mut s2 = session();
+        assert!(snap.restore(&mut s2).is_err());
+    }
+}

@@ -1,0 +1,283 @@
+//! Attributed directed graph model shared by the dot writer/parser, the
+//! layout engine, and the Stethoscope viewer.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense node identifier within one [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Errors from graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Node name registered twice.
+    DuplicateNode(String),
+    /// Edge endpoint does not exist.
+    UnknownNode(String),
+    /// Dot text failed to parse.
+    Parse {
+        /// Offset (in chars) where parsing failed.
+        at: usize,
+        /// Explanation.
+        msg: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateNode(n) => write!(f, "duplicate node {n}"),
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::Parse { at, msg } => write!(f, "dot parse error at offset {at}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// One graph node with dot attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Dot identifier, e.g. `n3`.
+    pub name: String,
+    /// Attribute map (`label`, `shape`, `color`, ...).
+    pub attrs: HashMap<String, String>,
+}
+
+/// One directed edge with dot attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Attribute map.
+    pub attrs: HashMap<String, String>,
+}
+
+/// A directed graph with string-keyed attributes, mirroring a dot file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Graph {
+    /// Graph name (`digraph <name> { ... }`).
+    pub name: String,
+    /// Graph-level attributes.
+    pub attrs: HashMap<String, String>,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    by_name: HashMap<String, NodeId>,
+}
+
+impl Graph {
+    /// Empty graph with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Graph {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Add a node; errors if the name is taken.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        attrs: HashMap<String, String>,
+    ) -> Result<NodeId, GraphError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(GraphError::DuplicateNode(name));
+        }
+        let id = NodeId(self.nodes.len());
+        self.by_name.insert(name.clone(), id);
+        self.nodes.push(Node { name, attrs });
+        Ok(id)
+    }
+
+    /// Get-or-create a node by name (dot edge statements implicitly
+    /// declare their endpoints).
+    pub fn ensure_node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        self.add_node(name.to_string(), HashMap::new())
+            .expect("ensure_node: name checked above")
+    }
+
+    /// Add an edge between existing nodes.
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        attrs: HashMap<String, String>,
+    ) -> Result<(), GraphError> {
+        if from.0 >= self.nodes.len() {
+            return Err(GraphError::UnknownNode(format!("#{}", from.0)));
+        }
+        if to.0 >= self.nodes.len() {
+            return Err(GraphError::UnknownNode(format!("#{}", to.0)));
+        }
+        self.edges.push(Edge { from, to, attrs });
+        Ok(())
+    }
+
+    /// Node lookup by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Node data.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable node data.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// All nodes in insertion order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All edges in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adjacency list: successors of each node.
+    pub fn successors(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for e in &self.edges {
+            out[e.from.0].push(e.to);
+        }
+        out
+    }
+
+    /// Adjacency list: predecessors of each node.
+    pub fn predecessors(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for e in &self.edges {
+            out[e.to.0].push(e.from);
+        }
+        out
+    }
+
+    /// A root for traversal: the first node without predecessors, falling
+    /// back to node 0. The paper's workflow keeps "the root node of this
+    /// graph structure ... to traverse the graph at a later stage" (§4).
+    pub fn root(&self) -> Option<NodeId> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let preds = self.predecessors();
+        (0..self.nodes.len())
+            .map(NodeId)
+            .find(|id| preds[id.0].is_empty())
+            .or(Some(NodeId(0)))
+    }
+
+    /// Convenience: node label attribute or the node name.
+    pub fn label(&self, id: NodeId) -> &str {
+        let n = self.node(id);
+        n.attrs.get("label").map(String::as_str).unwrap_or(&n.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut g = Graph::new("t");
+        let a = g.add_node("n0", attrs(&[("label", "x")])).unwrap();
+        let b = g.add_node("n1", HashMap::new()).unwrap();
+        g.add_edge(a, b, HashMap::new()).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.node_by_name("n1"), Some(b));
+        assert_eq!(g.label(a), "x");
+        assert_eq!(g.label(b), "n1");
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let mut g = Graph::new("t");
+        g.add_node("n0", HashMap::new()).unwrap();
+        assert!(matches!(
+            g.add_node("n0", HashMap::new()),
+            Err(GraphError::DuplicateNode(_))
+        ));
+    }
+
+    #[test]
+    fn edge_to_unknown_node_rejected() {
+        let mut g = Graph::new("t");
+        let a = g.add_node("n0", HashMap::new()).unwrap();
+        assert!(g.add_edge(a, NodeId(5), HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn ensure_node_is_idempotent() {
+        let mut g = Graph::new("t");
+        let a = g.ensure_node("x");
+        let b = g.ensure_node("x");
+        assert_eq!(a, b);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn root_prefers_sources() {
+        let mut g = Graph::new("t");
+        let a = g.ensure_node("a");
+        let b = g.ensure_node("b");
+        let c = g.ensure_node("c");
+        g.add_edge(b, c, HashMap::new()).unwrap();
+        g.add_edge(a, b, HashMap::new()).unwrap();
+        assert_eq!(g.root(), Some(a));
+    }
+
+    #[test]
+    fn root_of_cycle_falls_back_to_first() {
+        let mut g = Graph::new("t");
+        let a = g.ensure_node("a");
+        let b = g.ensure_node("b");
+        g.add_edge(a, b, HashMap::new()).unwrap();
+        g.add_edge(b, a, HashMap::new()).unwrap();
+        assert_eq!(g.root(), Some(NodeId(0)));
+        assert_eq!(Graph::new("e").root(), None);
+    }
+
+    #[test]
+    fn adjacency_lists() {
+        let mut g = Graph::new("t");
+        let a = g.ensure_node("a");
+        let b = g.ensure_node("b");
+        let c = g.ensure_node("c");
+        g.add_edge(a, b, HashMap::new()).unwrap();
+        g.add_edge(a, c, HashMap::new()).unwrap();
+        let succ = g.successors();
+        let pred = g.predecessors();
+        assert_eq!(succ[a.0], vec![b, c]);
+        assert_eq!(pred[c.0], vec![a]);
+        assert!(pred[a.0].is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! # stetho-dot — the dot graph language and MAL-plan conversion
+//!
+//! "The MonetDB server generates a dot file representation for each MAL
+//! plan before execution begins. A dot file represents a graph and
+//! describes the grammar for the representation of nodes, and the
+//! association between nodes and edges" (paper §3). Stethoscope's whole
+//! trace↔plan mapping runs through dot: trace `pc=1` maps to dot node
+//! `n1`, and the trace `stmt` field maps to the node's `label` attribute
+//! (§3.3).
+//!
+//! This crate provides:
+//! * [`Graph`] — an attributed directed-graph model,
+//! * [`write_dot`] — a dot-language writer,
+//! * [`parse_dot`] — a recursive-descent parser for the dot subset
+//!   GraphViz emits for these plans (node statements, edge statements,
+//!   quoted strings, attribute lists, subgraphs),
+//! * [`plan_to_graph`] / [`plan_to_dot`] — the MAL plan converter that
+//!   follows the paper's naming contract.
+
+pub mod graph;
+pub mod parser;
+pub mod plan_conv;
+pub mod writer;
+
+pub use graph::{Graph, GraphError, NodeId};
+pub use parser::parse_dot;
+pub use plan_conv::{plan_to_dot, plan_to_graph, LabelStyle};
+pub use writer::write_dot;

@@ -1,0 +1,482 @@
+//! Recursive-descent parser for the dot language subset used by plan dumps.
+//!
+//! Grammar (after DOT, graphviz.org/doc/info/lang.html — reference 5 of
+//! the paper), restricted to what plan files contain:
+//!
+//! ```text
+//! graph     := [ "strict" ] ("digraph" | "graph") [ id ] "{" stmt* "}"
+//! stmt      := (attr_stmt | edge_stmt | node_stmt | id "=" id) [ ";" ]
+//! attr_stmt := ("graph" | "node" | "edge") attr_list
+//! node_stmt := id [ attr_list ]
+//! edge_stmt := id ("->" id)+ [ attr_list ]
+//! attr_list := "[" [ a_pair ("," | ";")? ]* "]"
+//! a_pair    := id "=" id
+//! id        := word | quoted string
+//! ```
+//!
+//! `graph`/`node`/`edge` default-attribute statements are applied to
+//! subsequently created nodes/edges, matching GraphViz semantics closely
+//! enough for round-tripping plan files.
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, GraphError};
+
+/// Parse dot text into a [`Graph`].
+pub fn parse_dot(text: &str) -> Result<Graph, GraphError> {
+    Parser::new(text).parse()
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            chars: src.chars().collect(),
+            pos: 0,
+            src,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> GraphError {
+        GraphError::Parse {
+            at: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+                self.pos += 1;
+            }
+            // // and # line comments, /* */ block comments.
+            if self.peek() == Some('/') && self.peek_at(1) == Some('/')
+                || self.peek() == Some('#')
+            {
+                while self.pos < self.chars.len() && self.chars[self.pos] != '\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            if self.peek() == Some('/') && self.peek_at(1) == Some('*') {
+                self.pos += 2;
+                while self.pos + 1 < self.chars.len()
+                    && !(self.chars[self.pos] == '*' && self.chars[self.pos + 1] == '/')
+                {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 2).min(self.chars.len());
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), GraphError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{c}'")))
+        }
+    }
+
+    /// An id: bare word, number, or quoted string.
+    fn parse_id(&mut self) -> Result<String, GraphError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => {
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    match self.peek() {
+                        Some('\\') => {
+                            self.pos += 1;
+                            match self.peek() {
+                                Some('n') => s.push('\n'),
+                                Some(c) => s.push(c),
+                                None => return Err(self.err("unterminated escape")),
+                            }
+                            self.pos += 1;
+                        }
+                        Some('"') => {
+                            self.pos += 1;
+                            return Ok(s);
+                        }
+                        Some(c) => {
+                            s.push(c);
+                            self.pos += 1;
+                        }
+                        None => return Err(self.err("unterminated string")),
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-' => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-' {
+                        // Stop a bare id before `->`.
+                        if c == '-' && self.peek_at(1) == Some('>') {
+                            break;
+                        }
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.pos == start {
+                    return Err(self.err("expected identifier"));
+                }
+                Ok(self.chars[start..self.pos].iter().collect())
+            }
+            _ => Err(self.err("expected identifier or string")),
+        }
+    }
+
+    fn parse_attr_list(&mut self) -> Result<HashMap<String, String>, GraphError> {
+        let mut attrs = HashMap::new();
+        self.skip_ws();
+        while self.eat('[') {
+            loop {
+                self.skip_ws();
+                if self.eat(']') {
+                    break;
+                }
+                let key = self.parse_id()?;
+                self.skip_ws();
+                self.expect('=')?;
+                let val = self.parse_id()?;
+                attrs.insert(key, val);
+                self.skip_ws();
+                // Separators are optional.
+                let _ = self.eat(',') || self.eat(';');
+            }
+            self.skip_ws();
+        }
+        Ok(attrs)
+    }
+
+    fn parse(&mut self) -> Result<Graph, GraphError> {
+        self.skip_ws();
+        // Optional 'strict'.
+        let mut kw = self.parse_id()?;
+        if kw == "strict" {
+            kw = self.parse_id()?;
+        }
+        if kw != "digraph" && kw != "graph" {
+            return Err(self.err("expected 'digraph' or 'graph'"));
+        }
+        self.skip_ws();
+        let name = if self.peek() != Some('{') {
+            self.parse_id()?
+        } else {
+            String::new()
+        };
+        let mut graph = Graph::new(name);
+        self.skip_ws();
+        self.expect('{')?;
+
+        let mut node_defaults: HashMap<String, String> = HashMap::new();
+        let mut edge_defaults: HashMap<String, String> = HashMap::new();
+
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('}') => {
+                    self.pos += 1;
+                    break;
+                }
+                None => return Err(self.err("unterminated graph body")),
+                _ => {}
+            }
+            if self.eat(';') {
+                continue;
+            }
+            // Subgraph blocks: parse recursively into the same graph,
+            // ignoring the grouping (plan dumps use them only for ranks).
+            let save = self.pos;
+            if let Ok(id) = self.parse_id() {
+                match id.as_str() {
+                    "subgraph" => {
+                        // optional name then block
+                        self.skip_ws();
+                        if self.peek() != Some('{') {
+                            let _ = self.parse_id();
+                            self.skip_ws();
+                        }
+                        self.expect('{')?;
+                        self.parse_body(&mut graph, &mut node_defaults, &mut edge_defaults)?;
+                        continue;
+                    }
+                    "graph" => {
+                        let attrs = self.parse_attr_list()?;
+                        graph.attrs.extend(attrs);
+                        continue;
+                    }
+                    "node" => {
+                        node_defaults.extend(self.parse_attr_list()?);
+                        continue;
+                    }
+                    "edge" => {
+                        edge_defaults.extend(self.parse_attr_list()?);
+                        continue;
+                    }
+                    _ => {
+                        self.pos = save;
+                    }
+                }
+            } else {
+                self.pos = save;
+            }
+            self.parse_node_or_edge(&mut graph, &node_defaults, &edge_defaults)?;
+        }
+        Ok(graph)
+    }
+
+    /// Parse statements until `}` — used for subgraph bodies.
+    fn parse_body(
+        &mut self,
+        graph: &mut Graph,
+        node_defaults: &mut HashMap<String, String>,
+        edge_defaults: &mut HashMap<String, String>,
+    ) -> Result<(), GraphError> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                None => return Err(self.err("unterminated subgraph body")),
+                _ => {}
+            }
+            if self.eat(';') {
+                continue;
+            }
+            let save = self.pos;
+            if let Ok(id) = self.parse_id() {
+                match id.as_str() {
+                    "graph" => {
+                        graph.attrs.extend(self.parse_attr_list()?);
+                        continue;
+                    }
+                    "node" => {
+                        node_defaults.extend(self.parse_attr_list()?);
+                        continue;
+                    }
+                    "edge" => {
+                        edge_defaults.extend(self.parse_attr_list()?);
+                        continue;
+                    }
+                    _ => self.pos = save,
+                }
+            } else {
+                self.pos = save;
+            }
+            self.parse_node_or_edge(graph, node_defaults, edge_defaults)?;
+        }
+    }
+
+    fn parse_node_or_edge(
+        &mut self,
+        graph: &mut Graph,
+        node_defaults: &HashMap<String, String>,
+        edge_defaults: &HashMap<String, String>,
+    ) -> Result<(), GraphError> {
+        let first = self.parse_id()?;
+        self.skip_ws();
+
+        // `id = id` graph attribute.
+        if self.eat('=') {
+            let val = self.parse_id()?;
+            graph.attrs.insert(first, val);
+            self.skip_ws();
+            let _ = self.eat(';');
+            return Ok(());
+        }
+
+        // Edge chain?
+        let mut chain = vec![first];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('-') && self.peek_at(1) == Some('>') {
+                self.pos += 2;
+                chain.push(self.parse_id()?);
+            } else {
+                break;
+            }
+        }
+        let attrs = self.parse_attr_list()?;
+        self.skip_ws();
+        let _ = self.eat(';');
+
+        if chain.len() == 1 {
+            // Node statement: create or update.
+            let name = chain.pop().expect("chain has one element");
+            let mut merged = node_defaults.clone();
+            merged.extend(attrs);
+            match graph.node_by_name(&name) {
+                Some(id) => graph.node_mut(id).attrs.extend(merged),
+                None => {
+                    graph.add_node(name, merged)?;
+                }
+            }
+        } else {
+            for pair in chain.windows(2) {
+                let from = match graph.node_by_name(&pair[0]) {
+                    Some(id) => id,
+                    None => {
+                        let id = graph.ensure_node(&pair[0]);
+                        graph.node_mut(id).attrs.extend(node_defaults.clone());
+                        id
+                    }
+                };
+                let to = match graph.node_by_name(&pair[1]) {
+                    Some(id) => id,
+                    None => {
+                        let id = graph.ensure_node(&pair[1]);
+                        graph.node_mut(id).attrs.extend(node_defaults.clone());
+                        id
+                    }
+                };
+                let mut merged = edge_defaults.clone();
+                merged.extend(attrs.clone());
+                graph.add_edge(from, to, merged)?;
+            }
+        }
+        let _ = self.src; // keep src for potential diagnostics
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_dot;
+    use std::collections::HashMap;
+
+    #[test]
+    fn parses_minimal_digraph() {
+        let g = parse_dot("digraph G { n0; n1; n0 -> n1; }").unwrap();
+        assert_eq!(g.name, "G");
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn parses_attributes() {
+        let g = parse_dot(
+            r#"digraph plan {
+                 n0 [label="X_0 := sql.mvc();", shape=box];
+                 n1 [label="X_1 := sql.tid(X_0);"];
+                 n0 -> n1 [label="X_0"];
+               }"#,
+        )
+        .unwrap();
+        let n0 = g.node_by_name("n0").unwrap();
+        assert_eq!(g.node(n0).attrs["label"], "X_0 := sql.mvc();");
+        assert_eq!(g.node(n0).attrs["shape"], "box");
+        assert_eq!(g.edges()[0].attrs["label"], "X_0");
+    }
+
+    #[test]
+    fn implicit_nodes_from_edges() {
+        let g = parse_dot("digraph { a -> b -> c; }").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn node_defaults_apply() {
+        let g = parse_dot("digraph { node [shape=ellipse]; a; b [shape=box]; }").unwrap();
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        assert_eq!(g.node(a).attrs["shape"], "ellipse");
+        assert_eq!(g.node(b).attrs["shape"], "box");
+    }
+
+    #[test]
+    fn graph_attr_statements() {
+        let g = parse_dot("digraph { rankdir=TB; graph [bgcolor=white]; a; }").unwrap();
+        assert_eq!(g.attrs["rankdir"], "TB");
+        assert_eq!(g.attrs["bgcolor"], "white");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let g = parse_dot(
+            "digraph { // line\n # hash\n /* block\n comment */ a -> b; }",
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn subgraphs_flatten() {
+        let g = parse_dot("digraph { subgraph cluster_0 { a; b; a -> b; } b -> c; }").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn quoted_ids_and_escapes() {
+        let g = parse_dot(r#"digraph { "n 0" [label="a\"b\nc"]; }"#).unwrap();
+        let n = g.node_by_name("n 0").unwrap();
+        assert_eq!(g.node(n).attrs["label"], "a\"b\nc");
+    }
+
+    #[test]
+    fn strict_keyword_accepted() {
+        let g = parse_dot("strict digraph G { a; }").unwrap();
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let mut g = Graph::new("plan");
+        let mut na = HashMap::new();
+        na.insert("label".to_string(), "X_0 := sql.mvc();".to_string());
+        let a = g.add_node("n0", na).unwrap();
+        let b = g.add_node("n1", HashMap::new()).unwrap();
+        let mut ea = HashMap::new();
+        ea.insert("label".to_string(), "X_0".to_string());
+        g.add_edge(a, b, ea).unwrap();
+
+        let text = write_dot(&g);
+        let back = parse_dot(&text).unwrap();
+        assert_eq!(back.name, g.name);
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        let n0 = back.node_by_name("n0").unwrap();
+        assert_eq!(back.node(n0).attrs["label"], "X_0 := sql.mvc();");
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse_dot("digraph {").unwrap_err();
+        assert!(matches!(e, GraphError::Parse { .. }));
+        let e = parse_dot("notagraph {}").unwrap_err();
+        assert!(matches!(e, GraphError::Parse { .. }));
+    }
+}

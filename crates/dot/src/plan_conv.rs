@@ -1,0 +1,182 @@
+//! MAL plan → dot graph conversion, following the paper's §3.3 contract:
+//!
+//! * "an instruction execution trace statement with pc=1 maps to the node
+//!   `n1` in the dot file" — node names are `n<pc>`;
+//! * "the `stmt` field in instruction execution trace ... maps to the
+//!   `label` field in the dot file" — labels are the rendered statements.
+//!
+//! Edges are the plan's dataflow dependencies, labelled with the variable
+//! that carries the dependency.
+
+use std::collections::HashMap;
+
+use stetho_mal::{Arg, DataflowGraph, Plan};
+
+use crate::graph::Graph;
+use crate::writer::write_dot;
+
+/// How node labels are rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LabelStyle {
+    /// Full statement text (`X_5:bat[:dbl] := algebra.leftjoin(X_23, X_10);`).
+    /// This is what the trace `stmt` field carries, so it is the default.
+    #[default]
+    FullStatement,
+    /// Just `module.function` — readable in Figure-2-scale graphs.
+    Short,
+}
+
+/// Convert a plan to the attributed graph a dot file would describe.
+pub fn plan_to_graph(plan: &Plan, style: LabelStyle) -> Graph {
+    let mut g = Graph::new(plan.name.replace('.', "_"));
+    g.attrs.insert("rankdir".into(), "TB".into());
+
+    for ins in &plan.instructions {
+        let mut attrs = HashMap::new();
+        let label = match style {
+            LabelStyle::FullStatement => ins.render(plan),
+            LabelStyle::Short => ins.short_label(),
+        };
+        attrs.insert("label".into(), label);
+        attrs.insert("shape".into(), "box".into());
+        attrs.insert("pc".into(), ins.pc.to_string());
+        g.add_node(format!("n{}", ins.pc), attrs)
+            .expect("plan pcs are unique");
+    }
+
+    // Dataflow edges, labelled by the variable carried.
+    let df = DataflowGraph::from_plan(plan);
+    // Recover which variable links each producer/consumer pair for labels.
+    let mut def_site: HashMap<usize, usize> = HashMap::new();
+    let mut edge_var: HashMap<(usize, usize), String> = HashMap::new();
+    for ins in &plan.instructions {
+        for a in &ins.args {
+            if let Arg::Var(v) = a {
+                if let Some(&d) = def_site.get(&v.0) {
+                    edge_var
+                        .entry((d, ins.pc))
+                        .or_insert_with(|| plan.var(*v).name.clone());
+                }
+            }
+        }
+        for r in &ins.results {
+            def_site.insert(r.0, ins.pc);
+        }
+    }
+    for (from, to) in df.edges() {
+        let mut attrs = HashMap::new();
+        if let Some(var) = edge_var.get(&(from, to)) {
+            attrs.insert("label".into(), var.clone());
+        }
+        let f = g.node_by_name(&format!("n{from}")).expect("node exists");
+        let t = g.node_by_name(&format!("n{to}")).expect("node exists");
+        g.add_edge(f, t, attrs).expect("endpoints exist");
+    }
+    g
+}
+
+/// Convert a plan straight to dot text.
+pub fn plan_to_dot(plan: &Plan, style: LabelStyle) -> String {
+    write_dot(&plan_to_graph(plan, style))
+}
+
+/// Extract the pc back out of a dot node name (`n3` → 3). Returns `None`
+/// for non-plan nodes.
+pub fn node_name_to_pc(name: &str) -> Option<usize> {
+    name.strip_prefix('n')?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_dot;
+    use stetho_mal::{MalType, PlanBuilder, Value};
+
+    fn sample_plan() -> Plan {
+        let mut b = PlanBuilder::new("user.s1_1");
+        let mvc = b.call("sql", "mvc", MalType::Int, vec![]);
+        let tid = b.call(
+            "sql",
+            "tid",
+            MalType::bat(MalType::Oid),
+            vec![
+                Arg::Var(mvc),
+                Arg::Lit(Value::Str("sys".into())),
+                Arg::Lit(Value::Str("lineitem".into())),
+            ],
+        );
+        let col = b.call(
+            "sql",
+            "bind",
+            MalType::bat(MalType::Int),
+            vec![
+                Arg::Var(mvc),
+                Arg::Lit(Value::Str("sys".into())),
+                Arg::Lit(Value::Str("lineitem".into())),
+                Arg::Lit(Value::Str("l_partkey".into())),
+                Arg::Lit(Value::Int(0)),
+            ],
+        );
+        b.call(
+            "algebra",
+            "projection",
+            MalType::bat(MalType::Int),
+            vec![Arg::Var(tid), Arg::Var(col)],
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn node_names_follow_pc_contract() {
+        let g = plan_to_graph(&sample_plan(), LabelStyle::FullStatement);
+        assert_eq!(g.node_count(), 4);
+        for (i, n) in g.nodes().iter().enumerate() {
+            assert_eq!(n.name, format!("n{i}"));
+            assert_eq!(n.attrs["pc"], i.to_string());
+        }
+    }
+
+    #[test]
+    fn labels_are_statement_text() {
+        let plan = sample_plan();
+        let g = plan_to_graph(&plan, LabelStyle::FullStatement);
+        let n1 = g.node_by_name("n1").unwrap();
+        assert_eq!(g.node(n1).attrs["label"], plan.instructions[1].render(&plan));
+    }
+
+    #[test]
+    fn short_labels() {
+        let g = plan_to_graph(&sample_plan(), LabelStyle::Short);
+        let n3 = g.node_by_name("n3").unwrap();
+        assert_eq!(g.node(n3).attrs["label"], "algebra.projection");
+    }
+
+    #[test]
+    fn edges_carry_variable_labels() {
+        let g = plan_to_graph(&sample_plan(), LabelStyle::FullStatement);
+        // Edge n1 -> n3 carries X_1 (the tid candidate list).
+        let e = g
+            .edges()
+            .iter()
+            .find(|e| g.node(e.from).name == "n1" && g.node(e.to).name == "n3")
+            .expect("edge n1->n3 exists");
+        assert_eq!(e.attrs["label"], "X_1");
+    }
+
+    #[test]
+    fn dot_text_round_trips_through_parser() {
+        let plan = sample_plan();
+        let text = plan_to_dot(&plan, LabelStyle::FullStatement);
+        let g = parse_dot(&text).unwrap();
+        assert_eq!(g.node_count(), plan.len());
+        let n0 = g.node_by_name("n0").unwrap();
+        assert!(g.node(n0).attrs["label"].contains("sql.mvc"));
+    }
+
+    #[test]
+    fn pc_extraction() {
+        assert_eq!(node_name_to_pc("n17"), Some(17));
+        assert_eq!(node_name_to_pc("x17"), None);
+        assert_eq!(node_name_to_pc("n"), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! Dot-language writer.
+//!
+//! Emits the subset of dot that MonetDB's plan dumper produces: a
+//! `digraph` with one node statement per instruction and one edge
+//! statement per dataflow dependency, all attributes quoted.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::graph::Graph;
+
+/// Render `graph` as dot text.
+pub fn write_dot(graph: &Graph) -> String {
+    let mut out = String::new();
+    let name = if graph.name.is_empty() {
+        "G"
+    } else {
+        &graph.name
+    };
+    let _ = writeln!(out, "digraph {} {{", quote_id(name));
+    let mut gattrs: Vec<_> = graph.attrs.iter().collect();
+    gattrs.sort();
+    for (k, v) in gattrs {
+        let _ = writeln!(out, "  {}={};", quote_id(k), quote_string(v));
+    }
+    for node in graph.nodes() {
+        let _ = write!(out, "  {}", quote_id(&node.name));
+        write_attrs(&mut out, &node.attrs);
+        out.push_str(";\n");
+    }
+    for edge in graph.edges() {
+        let from = &graph.node(edge.from).name;
+        let to = &graph.node(edge.to).name;
+        let _ = write!(out, "  {} -> {}", quote_id(from), quote_id(to));
+        write_attrs(&mut out, &edge.attrs);
+        out.push_str(";\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn write_attrs(out: &mut String, attrs: &HashMap<String, String>) {
+    if attrs.is_empty() {
+        return;
+    }
+    let mut pairs: Vec<_> = attrs.iter().collect();
+    pairs.sort();
+    out.push_str(" [");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}={}", quote_id(k), quote_string(v));
+    }
+    out.push(']');
+}
+
+/// Dot identifiers need quoting unless they are alphanumeric words.
+fn quote_id(s: &str) -> String {
+    let plain = !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.chars().next().unwrap().is_ascii_digit();
+    if plain {
+        s.to_string()
+    } else {
+        quote_string(s)
+    }
+}
+
+fn quote_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn attrs(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn writes_nodes_edges_and_attrs() {
+        let mut g = Graph::new("plan");
+        let a = g
+            .add_node("n0", attrs(&[("label", "sql.mvc()"), ("shape", "box")]))
+            .unwrap();
+        let b = g.add_node("n1", attrs(&[("label", "sql.tid()")])).unwrap();
+        g.add_edge(a, b, attrs(&[("label", "X_1")])).unwrap();
+        let text = write_dot(&g);
+        assert!(text.starts_with("digraph plan {"));
+        assert!(text.contains("n0 [label=\"sql.mvc()\", shape=\"box\"];"));
+        assert!(text.contains("n0 -> n1 [label=\"X_1\"];"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn quotes_special_labels() {
+        let mut g = Graph::new("G");
+        g.add_node("n0", attrs(&[("label", "say \"hi\"\nline2")]))
+            .unwrap();
+        let text = write_dot(&g);
+        assert!(text.contains("label=\"say \\\"hi\\\"\\nline2\""));
+    }
+
+    #[test]
+    fn graph_attrs_emitted_sorted() {
+        let mut g = Graph::new("G");
+        g.attrs.insert("rankdir".into(), "TB".into());
+        g.attrs.insert("bgcolor".into(), "white".into());
+        let text = write_dot(&g);
+        let b = text.find("bgcolor").unwrap();
+        let r = text.find("rankdir").unwrap();
+        assert!(b < r, "attrs should be sorted for deterministic output");
+    }
+
+    #[test]
+    fn empty_graph_still_valid() {
+        let g = Graph::new("");
+        let text = write_dot(&g);
+        assert_eq!(text, "digraph G {\n}\n");
+    }
+}

@@ -1,0 +1,421 @@
+//! Binary Association Tables — MonetDB's columnar storage unit.
+//!
+//! A BAT logically holds (head, tail) pairs. The head is a *virtual* dense
+//! oid sequence `0..n`, so physically a BAT is just a typed vector of tail
+//! values. Selections produce *candidate lists*: BATs of oids naming the
+//! qualifying rows, kept sorted so downstream operators can exploit order.
+
+use stetho_mal::{MalType, Value};
+
+use crate::error::EngineError;
+use crate::Result;
+
+/// Typed columnar storage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Booleans.
+    Bit(Vec<bool>),
+    /// 64-bit integers (bte/sht/int/lng all collapse here).
+    Int(Vec<i64>),
+    /// Doubles.
+    Dbl(Vec<f64>),
+    /// Strings.
+    Str(Vec<String>),
+    /// Oids — candidate lists and join results.
+    Oid(Vec<u64>),
+    /// Dates, days since epoch.
+    Date(Vec<i32>),
+}
+
+impl ColumnData {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Bit(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Dbl(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Oid(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tail type.
+    pub fn tail_type(&self) -> MalType {
+        match self {
+            ColumnData::Bit(_) => MalType::Bit,
+            ColumnData::Int(_) => MalType::Int,
+            ColumnData::Dbl(_) => MalType::Dbl,
+            ColumnData::Str(_) => MalType::Str,
+            ColumnData::Oid(_) => MalType::Oid,
+            ColumnData::Date(_) => MalType::Date,
+        }
+    }
+
+    /// Allocate an empty column of a scalar type.
+    pub fn empty_of(ty: &MalType) -> Result<ColumnData> {
+        Ok(match ty {
+            MalType::Bit => ColumnData::Bit(Vec::new()),
+            MalType::Int => ColumnData::Int(Vec::new()),
+            MalType::Dbl => ColumnData::Dbl(Vec::new()),
+            MalType::Str => ColumnData::Str(Vec::new()),
+            MalType::Oid => ColumnData::Oid(Vec::new()),
+            MalType::Date => ColumnData::Date(Vec::new()),
+            other => {
+                return Err(EngineError::Other(format!(
+                    "cannot make a BAT with tail type {other}"
+                )))
+            }
+        })
+    }
+}
+
+/// A BAT: typed tail vector plus light metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bat {
+    /// Tail values.
+    pub data: ColumnData,
+    /// True when tail values are known to be non-decreasing (candidate
+    /// lists maintain this).
+    pub sorted: bool,
+}
+
+impl Bat {
+    /// Wrap column data (sortedness unknown → false).
+    pub fn new(data: ColumnData) -> Self {
+        Bat {
+            data,
+            sorted: false,
+        }
+    }
+
+    /// Wrap column data known to be sorted.
+    pub fn new_sorted(data: ColumnData) -> Self {
+        Bat { data, sorted: true }
+    }
+
+    /// Int column shorthand.
+    pub fn ints(v: Vec<i64>) -> Self {
+        Bat::new(ColumnData::Int(v))
+    }
+
+    /// Dbl column shorthand.
+    pub fn dbls(v: Vec<f64>) -> Self {
+        Bat::new(ColumnData::Dbl(v))
+    }
+
+    /// Str column shorthand.
+    pub fn strs(v: Vec<String>) -> Self {
+        Bat::new(ColumnData::Str(v))
+    }
+
+    /// Date column shorthand.
+    pub fn dates(v: Vec<i32>) -> Self {
+        Bat::new(ColumnData::Date(v))
+    }
+
+    /// Sorted oid candidate list `0..n`.
+    pub fn dense_oids(n: usize) -> Self {
+        Bat::new_sorted(ColumnData::Oid((0..n as u64).collect()))
+    }
+
+    /// Oid list shorthand (marks sorted if actually non-decreasing).
+    pub fn oids(v: Vec<u64>) -> Self {
+        let sorted = v.windows(2).all(|w| w[0] <= w[1]);
+        Bat {
+            data: ColumnData::Oid(v),
+            sorted,
+        }
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Tail type.
+    pub fn tail_type(&self) -> MalType {
+        self.data.tail_type()
+    }
+
+    /// The BAT's MAL type (`bat[:tail]`).
+    pub fn mal_type(&self) -> MalType {
+        MalType::bat(self.tail_type())
+    }
+
+    /// Value at row `i`.
+    pub fn get(&self, i: usize) -> Option<Value> {
+        if i >= self.len() {
+            return None;
+        }
+        Some(match &self.data {
+            ColumnData::Bit(v) => Value::Bit(v[i]),
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Dbl(v) => Value::Dbl(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+            ColumnData::Oid(v) => Value::Oid(v[i]),
+            ColumnData::Date(v) => Value::Date(v[i]),
+        })
+    }
+
+    /// Oid slice view; errors if the tail is not oid.
+    pub fn as_oids(&self) -> Result<&[u64]> {
+        match &self.data {
+            ColumnData::Oid(v) => Ok(v),
+            other => Err(EngineError::TypeMismatch {
+                op: "as_oids".into(),
+                expected: "bat[:oid]".into(),
+                got: other.tail_type().to_string(),
+            }),
+        }
+    }
+
+    /// Int slice view.
+    pub fn as_ints(&self) -> Result<&[i64]> {
+        match &self.data {
+            ColumnData::Int(v) => Ok(v),
+            other => Err(EngineError::TypeMismatch {
+                op: "as_ints".into(),
+                expected: "bat[:int]".into(),
+                got: other.tail_type().to_string(),
+            }),
+        }
+    }
+
+    /// Dbl slice view.
+    pub fn as_dbls(&self) -> Result<&[f64]> {
+        match &self.data {
+            ColumnData::Dbl(v) => Ok(v),
+            other => Err(EngineError::TypeMismatch {
+                op: "as_dbls".into(),
+                expected: "bat[:dbl]".into(),
+                got: other.tail_type().to_string(),
+            }),
+        }
+    }
+
+    /// Bit slice view.
+    pub fn as_bits(&self) -> Result<&[bool]> {
+        match &self.data {
+            ColumnData::Bit(v) => Ok(v),
+            other => Err(EngineError::TypeMismatch {
+                op: "as_bits".into(),
+                expected: "bat[:bit]".into(),
+                got: other.tail_type().to_string(),
+            }),
+        }
+    }
+
+    /// Approximate heap footprint in bytes; feeds the trace `rss` field.
+    pub fn bytes(&self) -> usize {
+        match &self.data {
+            ColumnData::Bit(v) => v.len(),
+            ColumnData::Int(v) => v.len() * 8,
+            ColumnData::Dbl(v) => v.len() * 8,
+            ColumnData::Oid(v) => v.len() * 8,
+            ColumnData::Date(v) => v.len() * 4,
+            ColumnData::Str(v) => v.iter().map(|s| s.len() + 24).sum(),
+        }
+    }
+
+    /// Fetch tail values at the given positions (the projection kernel).
+    pub fn gather(&self, positions: &[u64]) -> Result<Bat> {
+        let n = self.len();
+        let check = |o: u64| -> Result<usize> {
+            let i = o as usize;
+            if i >= n {
+                Err(EngineError::OidOutOfRange { oid: o, len: n })
+            } else {
+                Ok(i)
+            }
+        };
+        let data = match &self.data {
+            ColumnData::Bit(v) => {
+                let mut out = Vec::with_capacity(positions.len());
+                for &o in positions {
+                    out.push(v[check(o)?]);
+                }
+                ColumnData::Bit(out)
+            }
+            ColumnData::Int(v) => {
+                let mut out = Vec::with_capacity(positions.len());
+                for &o in positions {
+                    out.push(v[check(o)?]);
+                }
+                ColumnData::Int(out)
+            }
+            ColumnData::Dbl(v) => {
+                let mut out = Vec::with_capacity(positions.len());
+                for &o in positions {
+                    out.push(v[check(o)?]);
+                }
+                ColumnData::Dbl(out)
+            }
+            ColumnData::Str(v) => {
+                let mut out = Vec::with_capacity(positions.len());
+                for &o in positions {
+                    out.push(v[check(o)?].clone());
+                }
+                ColumnData::Str(out)
+            }
+            ColumnData::Oid(v) => {
+                let mut out = Vec::with_capacity(positions.len());
+                for &o in positions {
+                    out.push(v[check(o)?]);
+                }
+                ColumnData::Oid(out)
+            }
+            ColumnData::Date(v) => {
+                let mut out = Vec::with_capacity(positions.len());
+                for &o in positions {
+                    out.push(v[check(o)?]);
+                }
+                ColumnData::Date(out)
+            }
+        };
+        Ok(Bat::new(data))
+    }
+
+    /// Concatenate `other` after `self` (both must share tail type).
+    pub fn concat(&self, other: &Bat) -> Result<Bat> {
+        use ColumnData::*;
+        let data = match (&self.data, &other.data) {
+            (Bit(a), Bit(b)) => Bit(a.iter().chain(b).copied().collect()),
+            (Int(a), Int(b)) => Int(a.iter().chain(b).copied().collect()),
+            (Dbl(a), Dbl(b)) => Dbl(a.iter().chain(b).copied().collect()),
+            (Str(a), Str(b)) => Str(a.iter().chain(b).cloned().collect()),
+            (Oid(a), Oid(b)) => Oid(a.iter().chain(b).copied().collect()),
+            (Date(a), Date(b)) => Date(a.iter().chain(b).copied().collect()),
+            (a, b) => {
+                return Err(EngineError::TypeMismatch {
+                    op: "bat.append".into(),
+                    expected: a.tail_type().to_string(),
+                    got: b.tail_type().to_string(),
+                })
+            }
+        };
+        Ok(Bat::new(data))
+    }
+
+    /// Positional slice `[lo, hi)` clamped to the BAT length.
+    pub fn slice(&self, lo: usize, hi: usize) -> Bat {
+        let hi = hi.min(self.len());
+        let lo = lo.min(hi);
+        let data = match &self.data {
+            ColumnData::Bit(v) => ColumnData::Bit(v[lo..hi].to_vec()),
+            ColumnData::Int(v) => ColumnData::Int(v[lo..hi].to_vec()),
+            ColumnData::Dbl(v) => ColumnData::Dbl(v[lo..hi].to_vec()),
+            ColumnData::Str(v) => ColumnData::Str(v[lo..hi].to_vec()),
+            ColumnData::Oid(v) => ColumnData::Oid(v[lo..hi].to_vec()),
+            ColumnData::Date(v) => ColumnData::Date(v[lo..hi].to_vec()),
+        };
+        Bat {
+            data,
+            sorted: self.sorted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_oids_are_sorted() {
+        let b = Bat::dense_oids(5);
+        assert_eq!(b.len(), 5);
+        assert!(b.sorted);
+        assert_eq!(b.as_oids().unwrap(), &[0, 1, 2, 3, 4]);
+        assert_eq!(b.tail_type(), MalType::Oid);
+        assert_eq!(b.mal_type(), MalType::bat(MalType::Oid));
+    }
+
+    #[test]
+    fn oids_detects_sortedness() {
+        assert!(Bat::oids(vec![1, 3, 3, 7]).sorted);
+        assert!(!Bat::oids(vec![3, 1]).sorted);
+    }
+
+    #[test]
+    fn get_returns_typed_values() {
+        let b = Bat::ints(vec![10, 20]);
+        assert_eq!(b.get(0), Some(Value::Int(10)));
+        assert_eq!(b.get(2), None);
+        let s = Bat::strs(vec!["a".into()]);
+        assert_eq!(s.get(0), Some(Value::Str("a".into())));
+    }
+
+    #[test]
+    fn gather_projects_positions() {
+        let col = Bat::ints(vec![10, 20, 30, 40]);
+        let out = col.gather(&[3, 1]).unwrap();
+        assert_eq!(out.as_ints().unwrap(), &[40, 20]);
+    }
+
+    #[test]
+    fn gather_checks_bounds() {
+        let col = Bat::ints(vec![1]);
+        assert!(matches!(
+            col.gather(&[5]),
+            Err(EngineError::OidOutOfRange { oid: 5, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn concat_same_type() {
+        let a = Bat::ints(vec![1, 2]);
+        let b = Bat::ints(vec![3]);
+        assert_eq!(a.concat(&b).unwrap().as_ints().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn concat_type_mismatch() {
+        let a = Bat::ints(vec![1]);
+        let b = Bat::dbls(vec![1.0]);
+        assert!(a.concat(&b).is_err());
+    }
+
+    #[test]
+    fn slice_clamps() {
+        let b = Bat::ints(vec![1, 2, 3, 4]);
+        assert_eq!(b.slice(1, 3).as_ints().unwrap(), &[2, 3]);
+        assert_eq!(b.slice(3, 99).as_ints().unwrap(), &[4]);
+        assert_eq!(b.slice(9, 99).len(), 0);
+    }
+
+    #[test]
+    fn bytes_estimates() {
+        assert_eq!(Bat::ints(vec![1, 2]).bytes(), 16);
+        assert_eq!(Bat::dates(vec![1]).bytes(), 4);
+        assert!(Bat::strs(vec!["abc".into()]).bytes() >= 3);
+    }
+
+    #[test]
+    fn typed_views_reject_wrong_type() {
+        let b = Bat::ints(vec![1]);
+        assert!(b.as_oids().is_err());
+        assert!(b.as_dbls().is_err());
+        assert!(b.as_bits().is_err());
+        assert!(b.as_ints().is_ok());
+    }
+
+    #[test]
+    fn empty_of_scalar_types() {
+        for t in [MalType::Bit, MalType::Int, MalType::Dbl, MalType::Str, MalType::Oid, MalType::Date] {
+            let c = ColumnData::empty_of(&t).unwrap();
+            assert_eq!(c.tail_type(), t);
+            assert!(c.is_empty());
+        }
+        assert!(ColumnData::empty_of(&MalType::bat(MalType::Int)).is_err());
+    }
+}

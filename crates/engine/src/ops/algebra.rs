@@ -1,0 +1,555 @@
+//! `algebra.*` — selections, projections, joins, sorting.
+//!
+//! Selections return *candidate lists* (sorted oid BATs); `projection`
+//! (and the legacy `leftjoin` of the paper's §2 example) fetches tail
+//! values at candidate positions; `join` is a hash equi-join returning
+//! matching position pairs.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use stetho_mal::Value;
+
+use crate::bat::{Bat, ColumnData};
+use crate::error::EngineError;
+use crate::rt::RuntimeValue;
+use crate::Result;
+
+use super::expect_int;
+
+/// Compare a column cell against a scalar. Errors on incomparable types.
+fn cmp_cell(col: &ColumnData, i: usize, v: &Value) -> Result<Ordering> {
+    let err = || EngineError::TypeMismatch {
+        op: "algebra.compare".into(),
+        expected: col.tail_type().to_string(),
+        got: v.mal_type().to_string(),
+    };
+    match (col, v) {
+        (ColumnData::Int(c), Value::Int(x)) => Ok(c[i].cmp(x)),
+        (ColumnData::Int(c), Value::Dbl(x)) => {
+            Ok((c[i] as f64).partial_cmp(x).unwrap_or(Ordering::Less))
+        }
+        (ColumnData::Dbl(c), _) => {
+            let x = v.as_dbl().ok_or_else(err)?;
+            Ok(c[i].partial_cmp(&x).unwrap_or(Ordering::Less))
+        }
+        (ColumnData::Str(c), Value::Str(x)) => Ok(c[i].as_str().cmp(x.as_str())),
+        (ColumnData::Oid(c), Value::Oid(x)) => Ok(c[i].cmp(x)),
+        (ColumnData::Oid(c), Value::Int(x)) => Ok((c[i] as i64).cmp(x)),
+        (ColumnData::Date(c), Value::Date(x)) => Ok(c[i].cmp(x)),
+        (ColumnData::Date(c), Value::Int(x)) => Ok((c[i] as i64).cmp(x)),
+        (ColumnData::Bit(c), Value::Bit(x)) => Ok(c[i].cmp(x)),
+        _ => Err(err()),
+    }
+}
+
+/// `algebra.select` — range select producing a candidate list.
+///
+/// Forms (distinguished by whether the second argument is a BAT):
+/// * `select(col, low, high, inclusive:bit)`
+/// * `select(col, cand, low, high, inclusive:bit)`
+/// * `select(col, cand, low, high, li:bit, hi:bit)`
+///
+/// `nil` bounds are unbounded on that side. Equality selects are
+/// `low == high` with inclusive bounds (the Figure-1 query compiles to
+/// `algebra.select(l_partkey, tid, 1, 1, true)`).
+pub fn select(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
+    let op = "algebra.select";
+    if args.len() < 4 || args.len() > 6 {
+        return Err(EngineError::Arity {
+            op: op.into(),
+            msg: format!("expected 4-6 args, got {}", args.len()),
+        });
+    }
+    let col = args[0].as_bat(op)?;
+    let with_cand = matches!(args[1], RuntimeValue::Bat(_));
+    let (cand, rest) = if with_cand {
+        (Some(args[1].as_bat(op)?), &args[2..])
+    } else {
+        (None, &args[1..])
+    };
+    if rest.len() < 3 {
+        return Err(EngineError::Arity {
+            op: op.into(),
+            msg: "missing bounds".into(),
+        });
+    }
+    let low = rest[0].as_scalar(op)?;
+    let high = rest[1].as_scalar(op)?;
+    let li = rest[2]
+        .as_scalar(op)?
+        .as_bit()
+        .ok_or_else(|| EngineError::TypeMismatch {
+            op: op.into(),
+            expected: "bit".into(),
+            got: rest[2].mal_type().to_string(),
+        })?;
+    let hi = if rest.len() > 3 {
+        rest[3]
+            .as_scalar(op)?
+            .as_bit()
+            .ok_or_else(|| EngineError::TypeMismatch {
+                op: op.into(),
+                expected: "bit".into(),
+                got: rest[3].mal_type().to_string(),
+            })?
+    } else {
+        li
+    };
+
+    let keep = |i: usize| -> Result<bool> {
+        if !low.is_nil() {
+            let c = cmp_cell(&col.data, i, low)?;
+            if c == Ordering::Less || (!li && c == Ordering::Equal) {
+                return Ok(false);
+            }
+        }
+        if !high.is_nil() {
+            let c = cmp_cell(&col.data, i, high)?;
+            if c == Ordering::Greater || (!hi && c == Ordering::Equal) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    };
+
+    let mut out = Vec::new();
+    match cand {
+        Some(cand) => {
+            for &o in cand.as_oids()? {
+                let i = o as usize;
+                if i >= col.len() {
+                    return Err(EngineError::OidOutOfRange {
+                        oid: o,
+                        len: col.len(),
+                    });
+                }
+                if keep(i)? {
+                    out.push(o);
+                }
+            }
+        }
+        None => {
+            for i in 0..col.len() {
+                if keep(i)? {
+                    out.push(i as u64);
+                }
+            }
+        }
+    }
+    Ok(vec![RuntimeValue::bat(Bat::new_sorted(ColumnData::Oid(out)))])
+}
+
+/// `algebra.thetaselect(col, cand, val, op:str)` — select by comparison.
+pub fn thetaselect(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
+    let op = "algebra.thetaselect";
+    if args.len() != 4 {
+        return Err(EngineError::Arity {
+            op: op.into(),
+            msg: format!("expected 4 args, got {}", args.len()),
+        });
+    }
+    let col = args[0].as_bat(op)?;
+    let cand = args[1].as_bat(op)?;
+    let val = args[2].as_scalar(op)?;
+    let theta = super::expect_str(op, &args[3])?;
+    let pred: fn(Ordering) -> bool = match theta.as_str() {
+        "==" => |o| o == Ordering::Equal,
+        "!=" => |o| o != Ordering::Equal,
+        "<" => |o| o == Ordering::Less,
+        "<=" => |o| o != Ordering::Greater,
+        ">" => |o| o == Ordering::Greater,
+        ">=" => |o| o != Ordering::Less,
+        other => {
+            return Err(EngineError::Other(format!(
+                "{op}: unknown comparison `{other}`"
+            )))
+        }
+    };
+    let mut out = Vec::new();
+    for &o in cand.as_oids()? {
+        let i = o as usize;
+        if i >= col.len() {
+            return Err(EngineError::OidOutOfRange {
+                oid: o,
+                len: col.len(),
+            });
+        }
+        if pred(cmp_cell(&col.data, i, val)?) {
+            out.push(o);
+        }
+    }
+    Ok(vec![RuntimeValue::bat(Bat::new_sorted(ColumnData::Oid(out)))])
+}
+
+/// `algebra.projection(cand, col)` — fetch tail values at candidates.
+pub fn projection(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
+    let op = "algebra.projection";
+    if args.len() != 2 {
+        return Err(EngineError::Arity {
+            op: op.into(),
+            msg: format!("expected 2 args, got {}", args.len()),
+        });
+    }
+    let cand = args[0].as_bat(op)?;
+    let col = args[1].as_bat(op)?;
+    Ok(vec![RuntimeValue::bat(col.gather(cand.as_oids()?)?)])
+}
+
+/// `algebra.leftjoin(oids, col)` — the legacy fetch-join the paper's §2
+/// example uses (`algebra.leftjoin(X_23, X_10)`): tail values of `col`
+/// at the oid positions in the first argument.
+pub fn leftjoin(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
+    let op = "algebra.leftjoin";
+    if args.len() != 2 {
+        return Err(EngineError::Arity {
+            op: op.into(),
+            msg: format!("expected 2 args, got {}", args.len()),
+        });
+    }
+    let oids = args[0].as_bat(op)?;
+    let col = args[1].as_bat(op)?;
+    Ok(vec![RuntimeValue::bat(col.gather(oids.as_oids()?)?)])
+}
+
+/// Hashable key over column cells for the join build side.
+#[derive(Hash, PartialEq, Eq)]
+enum Key<'a> {
+    Int(i64),
+    Bits(u64),
+    Str(&'a str),
+    Bool(bool),
+}
+
+fn key_at(col: &ColumnData, i: usize) -> Key<'_> {
+    match col {
+        ColumnData::Int(v) => Key::Int(v[i]),
+        ColumnData::Oid(v) => Key::Int(v[i] as i64),
+        ColumnData::Date(v) => Key::Int(v[i] as i64),
+        ColumnData::Dbl(v) => Key::Bits(v[i].to_bits()),
+        ColumnData::Str(v) => Key::Str(&v[i]),
+        ColumnData::Bit(v) => Key::Bool(v[i]),
+    }
+}
+
+/// `algebra.join(l, r)` — hash equi-join; returns matching positions
+/// `(l_oids, r_oids)` ordered by left position.
+pub fn join(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
+    let op = "algebra.join";
+    if args.len() < 2 {
+        return Err(EngineError::Arity {
+            op: op.into(),
+            msg: format!("expected at least 2 args, got {}", args.len()),
+        });
+    }
+    let l = args[0].as_bat(op)?;
+    let r = args[1].as_bat(op)?;
+    if std::mem::discriminant(&l.data) != std::mem::discriminant(&r.data) {
+        return Err(EngineError::TypeMismatch {
+            op: op.into(),
+            expected: l.tail_type().to_string(),
+            got: r.tail_type().to_string(),
+        });
+    }
+    // Build on the smaller side.
+    let (build, probe, swapped) = if r.len() <= l.len() {
+        (r, l, false)
+    } else {
+        (l, r, true)
+    };
+    let mut table: HashMap<Key<'_>, Vec<u64>> = HashMap::with_capacity(build.len());
+    for i in 0..build.len() {
+        table.entry(key_at(&build.data, i)).or_default().push(i as u64);
+    }
+    let mut probe_out = Vec::new();
+    let mut build_out = Vec::new();
+    for i in 0..probe.len() {
+        if let Some(matches) = table.get(&key_at(&probe.data, i)) {
+            for &m in matches {
+                probe_out.push(i as u64);
+                build_out.push(m);
+            }
+        }
+    }
+    let (lo, ro) = if swapped {
+        (build_out, probe_out)
+    } else {
+        (probe_out, build_out)
+    };
+    Ok(vec![
+        RuntimeValue::bat(Bat::new(ColumnData::Oid(lo))),
+        RuntimeValue::bat(Bat::new(ColumnData::Oid(ro))),
+    ])
+}
+
+fn order_of(col: &ColumnData, reverse: bool) -> Vec<u64> {
+    let n = col.len();
+    let mut idx: Vec<u64> = (0..n as u64).collect();
+    let cmp = |&a: &u64, &b: &u64| -> Ordering {
+        let (a, b) = (a as usize, b as usize);
+        match col {
+            ColumnData::Int(v) => v[a].cmp(&v[b]),
+            ColumnData::Oid(v) => v[a].cmp(&v[b]),
+            ColumnData::Date(v) => v[a].cmp(&v[b]),
+            ColumnData::Bit(v) => v[a].cmp(&v[b]),
+            ColumnData::Str(v) => v[a].cmp(&v[b]),
+            ColumnData::Dbl(v) => v[a].partial_cmp(&v[b]).unwrap_or(Ordering::Equal),
+        }
+    };
+    idx.sort_by(cmp);
+    if reverse {
+        idx.reverse();
+    }
+    idx
+}
+
+/// `algebra.sort(col [, reverse:bit])` — returns `(sorted_values,
+/// order_oids)`; the order BAT re-orders any aligned column via
+/// `projection`.
+pub fn sort(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
+    let op = "algebra.sort";
+    if args.is_empty() || args.len() > 3 {
+        return Err(EngineError::Arity {
+            op: op.into(),
+            msg: format!("expected 1-3 args, got {}", args.len()),
+        });
+    }
+    let col = args[0].as_bat(op)?;
+    let reverse = if args.len() > 1 {
+        args[1].as_scalar(op)?.as_bit().unwrap_or(false)
+    } else {
+        false
+    };
+    let order = order_of(&col.data, reverse);
+    let sorted = col.gather(&order)?;
+    let mut sorted = sorted;
+    sorted.sorted = !reverse;
+    Ok(vec![
+        RuntimeValue::bat(sorted),
+        RuntimeValue::bat(Bat::new(ColumnData::Oid(order))),
+    ])
+}
+
+/// `algebra.firstn(col, n:int, asc:bit)` — candidate list of the first N
+/// positions in sort order (top-N for LIMIT).
+pub fn firstn(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
+    let op = "algebra.firstn";
+    if args.len() != 3 {
+        return Err(EngineError::Arity {
+            op: op.into(),
+            msg: format!("expected 3 args, got {}", args.len()),
+        });
+    }
+    let col = args[0].as_bat(op)?;
+    let n = expect_int(op, &args[1])?.max(0) as usize;
+    let asc = args[2].as_scalar(op)?.as_bit().unwrap_or(true);
+    let mut order = order_of(&col.data, !asc);
+    order.truncate(n);
+    Ok(vec![RuntimeValue::bat(Bat::new(ColumnData::Oid(order)))])
+}
+
+/// `algebra.slice(b, lo:int, hi:int)` — positional slice `[lo, hi)`.
+/// Mitosis uses this to partition candidate lists.
+pub fn slice(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
+    let op = "algebra.slice";
+    if args.len() != 3 {
+        return Err(EngineError::Arity {
+            op: op.into(),
+            msg: format!("expected 3 args, got {}", args.len()),
+        });
+    }
+    let b = args[0].as_bat(op)?;
+    let lo = expect_int(op, &args[1])?.max(0) as usize;
+    let hi = expect_int(op, &args[2])?.max(0) as usize;
+    Ok(vec![RuntimeValue::bat(b.slice(lo, hi))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rb(b: Bat) -> RuntimeValue {
+        RuntimeValue::bat(b)
+    }
+
+    fn ri(x: i64) -> RuntimeValue {
+        RuntimeValue::Scalar(Value::Int(x))
+    }
+
+    fn rbit(x: bool) -> RuntimeValue {
+        RuntimeValue::Scalar(Value::Bit(x))
+    }
+
+    fn rnil() -> RuntimeValue {
+        RuntimeValue::Scalar(Value::Nil(stetho_mal::MalType::Int))
+    }
+
+    fn oids(v: &RuntimeValue) -> Vec<u64> {
+        v.as_bat("t").unwrap().as_oids().unwrap().to_vec()
+    }
+
+    #[test]
+    fn select_equality() {
+        let col = Bat::ints(vec![5, 1, 5, 3, 5]);
+        let out = select(&[rb(col), ri(5), ri(5), rbit(true)]).unwrap();
+        assert_eq!(oids(&out[0]), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn select_range_with_candidates() {
+        let col = Bat::ints(vec![10, 20, 30, 40, 50]);
+        let cand = Bat::oids(vec![0, 2, 4]);
+        let out = select(&[rb(col), rb(cand), ri(15), ri(45), rbit(true)]).unwrap();
+        assert_eq!(oids(&out[0]), vec![2]);
+    }
+
+    #[test]
+    fn select_exclusive_bounds() {
+        let col = Bat::ints(vec![1, 2, 3, 4]);
+        let cand = Bat::dense_oids(4);
+        // (1, 4) exclusive both sides → values 2,3.
+        let out = select(&[rb(col), rb(cand), ri(1), ri(4), rbit(false), rbit(false)]).unwrap();
+        assert_eq!(oids(&out[0]), vec![1, 2]);
+    }
+
+    #[test]
+    fn select_nil_bounds_are_unbounded() {
+        let col = Bat::ints(vec![1, 2, 3]);
+        let out = select(&[rb(col.clone()), rnil(), ri(2), rbit(true)]).unwrap();
+        assert_eq!(oids(&out[0]), vec![0, 1]);
+        let out = select(&[rb(col), ri(2), rnil(), rbit(true)]).unwrap();
+        assert_eq!(oids(&out[0]), vec![1, 2]);
+    }
+
+    #[test]
+    fn select_on_strings_and_dbls() {
+        let col = Bat::strs(vec!["b".into(), "a".into(), "c".into()]);
+        let out = select(&[
+            rb(col),
+            RuntimeValue::Scalar(Value::Str("a".into())),
+            RuntimeValue::Scalar(Value::Str("b".into())),
+            rbit(true),
+        ])
+        .unwrap();
+        assert_eq!(oids(&out[0]), vec![0, 1]);
+
+        let col = Bat::dbls(vec![0.5, 1.5, 2.5]);
+        let out = select(&[
+            rb(col),
+            RuntimeValue::Scalar(Value::Dbl(1.0)),
+            RuntimeValue::Scalar(Value::Dbl(3.0)),
+            rbit(true),
+        ])
+        .unwrap();
+        assert_eq!(oids(&out[0]), vec![1, 2]);
+    }
+
+    #[test]
+    fn thetaselect_all_operators() {
+        let col = Bat::ints(vec![1, 2, 3]);
+        let cand = Bat::dense_oids(3);
+        let run = |theta: &str| {
+            oids(&thetaselect(&[
+                rb(col.clone()),
+                rb(cand.clone()),
+                ri(2),
+                RuntimeValue::Scalar(Value::Str(theta.into())),
+            ])
+            .unwrap()[0])
+        };
+        assert_eq!(run("=="), vec![1]);
+        assert_eq!(run("!="), vec![0, 2]);
+        assert_eq!(run("<"), vec![0]);
+        assert_eq!(run("<="), vec![0, 1]);
+        assert_eq!(run(">"), vec![2]);
+        assert_eq!(run(">="), vec![1, 2]);
+    }
+
+    #[test]
+    fn projection_fetches() {
+        let cand = Bat::oids(vec![2, 0]);
+        let col = Bat::dbls(vec![0.1, 0.2, 0.3]);
+        let out = projection(&[rb(cand), rb(col)]).unwrap();
+        assert_eq!(out[0].as_bat("t").unwrap().as_dbls().unwrap(), &[0.3, 0.1]);
+    }
+
+    #[test]
+    fn leftjoin_is_fetch_join() {
+        let oids_bat = Bat::oids(vec![1, 1, 0]);
+        let col = Bat::ints(vec![10, 20]);
+        let out = leftjoin(&[rb(oids_bat), rb(col)]).unwrap();
+        assert_eq!(out[0].as_bat("t").unwrap().as_ints().unwrap(), &[20, 20, 10]);
+    }
+
+    #[test]
+    fn join_matches_pairs() {
+        let l = Bat::ints(vec![1, 2, 3, 2]);
+        let r = Bat::ints(vec![2, 4, 1]);
+        let out = join(&[rb(l), rb(r)]).unwrap();
+        let lo = oids(&out[0]);
+        let ro = oids(&out[1]);
+        let pairs: Vec<(u64, u64)> = lo.into_iter().zip(ro).collect();
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![(0, 2), (1, 0), (3, 0)]);
+    }
+
+    #[test]
+    fn join_on_strings() {
+        let l = Bat::strs(vec!["a".into(), "b".into()]);
+        let r = Bat::strs(vec!["b".into(), "b".into()]);
+        let out = join(&[rb(l), rb(r)]).unwrap();
+        assert_eq!(oids(&out[0]), vec![1, 1]);
+        let mut ro = oids(&out[1]);
+        ro.sort_unstable();
+        assert_eq!(ro, vec![0, 1]);
+    }
+
+    #[test]
+    fn join_type_mismatch() {
+        let l = Bat::ints(vec![1]);
+        let r = Bat::strs(vec!["x".into()]);
+        assert!(join(&[rb(l), rb(r)]).is_err());
+    }
+
+    #[test]
+    fn sort_returns_order() {
+        let col = Bat::ints(vec![3, 1, 2]);
+        let out = sort(&[rb(col)]).unwrap();
+        assert_eq!(out[0].as_bat("t").unwrap().as_ints().unwrap(), &[1, 2, 3]);
+        assert_eq!(oids(&out[1]), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn sort_reverse() {
+        let col = Bat::ints(vec![3, 1, 2]);
+        let out = sort(&[rb(col), rbit(true)]).unwrap();
+        assert_eq!(out[0].as_bat("t").unwrap().as_ints().unwrap(), &[3, 2, 1]);
+    }
+
+    #[test]
+    fn firstn_top_and_bottom() {
+        let col = Bat::ints(vec![30, 10, 20, 40]);
+        let out = firstn(&[rb(col.clone()), ri(2), rbit(true)]).unwrap();
+        assert_eq!(oids(&out[0]), vec![1, 2]);
+        let out = firstn(&[rb(col), ri(2), rbit(false)]).unwrap();
+        assert_eq!(oids(&out[0]), vec![3, 0]);
+    }
+
+    #[test]
+    fn slice_positional() {
+        let b = Bat::dense_oids(10);
+        let out = slice(&[rb(b), ri(3), ri(6)]).unwrap();
+        assert_eq!(oids(&out[0]), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn select_candidate_out_of_range() {
+        let col = Bat::ints(vec![1]);
+        let cand = Bat::oids(vec![5]);
+        assert!(matches!(
+            select(&[rb(col), rb(cand), ri(0), ri(9), rbit(true)]),
+            Err(EngineError::OidOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,128 @@
+//! `bat.*` and `mat.*` — BAT bookkeeping and merge-table packing.
+
+use stetho_mal::{MalType, Value};
+
+use crate::bat::{Bat, ColumnData};
+use crate::error::EngineError;
+use crate::rt::RuntimeValue;
+use crate::Result;
+
+/// `bat.new([tail_type:str])` — allocate an empty BAT. With no argument
+/// the tail defaults to `int`.
+pub fn new_bat(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
+    let op = "bat.new";
+    let ty = match args {
+        [] => MalType::Int,
+        [t] => match t.as_scalar(op)? {
+            Value::Str(name) => name.parse::<MalType>().map_err(|_| EngineError::Other(
+                format!("{op}: unknown tail type `{name}`"),
+            ))?,
+            other => {
+                return Err(EngineError::TypeMismatch {
+                    op: op.into(),
+                    expected: "str type name".into(),
+                    got: other.mal_type().to_string(),
+                })
+            }
+        },
+        _ => {
+            return Err(EngineError::Arity {
+                op: op.into(),
+                msg: format!("expected 0-1 args, got {}", args.len()),
+            })
+        }
+    };
+    Ok(vec![RuntimeValue::bat(Bat::new(ColumnData::empty_of(&ty)?))])
+}
+
+/// `bat.append(a, b)` — concatenation (functional: returns a new BAT).
+pub fn append(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
+    let op = "bat.append";
+    if args.len() != 2 {
+        return Err(EngineError::Arity {
+            op: op.into(),
+            msg: format!("expected 2 args, got {}", args.len()),
+        });
+    }
+    let a = args[0].as_bat(op)?;
+    let b = args[1].as_bat(op)?;
+    Ok(vec![RuntimeValue::bat(a.concat(b)?)])
+}
+
+/// `bat.mirror(b)` — the head oids as tail values: dense `0..len`.
+pub fn mirror(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
+    let op = "bat.mirror";
+    let b = super::one_arg(op, args)?.as_bat(op)?;
+    Ok(vec![RuntimeValue::bat(Bat::dense_oids(b.len()))])
+}
+
+/// `mat.pack(b1, ..., bk)` — concatenate partition results back into one
+/// BAT; the glue instruction the mitosis optimizer inserts.
+pub fn pack(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
+    let op = "mat.pack";
+    if args.is_empty() {
+        return Err(EngineError::Arity {
+            op: op.into(),
+            msg: "expected at least 1 argument".into(),
+        });
+    }
+    let first = args[0].as_bat(op)?;
+    let mut acc = (**first).clone();
+    for a in &args[1..] {
+        acc = acc.concat(a.as_bat(op)?)?;
+    }
+    Ok(vec![RuntimeValue::bat(acc)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rb(b: Bat) -> RuntimeValue {
+        RuntimeValue::bat(b)
+    }
+
+    #[test]
+    fn new_bat_types() {
+        let out = new_bat(&[]).unwrap();
+        assert_eq!(out[0].mal_type(), MalType::bat(MalType::Int));
+        let out = new_bat(&[RuntimeValue::Scalar(Value::Str("dbl".into()))]).unwrap();
+        assert_eq!(out[0].mal_type(), MalType::bat(MalType::Dbl));
+        assert!(new_bat(&[RuntimeValue::Scalar(Value::Str("wibble".into()))]).is_err());
+    }
+
+    #[test]
+    fn append_concats() {
+        let out = append(&[rb(Bat::ints(vec![1])), rb(Bat::ints(vec![2, 3]))]).unwrap();
+        assert_eq!(out[0].as_bat("t").unwrap().as_ints().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn mirror_is_dense() {
+        let out = mirror(&[rb(Bat::strs(vec!["a".into(), "b".into()]))]).unwrap();
+        assert_eq!(out[0].as_bat("t").unwrap().as_oids().unwrap(), &[0, 1]);
+    }
+
+    #[test]
+    fn pack_many() {
+        let out = pack(&[
+            rb(Bat::ints(vec![1])),
+            rb(Bat::ints(vec![2])),
+            rb(Bat::ints(vec![3, 4])),
+        ])
+        .unwrap();
+        assert_eq!(out[0].as_bat("t").unwrap().as_ints().unwrap(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pack_single_is_identity() {
+        let out = pack(&[rb(Bat::dbls(vec![1.5]))]).unwrap();
+        assert_eq!(out[0].as_bat("t").unwrap().as_dbls().unwrap(), &[1.5]);
+    }
+
+    #[test]
+    fn pack_type_mismatch() {
+        assert!(pack(&[rb(Bat::ints(vec![1])), rb(Bat::dbls(vec![1.0]))]).is_err());
+        assert!(pack(&[]).is_err());
+    }
+}

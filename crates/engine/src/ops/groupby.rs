@@ -1,0 +1,178 @@
+//! `group.*` — grouping for aggregation.
+//!
+//! `group.group(col)` assigns each row a group id (dense oids in order of
+//! first occurrence) and returns `(groups, extents, histo)`:
+//! * `groups: bat[:oid]` — group id per input row,
+//! * `extents: bat[:oid]` — position of each group's first row,
+//! * `histo: bat[:int]` — rows per group.
+//!
+//! `group.subgroup(col, groups)` refines an existing grouping with an
+//! additional column (multi-column GROUP BY chains these).
+
+use std::collections::HashMap;
+
+use crate::bat::{Bat, ColumnData};
+use crate::error::EngineError;
+use crate::rt::RuntimeValue;
+use crate::Result;
+
+/// Hashable row-key view over one column.
+#[derive(Hash, PartialEq, Eq, Clone)]
+enum Key {
+    Int(i64),
+    Bits(u64),
+    Str(String),
+    Bool(bool),
+}
+
+fn key_at(col: &ColumnData, i: usize) -> Key {
+    match col {
+        ColumnData::Int(v) => Key::Int(v[i]),
+        ColumnData::Oid(v) => Key::Int(v[i] as i64),
+        ColumnData::Date(v) => Key::Int(v[i] as i64),
+        ColumnData::Dbl(v) => Key::Bits(v[i].to_bits()),
+        ColumnData::Str(v) => Key::Str(v[i].clone()),
+        ColumnData::Bit(v) => Key::Bool(v[i]),
+    }
+}
+
+fn group_by_keys(keys: impl Iterator<Item = Key>, n: usize) -> (Vec<u64>, Vec<u64>, Vec<i64>) {
+    let mut ids: HashMap<Key, u64> = HashMap::new();
+    let mut groups = Vec::with_capacity(n);
+    let mut extents = Vec::new();
+    let mut histo: Vec<i64> = Vec::new();
+    for (i, k) in keys.enumerate() {
+        let next = ids.len() as u64;
+        let id = *ids.entry(k).or_insert_with(|| {
+            extents.push(i as u64);
+            histo.push(0);
+            next
+        });
+        histo[id as usize] += 1;
+        groups.push(id);
+    }
+    (groups, extents, histo)
+}
+
+/// `group.group(col)`.
+pub fn group(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
+    let op = "group.group";
+    let col = super::one_arg(op, args)?.as_bat(op)?;
+    let n = col.len();
+    let (groups, extents, histo) = group_by_keys((0..n).map(|i| key_at(&col.data, i)), n);
+    Ok(vec![
+        RuntimeValue::bat(Bat::new(ColumnData::Oid(groups))),
+        RuntimeValue::bat(Bat::new(ColumnData::Oid(extents))),
+        RuntimeValue::bat(Bat::new(ColumnData::Int(histo))),
+    ])
+}
+
+/// `group.subgroup(col, groups)` — refine `groups` by `col`.
+pub fn subgroup(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
+    let op = "group.subgroup";
+    if args.len() != 2 {
+        return Err(EngineError::Arity {
+            op: op.into(),
+            msg: format!("expected 2 args, got {}", args.len()),
+        });
+    }
+    let col = args[0].as_bat(op)?;
+    let prev = args[1].as_bat(op)?.as_oids()?;
+    if col.len() != prev.len() {
+        return Err(EngineError::LengthMismatch {
+            op: op.into(),
+            left: col.len(),
+            right: prev.len(),
+        });
+    }
+    let n = col.len();
+    // Pair (previous group, this column's key) as the refined key.
+    #[derive(Hash, PartialEq, Eq, Clone)]
+    struct Pair(u64, Key);
+    let mut ids: HashMap<Pair, u64> = HashMap::new();
+    let mut groups = Vec::with_capacity(n);
+    let mut extents = Vec::new();
+    let mut histo: Vec<i64> = Vec::new();
+    for (i, &p) in prev.iter().enumerate().take(n) {
+        let k = Pair(p, key_at(&col.data, i));
+        let next = ids.len() as u64;
+        let id = *ids.entry(k).or_insert_with(|| {
+            extents.push(i as u64);
+            histo.push(0);
+            next
+        });
+        histo[id as usize] += 1;
+        groups.push(id);
+    }
+    Ok(vec![
+        RuntimeValue::bat(Bat::new(ColumnData::Oid(groups))),
+        RuntimeValue::bat(Bat::new(ColumnData::Oid(extents))),
+        RuntimeValue::bat(Bat::new(ColumnData::Int(histo))),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rb(b: Bat) -> RuntimeValue {
+        RuntimeValue::bat(b)
+    }
+
+    fn oids(v: &RuntimeValue) -> Vec<u64> {
+        v.as_bat("t").unwrap().as_oids().unwrap().to_vec()
+    }
+
+    fn ints(v: &RuntimeValue) -> Vec<i64> {
+        v.as_bat("t").unwrap().as_ints().unwrap().to_vec()
+    }
+
+    #[test]
+    fn group_assigns_first_occurrence_ids() {
+        let col = Bat::strs(vec!["a".into(), "b".into(), "a".into(), "c".into(), "b".into()]);
+        let out = group(&[rb(col)]).unwrap();
+        assert_eq!(oids(&out[0]), vec![0, 1, 0, 2, 1]);
+        assert_eq!(oids(&out[1]), vec![0, 1, 3]);
+        assert_eq!(ints(&out[2]), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn group_on_ints_and_dbls() {
+        let out = group(&[rb(Bat::ints(vec![7, 7, 7]))]).unwrap();
+        assert_eq!(oids(&out[0]), vec![0, 0, 0]);
+        assert_eq!(ints(&out[2]), vec![3]);
+        let out = group(&[rb(Bat::dbls(vec![0.5, 0.25, 0.5]))]).unwrap();
+        assert_eq!(oids(&out[0]), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn group_empty() {
+        let out = group(&[rb(Bat::ints(vec![]))]).unwrap();
+        assert!(oids(&out[0]).is_empty());
+        assert!(oids(&out[1]).is_empty());
+        assert!(ints(&out[2]).is_empty());
+    }
+
+    #[test]
+    fn subgroup_refines() {
+        // Rows: (x=1,y=a), (x=1,y=b), (x=2,y=a), (x=1,y=a)
+        let x = Bat::ints(vec![1, 1, 2, 1]);
+        let gx = group(&[rb(x)]).unwrap();
+        let y = Bat::strs(vec!["a".into(), "b".into(), "a".into(), "a".into()]);
+        let out = subgroup(&[rb(y), gx[0].clone()]).unwrap();
+        // Distinct (x,y) pairs: (1,a)=0, (1,b)=1, (2,a)=2, (1,a)=0
+        assert_eq!(oids(&out[0]), vec![0, 1, 2, 0]);
+        assert_eq!(oids(&out[1]), vec![0, 1, 2]);
+        assert_eq!(ints(&out[2]), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn subgroup_length_mismatch() {
+        let y = Bat::ints(vec![1]);
+        let g = Bat::oids(vec![0, 0]);
+        assert!(matches!(
+            subgroup(&[rb(y), rb(g)]),
+            Err(EngineError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,207 @@
+//! MAL operator implementations.
+//!
+//! The dispatcher [`execute`] routes `module.function` calls to the kernel
+//! implementations. Every operator is pure with respect to its BAT inputs
+//! (BATs are shared immutably); side effects are confined to the
+//! [`crate::rt::ExecCtx`] (result sets, printed output) and `alarm.sleep`.
+
+mod aggr;
+mod algebra;
+mod batcalc;
+mod batops;
+mod extra;
+mod groupby;
+mod sqlops;
+
+use stetho_mal::Value;
+
+use crate::error::EngineError;
+use crate::rt::{ExecCtx, RuntimeValue};
+use crate::Result;
+
+/// Execute one operator. `args` are the evaluated argument values;
+/// returns one entry per declared result variable.
+pub fn execute(
+    module: &str,
+    function: &str,
+    args: &[RuntimeValue],
+    ctx: &ExecCtx,
+) -> Result<Vec<RuntimeValue>> {
+    match (module, function) {
+        ("sql", "mvc") => sqlops::mvc(args),
+        ("sql", "tid") => sqlops::tid(args, ctx),
+        ("sql", "bind") => sqlops::bind(args, ctx),
+        ("sql", "resultSet") => sqlops::result_set(args, ctx),
+
+        ("algebra", "select") => algebra::select(args),
+        ("algebra", "thetaselect") => algebra::thetaselect(args),
+        ("algebra", "projection") => algebra::projection(args),
+        ("algebra", "leftjoin") => algebra::leftjoin(args),
+        ("algebra", "join") => algebra::join(args),
+        ("algebra", "sort") => algebra::sort(args),
+        ("algebra", "firstn") => algebra::firstn(args),
+        ("algebra", "slice") => algebra::slice(args),
+        ("algebra", "likeselect") => extra::likeselect(args),
+        ("algebra", "intersect") => extra::intersect(args),
+        ("algebra", "union") => extra::union(args),
+        ("algebra", "unique") => extra::unique(args),
+
+        ("batcalc", f @ ("+" | "-" | "*" | "/")) => batcalc::arith(f, args),
+        ("batcalc", f @ ("==" | "!=" | "<" | "<=" | ">" | ">=")) => batcalc::compare(f, args),
+        ("batcalc", "and") => batcalc::boolean("and", args),
+        ("batcalc", "or") => batcalc::boolean("or", args),
+        ("batcalc", "not") => batcalc::not(args),
+        ("batcalc", "dbl") => batcalc::cast_dbl(args),
+        ("batcalc", "isnil") => batcalc::isnil(args),
+        ("batcalc", "like") => extra::batcalc_like(args),
+
+        ("calc", f @ ("+" | "-" | "*" | "/")) => batcalc::scalar_arith(f, args),
+        ("calc", "identity") => {
+            one_arg("calc.identity", args).map(|v| vec![v.clone()])
+        }
+
+        ("aggr", "sum") => aggr::sum(args),
+        ("aggr", "count") => aggr::count(args),
+        ("aggr", "avg") => aggr::avg(args),
+        ("aggr", "min") => aggr::minmax(args, true),
+        ("aggr", "max") => aggr::minmax(args, false),
+        ("aggr", "subsum") => aggr::subsum(args),
+        ("aggr", "subcount") => aggr::subcount(args),
+        ("aggr", "subavg") => aggr::subavg(args),
+        ("aggr", "submin") => aggr::subminmax(args, true),
+        ("aggr", "submax") => aggr::subminmax(args, false),
+
+        ("group", "group") => groupby::group(args),
+        ("group", "subgroup") => groupby::subgroup(args),
+
+        ("bat", "new") => batops::new_bat(args),
+        ("bat", "append") => batops::append(args),
+        ("bat", "mirror") => batops::mirror(args),
+        ("mat", "pack") => batops::pack(args),
+
+        ("alarm", "sleep") => {
+            let ms = one_arg("alarm.sleep", args)?
+                .as_scalar("alarm.sleep")?
+                .as_int()
+                .ok_or_else(|| EngineError::TypeMismatch {
+                    op: "alarm.sleep".into(),
+                    expected: "int milliseconds".into(),
+                    got: "other".into(),
+                })?;
+            std::thread::sleep(std::time::Duration::from_millis(ms.max(0) as u64));
+            Ok(vec![])
+        }
+        ("io", "print") => {
+            let mut line = String::new();
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    line.push(' ');
+                }
+                match a {
+                    RuntimeValue::Scalar(v) => line.push_str(&v.to_string()),
+                    RuntimeValue::Bat(b) => {
+                        line.push_str(&format!("<bat[:{}] of {} rows>", b.tail_type(), b.len()))
+                    }
+                }
+            }
+            ctx.printed.lock().push(line);
+            Ok(vec![])
+        }
+        ("language", "pass") | ("language", "dataflow") | ("querylog", "define") => Ok(vec![]),
+
+        _ => Err(EngineError::UnknownOperator(format!("{module}.{function}"))),
+    }
+}
+
+pub(crate) fn one_arg<'a>(op: &str, args: &'a [RuntimeValue]) -> Result<&'a RuntimeValue> {
+    if args.len() != 1 {
+        return Err(EngineError::Arity {
+            op: op.to_string(),
+            msg: format!("expected 1 argument, got {}", args.len()),
+        });
+    }
+    Ok(&args[0])
+}
+
+pub(crate) fn expect_int(op: &str, v: &RuntimeValue) -> Result<i64> {
+    v.as_scalar(op)?.as_int().ok_or_else(|| EngineError::TypeMismatch {
+        op: op.to_string(),
+        expected: "int".into(),
+        got: v.mal_type().to_string(),
+    })
+}
+
+pub(crate) fn expect_str(op: &str, v: &RuntimeValue) -> Result<String> {
+    match v.as_scalar(op)? {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(EngineError::TypeMismatch {
+            op: op.to_string(),
+            expected: "str".into(),
+            got: other.mal_type().to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use std::sync::Arc;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::new(Arc::new(Catalog::new()))
+    }
+
+    #[test]
+    fn unknown_operator_errors() {
+        let r = execute("algebra", "frobnicate", &[], &ctx());
+        assert!(matches!(r, Err(EngineError::UnknownOperator(_))));
+    }
+
+    #[test]
+    fn administrative_ops_are_noops() {
+        for (m, f) in [("language", "pass"), ("language", "dataflow"), ("querylog", "define")] {
+            assert!(execute(m, f, &[], &ctx()).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn calc_identity_passes_value() {
+        let out = execute(
+            "calc",
+            "identity",
+            &[RuntimeValue::Scalar(Value::Int(9))],
+            &ctx(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].as_scalar("t").unwrap().as_int(), Some(9));
+    }
+
+    #[test]
+    fn io_print_collects() {
+        let c = ctx();
+        execute(
+            "io",
+            "print",
+            &[RuntimeValue::Scalar(Value::Int(1))],
+            &c,
+        )
+        .unwrap();
+        assert_eq!(c.printed.lock().len(), 1);
+    }
+
+    #[test]
+    fn alarm_sleep_sleeps_roughly() {
+        let c = ctx();
+        let t0 = std::time::Instant::now();
+        execute(
+            "alarm",
+            "sleep",
+            &[RuntimeValue::Scalar(Value::Int(20))],
+            &c,
+        )
+        .unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(15));
+    }
+}

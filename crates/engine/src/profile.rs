@@ -1,0 +1,259 @@
+//! Profiler sinks — where the engine's trace events go.
+//!
+//! The paper's profiler either streams events over UDP to the textual
+//! Stethoscope or dumps them in a file (§3). We add an in-memory sink for
+//! tests/analysis and a tee for doing several at once. Server-side
+//! filtering ("the profiler accepts filter options ... enables it to
+//! profile only a subset of event types") is applied by
+//! [`ProfilerConfig`] before events reach the sink.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use stetho_profiler::{FilterOptions, ProfilerEmitter, TraceEvent};
+use stetho_profiler::tracefile::TraceWriter;
+
+/// Destination for profiler events. Implementations must tolerate
+/// concurrent emission from scheduler workers.
+pub trait ProfilerSink: Send + Sync {
+    /// Deliver one event.
+    fn event(&self, e: &TraceEvent);
+    /// Flush buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Discards everything (profiling disabled).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl ProfilerSink for NullSink {
+    fn event(&self, _e: &TraceEvent) {}
+}
+
+/// Collects events in memory, ordered by arrival.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl VecSink {
+    /// Fresh empty sink.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Take the collected events out.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    /// Copy the collected events, leaving them in place.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number collected so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl ProfilerSink for VecSink {
+    fn event(&self, e: &TraceEvent) {
+        self.events.lock().push(e.clone());
+    }
+}
+
+/// Appends events to a trace file.
+pub struct FileSink {
+    writer: Mutex<TraceWriter>,
+}
+
+impl FileSink {
+    /// Create/truncate the trace file.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Arc<Self>> {
+        Ok(Arc::new(FileSink {
+            writer: Mutex::new(TraceWriter::create(path)?),
+        }))
+    }
+}
+
+impl ProfilerSink for FileSink {
+    fn event(&self, e: &TraceEvent) {
+        // Trace I/O failures must not abort query execution; they surface
+        // as missing tail records, as with the real profiler's UDP loss.
+        let _ = self.writer.lock().write_event(e);
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+/// Streams events over UDP to a textual Stethoscope.
+pub struct UdpSink {
+    emitter: ProfilerEmitter,
+}
+
+impl UdpSink {
+    /// Wrap a connected emitter.
+    pub fn new(emitter: ProfilerEmitter) -> Arc<Self> {
+        Arc::new(UdpSink { emitter })
+    }
+
+    /// Access the underlying emitter (to send dot files / end-of-trace).
+    pub fn emitter(&self) -> &ProfilerEmitter {
+        &self.emitter
+    }
+}
+
+impl ProfilerSink for UdpSink {
+    fn event(&self, e: &TraceEvent) {
+        // Datagram loss is inherent to the medium; ignore send errors.
+        let _ = self.emitter.emit(e);
+    }
+}
+
+/// Fans events out to several sinks.
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn ProfilerSink>>,
+}
+
+impl TeeSink {
+    /// Combine sinks.
+    pub fn new(sinks: Vec<Arc<dyn ProfilerSink>>) -> Arc<Self> {
+        Arc::new(TeeSink { sinks })
+    }
+}
+
+impl ProfilerSink for TeeSink {
+    fn event(&self, e: &TraceEvent) {
+        for s in &self.sinks {
+            s.event(e);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
+/// Profiler configuration carried in [`crate::interp::ExecOptions`].
+#[derive(Clone)]
+pub struct ProfilerConfig {
+    /// Destination.
+    pub sink: Arc<dyn ProfilerSink>,
+    /// Server-side filter applied before emission.
+    pub filter: FilterOptions,
+}
+
+impl ProfilerConfig {
+    /// Profiling disabled.
+    pub fn off() -> Self {
+        ProfilerConfig {
+            sink: Arc::new(NullSink),
+            filter: FilterOptions::all(),
+        }
+    }
+
+    /// Everything to one sink, unfiltered.
+    pub fn to_sink(sink: Arc<dyn ProfilerSink>) -> Self {
+        ProfilerConfig {
+            sink,
+            filter: FilterOptions::all(),
+        }
+    }
+
+    /// Emit one event through the filter.
+    pub fn emit(&self, e: &TraceEvent) {
+        if self.filter.accepts(e) {
+            self.sink.event(e);
+        }
+    }
+}
+
+impl std::fmt::Debug for ProfilerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfilerConfig")
+            .field("filter", &self.filter)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stetho_profiler::EventStatus;
+
+    fn ev(i: u64, stmt: &str) -> TraceEvent {
+        TraceEvent {
+            event: i,
+            status: EventStatus::Start,
+            pc: 0,
+            thread: 0,
+            clk: 0,
+            usec: 0,
+            rss: 0,
+            stmt: stmt.into(),
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects_and_takes() {
+        let s = VecSink::new();
+        s.event(&ev(0, "a.b();"));
+        s.event(&ev(1, "a.b();"));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.snapshot().len(), 2);
+        let taken = s.take();
+        assert_eq!(taken.len(), 2);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn tee_fans_out() {
+        let a = VecSink::new();
+        let b = VecSink::new();
+        let tee = TeeSink::new(vec![a.clone() as Arc<dyn ProfilerSink>, b.clone()]);
+        tee.event(&ev(0, "x.y();"));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn config_filter_applies() {
+        let s = VecSink::new();
+        let cfg = ProfilerConfig {
+            sink: s.clone(),
+            filter: FilterOptions::all().with_module("algebra"),
+        };
+        cfg.emit(&ev(0, "X := sql.bind(a);"));
+        cfg.emit(&ev(1, "X := algebra.select(a);"));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn file_sink_writes() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("stetho_filesink_{}.trace", std::process::id()));
+        let s = FileSink::create(&p).unwrap();
+        s.event(&ev(0, "a.b();"));
+        s.flush();
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert!(content.contains("a.b()"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn null_sink_ignores() {
+        NullSink.event(&ev(0, "a.b();"));
+        ProfilerConfig::off().emit(&ev(0, "a.b();"));
+    }
+}

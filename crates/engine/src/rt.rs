@@ -1,0 +1,203 @@
+//! Runtime values and execution context shared by the interpreter, the
+//! dataflow scheduler, and the operator implementations.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use stetho_mal::{MalType, Value};
+
+use crate::bat::Bat;
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::Result;
+
+/// A value a MAL variable can hold at run time.
+#[derive(Debug, Clone)]
+pub enum RuntimeValue {
+    /// Scalar literal.
+    Scalar(Value),
+    /// Shared BAT (columns are never mutated in place).
+    Bat(Arc<Bat>),
+}
+
+impl RuntimeValue {
+    /// Wrap a freshly computed BAT.
+    pub fn bat(b: Bat) -> Self {
+        RuntimeValue::Bat(Arc::new(b))
+    }
+
+    /// The value's MAL type.
+    pub fn mal_type(&self) -> MalType {
+        match self {
+            RuntimeValue::Scalar(v) => v.mal_type(),
+            RuntimeValue::Bat(b) => b.mal_type(),
+        }
+    }
+
+    /// BAT view, or a type error mentioning `op`.
+    pub fn as_bat(&self, op: &str) -> Result<&Arc<Bat>> {
+        match self {
+            RuntimeValue::Bat(b) => Ok(b),
+            RuntimeValue::Scalar(v) => Err(EngineError::TypeMismatch {
+                op: op.to_string(),
+                expected: "a BAT".into(),
+                got: v.mal_type().to_string(),
+            }),
+        }
+    }
+
+    /// Scalar view, or a type error mentioning `op`.
+    pub fn as_scalar(&self, op: &str) -> Result<&Value> {
+        match self {
+            RuntimeValue::Scalar(v) => Ok(v),
+            RuntimeValue::Bat(b) => Err(EngineError::TypeMismatch {
+                op: op.to_string(),
+                expected: "a scalar".into(),
+                got: b.mal_type().to_string(),
+            }),
+        }
+    }
+
+    /// Approximate heap bytes (scalars count as 16).
+    pub fn bytes(&self) -> usize {
+        match self {
+            RuntimeValue::Scalar(_) => 16,
+            RuntimeValue::Bat(b) => b.bytes(),
+        }
+    }
+}
+
+/// A query's result set: named columns, as shipped by `sql.resultSet`.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// (column name, column values) pairs.
+    pub columns: Vec<(String, Arc<Bat>)>,
+}
+
+impl QueryResult {
+    /// Number of result rows (0 for empty result sets).
+    pub fn rows(&self) -> usize {
+        self.columns.first().map(|(_, b)| b.len()).unwrap_or(0)
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Option<&Arc<Bat>> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b)
+    }
+
+    /// Render as an aligned ASCII table (for examples and debugging).
+    pub fn to_table(&self, max_rows: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let headers: Vec<&str> = self.columns.iter().map(|(n, _)| n.as_str()).collect();
+        let _ = writeln!(out, "| {} |", headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            headers
+                .iter()
+                .map(|h| "-".repeat(h.len() + 2))
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        let rows = self.rows().min(max_rows);
+        for i in 0..rows {
+            let cells: Vec<String> = self
+                .columns
+                .iter()
+                .map(|(_, b)| match b.get(i) {
+                    Some(Value::Str(s)) => s,
+                    Some(Value::Int(x)) => x.to_string(),
+                    Some(Value::Dbl(x)) => format!("{x:.4}"),
+                    Some(Value::Oid(x)) => format!("{x}@0"),
+                    Some(Value::Bit(x)) => x.to_string(),
+                    Some(Value::Date(x)) => x.to_string(),
+                    Some(Value::Nil(_)) | None => "nil".to_string(),
+                })
+                .collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        if self.rows() > max_rows {
+            let _ = writeln!(out, "... ({} rows total)", self.rows());
+        }
+        out
+    }
+}
+
+/// Shared execution context handed to operators.
+pub struct ExecCtx {
+    /// The database the plan runs against.
+    pub catalog: Arc<Catalog>,
+    /// Where `sql.resultSet` deposits the result.
+    pub result: Mutex<Option<QueryResult>>,
+    /// Lines captured from `io.print`.
+    pub printed: Mutex<Vec<String>>,
+}
+
+impl ExecCtx {
+    /// Fresh context over a catalog.
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        ExecCtx {
+            catalog,
+            result: Mutex::new(None),
+            printed: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Take the result set out (after execution).
+    pub fn take_result(&self) -> Option<QueryResult> {
+        self.result.lock().take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_value_views() {
+        let s = RuntimeValue::Scalar(Value::Int(3));
+        assert!(s.as_scalar("t").is_ok());
+        assert!(s.as_bat("t").is_err());
+        assert_eq!(s.mal_type(), MalType::Int);
+        let b = RuntimeValue::bat(Bat::ints(vec![1]));
+        assert!(b.as_bat("t").is_ok());
+        assert!(b.as_scalar("t").is_err());
+        assert_eq!(b.mal_type(), MalType::bat(MalType::Int));
+        assert!(b.bytes() >= 8);
+    }
+
+    #[test]
+    fn query_result_access() {
+        let mut r = QueryResult::default();
+        r.columns
+            .push(("a".into(), Arc::new(Bat::ints(vec![1, 2]))));
+        assert_eq!(r.rows(), 2);
+        assert!(r.column("a").is_some());
+        assert!(r.column("b").is_none());
+        let table = r.to_table(10);
+        assert!(table.contains("| a |"));
+        assert!(table.contains("| 1 |"));
+    }
+
+    #[test]
+    fn to_table_truncates() {
+        let mut r = QueryResult::default();
+        r.columns
+            .push(("a".into(), Arc::new(Bat::ints((0..100).collect()))));
+        let t = r.to_table(3);
+        assert!(t.contains("100 rows total"));
+    }
+
+    #[test]
+    fn ctx_result_take() {
+        let ctx = ExecCtx::new(Arc::new(Catalog::new()));
+        assert!(ctx.take_result().is_none());
+        *ctx.result.lock() = Some(QueryResult::default());
+        assert!(ctx.take_result().is_some());
+        assert!(ctx.take_result().is_none());
+    }
+}

@@ -1,0 +1,27 @@
+//! # stetho-layout — graph layout and the SVG pipeline
+//!
+//! The paper's workflow (§4): "As a first step the dot file gets parsed
+//! and an intermediate scalar vector graphics (svg) representation gets
+//! created. In the next step, the svg file gets parsed and an in memory
+//! graph structure gets created." GraphViz performed both steps for the
+//! original Stethoscope; this crate is our GraphViz:
+//!
+//! * [`sugiyama`] — a layered (Sugiyama-style) layout: cycle breaking,
+//!   longest-path layering, dummy-node insertion for long edges,
+//!   barycenter crossing reduction, and coordinate assignment;
+//! * [`scene`] — the positioned *scene graph* the viewer navigates;
+//! * [`svg`] — an SVG writer and a parser that reads the SVG back into a
+//!   scene graph, completing the paper's (seemingly redundant but
+//!   faithfully reproduced) dot → svg → in-memory-graph round trip.
+//!
+//! Claim 5 of the paper — "support for large query plans with graph
+//! representation of more than 1000 nodes" — is exercised against this
+//! crate by the `layout_scaling` benchmark.
+
+pub mod scene;
+pub mod sugiyama;
+pub mod svg;
+
+pub use scene::{SceneEdge, SceneGraph, SceneNode};
+pub use sugiyama::{layout, LayoutOptions};
+pub use svg::{parse_svg, write_svg, SvgError};

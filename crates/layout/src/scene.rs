@@ -1,0 +1,125 @@
+//! The positioned scene graph — what layout produces and what the
+//! ZVTM-style viewer consumes.
+
+/// A positioned node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneNode {
+    /// Dot node name (`n3`).
+    pub name: String,
+    /// Display label (the MAL statement text).
+    pub label: String,
+    /// Centre x.
+    pub x: f64,
+    /// Centre y.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl SceneNode {
+    /// Does the point fall inside the node's box?
+    pub fn contains(&self, px: f64, py: f64) -> bool {
+        (px - self.x).abs() <= self.w / 2.0 && (py - self.y).abs() <= self.h / 2.0
+    }
+}
+
+/// A routed edge (polyline through dummy-node positions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneEdge {
+    /// Source node index into [`SceneGraph::nodes`].
+    pub from: usize,
+    /// Target node index.
+    pub to: usize,
+    /// Polyline points, source to target.
+    pub points: Vec<(f64, f64)>,
+    /// Optional edge label (the carried MAL variable).
+    pub label: Option<String>,
+}
+
+/// A laid-out graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SceneGraph {
+    /// Positioned nodes.
+    pub nodes: Vec<SceneNode>,
+    /// Routed edges.
+    pub edges: Vec<SceneEdge>,
+    /// Canvas width.
+    pub width: f64,
+    /// Canvas height.
+    pub height: f64,
+}
+
+impl SceneGraph {
+    /// Node index by dot name.
+    pub fn node_by_name(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.name == name)
+    }
+
+    /// Topmost node containing the point (hit testing for clicks).
+    pub fn hit_test(&self, x: f64, y: f64) -> Option<usize> {
+        self.nodes.iter().rposition(|n| n.contains(x, y))
+    }
+
+    /// Bounding box sanity: every node inside the canvas.
+    pub fn in_bounds(&self) -> bool {
+        self.nodes.iter().all(|n| {
+            n.x - n.w / 2.0 >= -1e-6
+                && n.y - n.h / 2.0 >= -1e-6
+                && n.x + n.w / 2.0 <= self.width + 1e-6
+                && n.y + n.h / 2.0 <= self.height + 1e-6
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &str, x: f64, y: f64) -> SceneNode {
+        SceneNode {
+            name: name.into(),
+            label: name.into(),
+            x,
+            y,
+            w: 40.0,
+            h: 20.0,
+        }
+    }
+
+    #[test]
+    fn contains_and_hit_test() {
+        let g = SceneGraph {
+            nodes: vec![node("a", 50.0, 50.0), node("b", 50.0, 50.0)],
+            edges: vec![],
+            width: 100.0,
+            height: 100.0,
+        };
+        assert!(g.nodes[0].contains(55.0, 55.0));
+        assert!(!g.nodes[0].contains(90.0, 50.0));
+        // Topmost (last drawn) node wins.
+        assert_eq!(g.hit_test(50.0, 50.0), Some(1));
+        assert_eq!(g.hit_test(0.0, 0.0), None);
+    }
+
+    #[test]
+    fn lookup_and_bounds() {
+        let g = SceneGraph {
+            nodes: vec![node("n0", 30.0, 20.0)],
+            edges: vec![],
+            width: 100.0,
+            height: 50.0,
+        };
+        assert_eq!(g.node_by_name("n0"), Some(0));
+        assert_eq!(g.node_by_name("nX"), None);
+        assert!(g.in_bounds());
+        let g2 = SceneGraph {
+            nodes: vec![node("n0", 95.0, 20.0)],
+            width: 100.0,
+            height: 50.0,
+            edges: vec![],
+        };
+        assert!(!g2.in_bounds());
+    }
+}

@@ -1,0 +1,467 @@
+//! Layered (Sugiyama-style) layout.
+//!
+//! Pipeline: cycle breaking (DFS back-edge reversal) → longest-path
+//! layering → dummy nodes for edges spanning multiple layers → iterative
+//! barycenter crossing reduction → coordinate assignment with per-layer
+//! centring. Good enough to make 1000+-node MAL dataflow graphs readable,
+//! which is all GraphViz was doing for the original tool.
+
+use stetho_dot::{Graph, NodeId};
+
+use crate::scene::{SceneEdge, SceneGraph, SceneNode};
+
+/// Layout tuning knobs.
+#[derive(Debug, Clone)]
+pub struct LayoutOptions {
+    /// Barycenter sweep iterations (0 = initial order only; the
+    /// `ablate_layout_sweeps` bench measures this knob).
+    pub sweeps: usize,
+    /// Horizontal gap between node boxes.
+    pub h_gap: f64,
+    /// Vertical gap between layers.
+    pub v_gap: f64,
+    /// Pixels per label character (box sizing).
+    pub char_w: f64,
+    /// Node box height.
+    pub node_h: f64,
+}
+
+impl Default for LayoutOptions {
+    fn default() -> Self {
+        LayoutOptions {
+            sweeps: 4,
+            h_gap: 24.0,
+            v_gap: 60.0,
+            char_w: 7.0,
+            node_h: 28.0,
+        }
+    }
+}
+
+/// Internal node: real or dummy (a bend point of a long edge).
+#[derive(Debug, Clone)]
+struct LNode {
+    /// Index into the dot graph for real nodes.
+    real: Option<usize>,
+    layer: usize,
+    /// Position within the layer (ordering slot).
+    order: usize,
+    x: f64,
+}
+
+/// Lay out a dot graph into a scene graph.
+pub fn layout(graph: &Graph, opts: &LayoutOptions) -> SceneGraph {
+    let n = graph.node_count();
+    if n == 0 {
+        return SceneGraph::default();
+    }
+
+    // --- cycle breaking: reverse back edges found by DFS ---
+    let succs = graph.successors();
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+    let mut edges: Vec<(usize, usize, usize)> = Vec::new(); // (from, to, original edge idx)
+    let mut reversed: Vec<bool> = vec![false; graph.edge_count()];
+    {
+        // Iterative DFS to find back edges.
+        for root in 0..n {
+            if state[root] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            state[root] = 1;
+            while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+                if *i < succs[v].len() {
+                    let w = succs[v][*i].0;
+                    *i += 1;
+                    if state[w] == 0 {
+                        state[w] = 1;
+                        stack.push((w, 0));
+                    } else if state[w] == 1 {
+                        // Back edge v->w: mark for reversal.
+                        for (ei, e) in graph.edges().iter().enumerate() {
+                            if e.from.0 == v && e.to.0 == w && !reversed[ei] {
+                                reversed[ei] = true;
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    state[v] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        for (ei, e) in graph.edges().iter().enumerate() {
+            if reversed[ei] {
+                edges.push((e.to.0, e.from.0, ei));
+            } else {
+                edges.push((e.from.0, e.to.0, ei));
+            }
+        }
+        // Self loops cannot be layered; drop them from layout routing.
+        edges.retain(|(f, t, _)| f != t);
+    }
+
+    // --- layering: longest path from sources ---
+    let mut layer = vec![0usize; n];
+    {
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(f, t, _) in &edges {
+            adj[f].push(t);
+            indeg[t] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut qi = 0;
+        while qi < queue.len() {
+            let v = queue[qi];
+            qi += 1;
+            for &w in &adj[v] {
+                layer[w] = layer[w].max(layer[v] + 1);
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    let n_layers = layer.iter().copied().max().unwrap_or(0) + 1;
+
+    // --- build internal node list with dummies for long edges ---
+    let mut lnodes: Vec<LNode> = (0..n)
+        .map(|i| LNode {
+            real: Some(i),
+            layer: layer[i],
+            order: 0,
+            x: 0.0,
+        })
+        .collect();
+    // Each routed edge: chain of internal node indices from source to
+    // target (inclusive), plus the original edge index.
+    let mut routes: Vec<(Vec<usize>, usize)> = Vec::with_capacity(edges.len());
+    for &(f, t, ei) in &edges {
+        let (lf, lt) = (lnodes[f].layer, lnodes[t].layer);
+        let mut chain = vec![f];
+        if lt > lf + 1 {
+            for l in (lf + 1)..lt {
+                let idx = lnodes.len();
+                lnodes.push(LNode {
+                    real: None,
+                    layer: l,
+                    order: 0,
+                    x: 0.0,
+                });
+                chain.push(idx);
+            }
+        }
+        chain.push(t);
+        routes.push((chain, ei));
+    }
+
+    // Layer membership lists (initial order = creation order).
+    let mut layers: Vec<Vec<usize>> = vec![Vec::new(); n_layers];
+    for (i, ln) in lnodes.iter().enumerate() {
+        layers[ln.layer].push(i);
+    }
+    for l in &layers {
+        for (slot, &i) in l.iter().enumerate() {
+            lnodes[i].order = slot;
+        }
+    }
+
+    // Chain adjacency for ordering: consecutive pairs in each route.
+    let mut up_adj: Vec<Vec<usize>> = vec![Vec::new(); lnodes.len()]; // neighbours one layer above
+    let mut down_adj: Vec<Vec<usize>> = vec![Vec::new(); lnodes.len()];
+    for (chain, _) in &routes {
+        for pair in chain.windows(2) {
+            down_adj[pair[0]].push(pair[1]);
+            up_adj[pair[1]].push(pair[0]);
+        }
+    }
+
+    // --- barycenter ordering sweeps ---
+    for _ in 0..opts.sweeps {
+        // Top-down.
+        for layer in layers.iter_mut().skip(1) {
+            reorder_layer(&mut lnodes, layer, &up_adj);
+        }
+        // Bottom-up.
+        let last = n_layers.saturating_sub(1);
+        for layer in layers[..last].iter_mut().rev() {
+            reorder_layer(&mut lnodes, layer, &down_adj);
+        }
+    }
+
+    // --- coordinate assignment ---
+    let node_w = |ln: &LNode| -> f64 {
+        match ln.real {
+            Some(i) => {
+                let label = graph.label(NodeId(i));
+                (label.len() as f64 * opts.char_w + 16.0).max(40.0)
+            }
+            None => 1.0,
+        }
+    };
+    let mut max_width = 0.0f64;
+    let mut layer_widths = vec![0.0f64; n_layers];
+    for (l, members) in layers.iter().enumerate() {
+        let mut w = 0.0;
+        for &i in members {
+            w += node_w(&lnodes[i]) + opts.h_gap;
+        }
+        layer_widths[l] = w;
+        max_width = max_width.max(w);
+    }
+    for (l, members) in layers.iter().enumerate() {
+        let mut x = (max_width - layer_widths[l]) / 2.0 + opts.h_gap;
+        for &i in members {
+            let w = node_w(&lnodes[i]);
+            lnodes[i].x = x + w / 2.0;
+            x += w + opts.h_gap;
+        }
+    }
+
+    // --- emit scene graph ---
+    let y_of = |l: usize| opts.v_gap / 2.0 + opts.node_h / 2.0 + l as f64 * (opts.node_h + opts.v_gap);
+    let mut scene = SceneGraph {
+        width: max_width + opts.h_gap * 2.0,
+        height: y_of(n_layers - 1) + opts.node_h / 2.0 + opts.v_gap / 2.0,
+        ..Default::default()
+    };
+    // Real nodes keep their dot-graph indices (scene index == dot index).
+    for (i, ln) in lnodes.iter().enumerate().take(n) {
+        let gnode = graph.node(NodeId(i));
+        scene.nodes.push(SceneNode {
+            name: gnode.name.clone(),
+            label: graph.label(NodeId(i)).to_string(),
+            x: ln.x,
+            y: y_of(ln.layer),
+            w: node_w(ln),
+            h: opts.node_h,
+        });
+    }
+    for (chain, ei) in &routes {
+        let e = &graph.edges()[*ei];
+        let rev = {
+            // Route chain starts at the (possibly reversed) source.
+            chain[0] != e.from.0
+        };
+        let mut points: Vec<(f64, f64)> = chain
+            .iter()
+            .map(|&i| (lnodes[i].x, y_of(lnodes[i].layer)))
+            .collect();
+        if rev {
+            points.reverse();
+        }
+        scene.edges.push(SceneEdge {
+            from: e.from.0,
+            to: e.to.0,
+            points,
+            label: e.attrs.get("label").cloned(),
+        });
+    }
+    scene
+}
+
+fn reorder_layer(lnodes: &mut [LNode], members: &mut Vec<usize>, adj: &[Vec<usize>]) {
+    let mut keyed: Vec<(f64, usize)> = members
+        .iter()
+        .map(|&i| {
+            let ns = &adj[i];
+            let bc = if ns.is_empty() {
+                lnodes[i].order as f64
+            } else {
+                ns.iter().map(|&p| lnodes[p].order as f64).sum::<f64>() / ns.len() as f64
+            };
+            (bc, i)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    members.clear();
+    for (slot, (_, i)) in keyed.into_iter().enumerate() {
+        lnodes[i].order = slot;
+        members.push(i);
+    }
+}
+
+/// Count edge crossings in a scene graph (quality metric for tests and
+/// the sweep-count ablation).
+pub fn crossings(scene: &SceneGraph) -> usize {
+    // Count segment-pair inversions between consecutive layers using the
+    // polyline segments.
+    let mut segs: Vec<((f64, f64), (f64, f64))> = Vec::new();
+    for e in &scene.edges {
+        for w in e.points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let (top, bot) = if a.1 <= b.1 { (a, b) } else { (b, a) };
+            segs.push((top, bot));
+        }
+    }
+    let mut count = 0;
+    for i in 0..segs.len() {
+        for j in (i + 1)..segs.len() {
+            let (a, b) = (segs[i], segs[j]);
+            // Same layer band?
+            if (a.0 .1 - b.0 .1).abs() > 1e-6 || (a.1 .1 - b.1 .1).abs() > 1e-6 {
+                continue;
+            }
+            let d_top = a.0 .0 - b.0 .0;
+            let d_bot = a.1 .0 - b.1 .0;
+            if d_top * d_bot < 0.0 {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use stetho_dot::Graph;
+
+    fn mk_graph(nodes: usize, edges: &[(usize, usize)]) -> Graph {
+        let mut g = Graph::new("t");
+        for i in 0..nodes {
+            g.add_node(format!("n{i}"), HashMap::new()).unwrap();
+        }
+        for &(f, t) in edges {
+            g.add_edge(NodeId(f), NodeId(t), HashMap::new()).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = layout(&Graph::new("e"), &LayoutOptions::default());
+        assert!(s.nodes.is_empty());
+    }
+
+    #[test]
+    fn chain_layers_vertically() {
+        let g = mk_graph(3, &[(0, 1), (1, 2)]);
+        let s = layout(&g, &LayoutOptions::default());
+        assert!(s.nodes[0].y < s.nodes[1].y);
+        assert!(s.nodes[1].y < s.nodes[2].y);
+        assert!(s.in_bounds());
+    }
+
+    #[test]
+    fn edges_point_downward_for_dags() {
+        let g = mk_graph(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5)]);
+        let s = layout(&g, &LayoutOptions::default());
+        for e in &s.edges {
+            assert!(
+                s.nodes[e.from].y < s.nodes[e.to].y,
+                "edge {} -> {} must go down",
+                e.from,
+                e.to
+            );
+        }
+    }
+
+    #[test]
+    fn long_edges_get_bend_points() {
+        // 0 -> 1 -> 2 -> 3 and a long edge 0 -> 3 spanning 3 layers.
+        let g = mk_graph(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let s = layout(&g, &LayoutOptions::default());
+        let long = s
+            .edges
+            .iter()
+            .find(|e| e.from == 0 && e.to == 3)
+            .expect("long edge present");
+        assert_eq!(long.points.len(), 4, "2 dummies + endpoints");
+    }
+
+    #[test]
+    fn no_nans_and_positive_extent() {
+        let g = mk_graph(10, &[(0, 5), (1, 5), (2, 6), (3, 6), (4, 7), (5, 8), (6, 8), (7, 9)]);
+        let s = layout(&g, &LayoutOptions::default());
+        assert!(s.width > 0.0 && s.height > 0.0);
+        for n in &s.nodes {
+            assert!(n.x.is_finite() && n.y.is_finite());
+        }
+        for e in &s.edges {
+            for p in &e.points {
+                assert!(p.0.is_finite() && p.1.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_are_tolerated() {
+        let g = mk_graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let s = layout(&g, &LayoutOptions::default());
+        assert_eq!(s.nodes.len(), 3);
+        assert_eq!(s.edges.len(), 3);
+        assert!(s.in_bounds());
+    }
+
+    #[test]
+    fn sweeps_reduce_crossings() {
+        // Bipartite graph wired to cross badly in insertion order:
+        // tops 0..6 connect to bottoms in reverse.
+        let mut edges = Vec::new();
+        let k = 6;
+        for i in 0..k {
+            edges.push((i, k + (k - 1 - i)));
+            edges.push((i, k + (i + 1) % k));
+        }
+        let g = mk_graph(2 * k, &edges);
+        let none = crossings(&layout(
+            &g,
+            &LayoutOptions {
+                sweeps: 0,
+                ..Default::default()
+            },
+        ));
+        let some = crossings(&layout(&g, &LayoutOptions::default()));
+        assert!(
+            some <= none,
+            "barycenter sweeps must not increase crossings ({none} -> {some})"
+        );
+        assert!(some < none, "expected strict improvement ({none} -> {some})");
+    }
+
+    #[test]
+    fn disconnected_components_all_placed() {
+        let g = mk_graph(4, &[(0, 1)]);
+        let s = layout(&g, &LayoutOptions::default());
+        assert_eq!(s.nodes.len(), 4);
+        assert!(s.in_bounds());
+    }
+
+    #[test]
+    fn self_loop_does_not_crash() {
+        let g = mk_graph(2, &[(0, 0), (0, 1)]);
+        let s = layout(&g, &LayoutOptions::default());
+        assert_eq!(s.nodes.len(), 2);
+    }
+
+    #[test]
+    fn thousand_node_graph_lays_out() {
+        // Claim 5: >1000 nodes. Build a mitosis-like wide DAG.
+        let mut edges = Vec::new();
+        let width = 64;
+        let depth = 16;
+        let id = |d: usize, w: usize| 1 + d * width + w;
+        for w in 0..width {
+            edges.push((0, id(0, w)));
+            for d in 0..depth - 1 {
+                edges.push((id(d, w), id(d + 1, w)));
+            }
+        }
+        let n = 1 + width * depth;
+        assert!(n > 1000);
+        let g = mk_graph(n, &edges);
+        let t0 = std::time::Instant::now();
+        let s = layout(&g, &LayoutOptions::default());
+        assert_eq!(s.nodes.len(), n);
+        assert!(s.in_bounds());
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "layout of 1000 nodes must stay interactive"
+        );
+    }
+}

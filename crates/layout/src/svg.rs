@@ -1,0 +1,293 @@
+//! SVG writer and parser.
+//!
+//! The writer emits one `<g class="node">` per node (rect + text) and one
+//! `<polyline class="edge">` per edge, with `data-*` attributes carrying
+//! the structural information the parser needs to rebuild the scene graph
+//! — mirroring how the original Stethoscope parsed GraphViz's SVG output
+//! back into an in-memory graph structure (§4).
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::scene::{SceneEdge, SceneGraph, SceneNode};
+
+/// SVG parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvgError {
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for SvgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svg parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SvgError {}
+
+fn err(msg: impl Into<String>) -> SvgError {
+    SvgError { msg: msg.into() }
+}
+
+/// Per-node fill colors for rendering execution state; plain scenes use
+/// the default fill.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStyles {
+    /// (node index, css color) overrides.
+    pub fills: Vec<(usize, String)>,
+}
+
+/// Render a scene graph as SVG.
+pub fn write_svg(scene: &SceneGraph) -> String {
+    write_svg_styled(scene, &NodeStyles::default())
+}
+
+/// Render with per-node fill overrides (used for RED/GREEN execution
+/// state frames).
+pub fn write_svg_styled(scene: &SceneGraph, styles: &NodeStyles) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.1}" height="{:.1}" viewBox="0 0 {:.1} {:.1}">"#,
+        scene.width, scene.height, scene.width, scene.height
+    );
+    for e in &scene.edges {
+        let pts: Vec<String> = e
+            .points
+            .iter()
+            .map(|(x, y)| format!("{x:.1},{y:.1}"))
+            .collect();
+        let label_attr = match &e.label {
+            Some(l) => format!(r#" data-label="{}""#, esc(l)),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            r##"  <polyline class="edge" data-from="{}" data-to="{}"{} points="{}" fill="none" stroke="#555"/>"##,
+            e.from,
+            e.to,
+            label_attr,
+            pts.join(" ")
+        );
+    }
+    for (i, n) in scene.nodes.iter().enumerate() {
+        let fill = styles
+            .fills
+            .iter()
+            .rev()
+            .find(|(idx, _)| *idx == i)
+            .map(|(_, c)| c.as_str())
+            .unwrap_or("#f0f0f0");
+        let _ = writeln!(out, r#"  <g class="node" id="{}">"#, esc(&n.name));
+        let _ = writeln!(
+            out,
+            r##"    <rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{}" stroke="#222"/>"##,
+            n.x - n.w / 2.0,
+            n.y - n.h / 2.0,
+            n.w,
+            n.h,
+            fill
+        );
+        let _ = writeln!(
+            out,
+            r#"    <text x="{:.1}" y="{:.1}" text-anchor="middle" font-size="11">{}</text>"#,
+            n.x,
+            n.y + 4.0,
+            esc(&n.label)
+        );
+        let _ = writeln!(out, "  </g>");
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn unesc(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&amp;", "&")
+}
+
+/// Parse SVG produced by [`write_svg`] back into a scene graph.
+pub fn parse_svg(text: &str) -> Result<SceneGraph, SvgError> {
+    let mut scene = SceneGraph::default();
+    let mut pending_node: Option<SceneNode> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("<svg") {
+            scene.width = attr_f(rest, "width").ok_or_else(|| err("svg width"))?;
+            scene.height = attr_f(rest, "height").ok_or_else(|| err("svg height"))?;
+        } else if let Some(rest) = line.strip_prefix("<polyline") {
+            let from = attr(rest, "data-from")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("edge data-from"))?;
+            let to = attr(rest, "data-to")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("edge data-to"))?;
+            let pts_text = attr(rest, "points").ok_or_else(|| err("edge points"))?;
+            let mut points = Vec::new();
+            for p in pts_text.split_whitespace() {
+                let (x, y) = p.split_once(',').ok_or_else(|| err("bad point"))?;
+                points.push((
+                    x.parse().map_err(|_| err("bad x"))?,
+                    y.parse().map_err(|_| err("bad y"))?,
+                ));
+            }
+            scene.edges.push(SceneEdge {
+                from,
+                to,
+                points,
+                label: attr(rest, "data-label").map(|s| unesc(&s)),
+            });
+        } else if let Some(rest) = line.strip_prefix("<g class=\"node\"") {
+            let name = attr(rest, "id").ok_or_else(|| err("node id"))?;
+            pending_node = Some(SceneNode {
+                name: unesc(&name),
+                label: String::new(),
+                x: 0.0,
+                y: 0.0,
+                w: 0.0,
+                h: 0.0,
+            });
+        } else if let Some(rest) = line.strip_prefix("<rect") {
+            if let Some(node) = pending_node.as_mut() {
+                let x = attr_f(rest, "x").ok_or_else(|| err("rect x"))?;
+                let y = attr_f(rest, "y").ok_or_else(|| err("rect y"))?;
+                let w = attr_f(rest, "width").ok_or_else(|| err("rect width"))?;
+                let h = attr_f(rest, "height").ok_or_else(|| err("rect height"))?;
+                node.w = w;
+                node.h = h;
+                node.x = x + w / 2.0;
+                node.y = y + h / 2.0;
+            }
+        } else if line.starts_with("<text") {
+            if let Some(node) = pending_node.as_mut() {
+                let start = line.find('>').ok_or_else(|| err("text body"))?;
+                let end = line.rfind("</text>").ok_or_else(|| err("text close"))?;
+                if start < end {
+                    node.label = unesc(&line[start + 1..end]);
+                }
+            }
+        } else if line.starts_with("</g>") {
+            if let Some(node) = pending_node.take() {
+                scene.nodes.push(node);
+            }
+        }
+    }
+    if pending_node.is_some() {
+        return Err(err("unterminated node group"));
+    }
+    Ok(scene)
+}
+
+fn attr(s: &str, name: &str) -> Option<String> {
+    let pat = format!("{name}=\"");
+    let start = s.find(&pat)? + pat.len();
+    let end = s[start..].find('"')? + start;
+    Some(s[start..end].to_string())
+}
+
+fn attr_f(s: &str, name: &str) -> Option<f64> {
+    attr(s, name)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sugiyama::{layout, LayoutOptions};
+    use std::collections::HashMap;
+    use stetho_dot::{Graph, NodeId};
+
+    fn scene() -> SceneGraph {
+        let mut g = Graph::new("t");
+        let mut attrs = HashMap::new();
+        attrs.insert("label".to_string(), "X_0 := sql.mvc();".to_string());
+        g.add_node("n0", attrs).unwrap();
+        g.add_node("n1", HashMap::new()).unwrap();
+        g.add_node("n2", HashMap::new()).unwrap();
+        let mut e = HashMap::new();
+        e.insert("label".to_string(), "X_0".to_string());
+        g.add_edge(NodeId(0), NodeId(1), e).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), HashMap::new()).unwrap();
+        layout(&g, &LayoutOptions::default())
+    }
+
+    #[test]
+    fn svg_contains_nodes_and_edges() {
+        let svg = write_svg(&scene());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains(r#"<g class="node" id="n0">"#));
+        assert!(svg.matches("<polyline").count() == 2);
+        assert!(svg.contains("sql.mvc()"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let s = scene();
+        let svg = write_svg(&s);
+        let back = parse_svg(&svg).unwrap();
+        assert_eq!(back.nodes.len(), s.nodes.len());
+        assert_eq!(back.edges.len(), s.edges.len());
+        assert_eq!(back.width, s.width);
+        for (a, b) in back.nodes.iter().zip(&s.nodes) {
+            assert_eq!(a.name, b.name);
+            assert!((a.x - b.x).abs() < 0.1);
+            assert!((a.y - b.y).abs() < 0.1);
+            assert!((a.w - b.w).abs() < 0.1);
+        }
+        for (a, b) in back.edges.iter().zip(&s.edges) {
+            assert_eq!(a.from, b.from);
+            assert_eq!(a.to, b.to);
+            assert_eq!(a.points.len(), b.points.len());
+            assert_eq!(a.label, b.label);
+        }
+    }
+
+    #[test]
+    fn labels_escape_round_trip() {
+        let mut s = scene();
+        s.nodes[0].label = "a < b & \"c\" > d".to_string();
+        let back = parse_svg(&write_svg(&s)).unwrap();
+        assert_eq!(back.nodes[0].label, s.nodes[0].label);
+    }
+
+    #[test]
+    fn styled_fills_applied() {
+        let s = scene();
+        let styles = NodeStyles {
+            fills: vec![(0, "red".into()), (1, "green".into())],
+        };
+        let svg = write_svg_styled(&s, &styles);
+        assert!(svg.contains(r#"fill="red""#));
+        assert!(svg.contains(r#"fill="green""#));
+        assert!(svg.contains(r##"fill="#f0f0f0""##));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(parse_svg("<svg width=\"x\" height=\"1\">").is_err());
+        let bad = "<svg width=\"10.0\" height=\"10.0\">\n<g class=\"node\" id=\"n0\">";
+        assert!(parse_svg(bad).is_err());
+    }
+
+    #[test]
+    fn empty_scene_round_trips() {
+        let s = SceneGraph {
+            width: 10.0,
+            height: 5.0,
+            ..Default::default()
+        };
+        let back = parse_svg(&write_svg(&s)).unwrap();
+        assert!(back.nodes.is_empty());
+        assert!(back.edges.is_empty());
+    }
+}

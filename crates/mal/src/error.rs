@@ -1,0 +1,84 @@
+//! Error type shared across the MAL crate.
+
+use std::fmt;
+
+/// Errors produced while building, parsing, or analysing MAL plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MalError {
+    /// The textual MAL parser hit unexpected input.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// Explanation of what was expected.
+        msg: String,
+    },
+    /// A variable was referenced before any instruction defined it.
+    UndefinedVariable(String),
+    /// A variable was defined twice (MAL is single-assignment).
+    Redefinition(String),
+    /// `module.function` is not present in the [`crate::ModuleRegistry`].
+    UnknownFunction {
+        /// Module part of the call.
+        module: String,
+        /// Function part of the call.
+        function: String,
+    },
+    /// Call arity or argument type did not match the registered signature.
+    SignatureMismatch {
+        /// Module part of the call.
+        module: String,
+        /// Function part of the call.
+        function: String,
+        /// Explanation of the mismatch.
+        msg: String,
+    },
+    /// A type annotation could not be understood.
+    BadType(String),
+    /// Plan-level structural invariant broken (e.g. pc out of order).
+    Invalid(String),
+}
+
+impl fmt::Display for MalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MalError::Parse { line, msg } => write!(f, "MAL parse error at line {line}: {msg}"),
+            MalError::UndefinedVariable(v) => write!(f, "undefined MAL variable {v}"),
+            MalError::Redefinition(v) => write!(f, "MAL variable {v} assigned twice"),
+            MalError::UnknownFunction { module, function } => {
+                write!(f, "unknown MAL function {module}.{function}")
+            }
+            MalError::SignatureMismatch {
+                module,
+                function,
+                msg,
+            } => write!(f, "bad call to {module}.{function}: {msg}"),
+            MalError::BadType(t) => write!(f, "unknown MAL type {t}"),
+            MalError::Invalid(msg) => write!(f, "invalid MAL plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = MalError::Parse {
+            line: 3,
+            msg: "expected ';'".into(),
+        };
+        assert_eq!(e.to_string(), "MAL parse error at line 3: expected ';'");
+        let e = MalError::UnknownFunction {
+            module: "algebra".into(),
+            function: "frobnicate".into(),
+        };
+        assert_eq!(e.to_string(), "unknown MAL function algebra.frobnicate");
+        assert_eq!(
+            MalError::UndefinedVariable("X_9".into()).to_string(),
+            "undefined MAL variable X_9"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # stetho-mal — MonetDB Assembly Language (MAL) model
+//!
+//! MAL is the intermediate language MonetDB uses to represent query plans.
+//! A SQL query is parsed, converted to relational algebra, compiled into a
+//! MAL *plan* (a sequence of instructions), rewritten by optimizers, and
+//! finally interpreted. Stethoscope (VLDB 2012) analyses the execution of
+//! such plans, so this crate is the foundation of the whole reproduction:
+//!
+//! * [`MalType`] / [`Value`] — the MAL scalar and BAT type system,
+//! * [`Instruction`] — one `module.function(args)` statement with result
+//!   variables and a program counter (`pc`),
+//! * [`Plan`] — a complete MAL function body plus its variable table,
+//! * [`parser`] — a parser for the textual MAL syntax (round-trips with
+//!   the pretty-printer),
+//! * [`dataflow`] — def/use analysis turning a plan into the dataflow DAG
+//!   that Stethoscope visualises,
+//! * [`modules`] — the registry of MAL modules/functions our engine
+//!   implements, with signatures used for plan validation.
+//!
+//! The textual syntax follows the paper's Figure 1: variables are named
+//! `X_<n>`, statements look like
+//! `X_23:bat[:int] := algebra.select(X_10, 5:int, 10:int);`.
+
+pub mod dataflow;
+pub mod error;
+pub mod instr;
+pub mod modules;
+pub mod parser;
+pub mod plan;
+pub mod types;
+pub mod value;
+
+pub use dataflow::{DataflowGraph, EdgeKind};
+pub use error::MalError;
+pub use instr::{Arg, Instruction};
+pub use modules::{FuncSig, ModuleRegistry};
+pub use parser::parse_plan;
+pub use plan::{Plan, PlanBuilder, VarId, VarInfo};
+pub use types::MalType;
+pub use value::Value;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, MalError>;

@@ -1,0 +1,346 @@
+//! Registry of MAL modules and function signatures.
+//!
+//! MAL "comprises a set of modules and a set of functions supported by each
+//! module" (paper §2). The registry serves two purposes:
+//!
+//! 1. plan validation — the SQL code generator and the textual parser can
+//!    check calls against declared arities;
+//! 2. documentation — `ModuleRegistry::standard()` is the single list of
+//!    everything the engine implements.
+//!
+//! Signatures are intentionally loose about types (MAL itself is
+//! polymorphic over tail types); we check arity ranges and result counts.
+
+use std::collections::HashMap;
+
+use crate::instr::Instruction;
+use crate::plan::Plan;
+use crate::{MalError, Result};
+
+/// Signature of one MAL function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSig {
+    /// Module name.
+    pub module: &'static str,
+    /// Function name.
+    pub function: &'static str,
+    /// Minimum number of arguments.
+    pub min_args: usize,
+    /// Maximum number of arguments (`usize::MAX` for variadic).
+    pub max_args: usize,
+    /// Exact number of results.
+    pub results: usize,
+    /// One-line description (shown by Stethoscope tool-tips).
+    pub doc: &'static str,
+}
+
+/// Lookup table of known `module.function` signatures.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleRegistry {
+    sigs: HashMap<String, FuncSig>,
+}
+
+macro_rules! sig {
+    ($reg:expr, $m:literal . $f:literal, $min:expr, $max:expr, $res:expr, $doc:literal) => {
+        $reg.register(FuncSig {
+            module: $m,
+            function: $f,
+            min_args: $min,
+            max_args: $max,
+            results: $res,
+            doc: $doc,
+        })
+    };
+}
+
+impl ModuleRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a signature.
+    pub fn register(&mut self, sig: FuncSig) {
+        self.sigs
+            .insert(format!("{}.{}", sig.module, sig.function), sig);
+    }
+
+    /// Look up a signature.
+    pub fn get(&self, module: &str, function: &str) -> Option<&FuncSig> {
+        self.sigs.get(&format!("{module}.{function}"))
+    }
+
+    /// All registered signatures, sorted by module then function.
+    pub fn all(&self) -> Vec<&FuncSig> {
+        let mut v: Vec<&FuncSig> = self.sigs.values().collect();
+        v.sort_by_key(|s| (s.module, s.function));
+        v
+    }
+
+    /// Distinct module names.
+    pub fn modules(&self) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self.sigs.values().map(|s| s.module).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Validate one instruction against the registry.
+    pub fn check(&self, ins: &Instruction) -> Result<()> {
+        let sig = self.get(&ins.module, &ins.function).ok_or_else(|| {
+            MalError::UnknownFunction {
+                module: ins.module.clone(),
+                function: ins.function.clone(),
+            }
+        })?;
+        if ins.args.len() < sig.min_args || ins.args.len() > sig.max_args {
+            return Err(MalError::SignatureMismatch {
+                module: ins.module.clone(),
+                function: ins.function.clone(),
+                msg: format!(
+                    "expected {}..{} args, got {}",
+                    sig.min_args,
+                    if sig.max_args == usize::MAX {
+                        "∞".to_string()
+                    } else {
+                        sig.max_args.to_string()
+                    },
+                    ins.args.len()
+                ),
+            });
+        }
+        if ins.results.len() != sig.results {
+            return Err(MalError::SignatureMismatch {
+                module: ins.module.clone(),
+                function: ins.function.clone(),
+                msg: format!(
+                    "expected {} results, got {}",
+                    sig.results,
+                    ins.results.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Validate every instruction in a plan.
+    pub fn check_plan(&self, plan: &Plan) -> Result<()> {
+        for ins in &plan.instructions {
+            self.check(ins)?;
+        }
+        Ok(())
+    }
+
+    /// The registry covering everything `stetho-engine` implements.
+    pub fn standard() -> Self {
+        let mut r = Self::new();
+        const VAR: usize = usize::MAX;
+        // sql — front-end bridge.
+        sig!(r, "sql"."mvc", 0, 0, 1, "open a SQL client context handle");
+        sig!(r, "sql"."tid", 3, 3, 1, "candidate list of all live rows of a table");
+        sig!(r, "sql"."bind", 5, 5, 1, "bind a table column as a BAT");
+        sig!(r, "sql"."resultSet", 1, VAR, 0, "ship result columns to the client");
+        // algebra — the columnar workhorses.
+        sig!(r, "algebra"."select", 4, 6, 1, "range select returning a candidate list");
+        sig!(r, "algebra"."thetaselect", 4, 4, 1, "select by comparison operator");
+        sig!(r, "algebra"."projection", 2, 2, 1, "fetch tail values at candidate positions");
+        sig!(r, "algebra"."join", 2, 4, 2, "equi-join returning matching oid pairs");
+        sig!(r, "algebra"."leftjoin", 2, 2, 1, "legacy left fetch-join (paper §2 example)");
+        sig!(r, "algebra"."sort", 2, 3, 2, "sort; returns values and order oids");
+        sig!(r, "algebra"."firstn", 3, 3, 1, "top-N candidate list");
+        sig!(r, "algebra"."slice", 3, 3, 1, "positional slice of a BAT (mitosis)");
+        sig!(r, "algebra"."likeselect", 4, 4, 1, "select strings by SQL LIKE pattern");
+        sig!(r, "algebra"."intersect", 2, 2, 1, "intersection of sorted candidate lists");
+        sig!(r, "algebra"."union", 2, 2, 1, "deduplicating union of sorted candidate lists");
+        sig!(r, "algebra"."unique", 1, 1, 1, "first-occurrence positions (DISTINCT kernel)");
+        // batcalc — vectorised scalar ops.
+        for f in ["+", "-", "*", "/"] {
+            r.register(FuncSig {
+                module: "batcalc",
+                function: match f {
+                    "+" => "+",
+                    "-" => "-",
+                    "*" => "*",
+                    _ => "/",
+                },
+                min_args: 2,
+                max_args: 3,
+                results: 1,
+                doc: "vectorised arithmetic",
+            });
+        }
+        for f in ["==", "!=", "<", "<=", ">", ">="] {
+            r.register(FuncSig {
+                module: "batcalc",
+                function: leak_cmp(f),
+                min_args: 2,
+                max_args: 3,
+                results: 1,
+                doc: "vectorised comparison",
+            });
+        }
+        sig!(r, "batcalc"."like", 2, 2, 1, "vectorised SQL LIKE match");
+        sig!(r, "batcalc"."and", 2, 2, 1, "vectorised boolean and");
+        sig!(r, "batcalc"."or", 2, 2, 1, "vectorised boolean or");
+        sig!(r, "batcalc"."not", 1, 1, 1, "vectorised boolean not");
+        sig!(r, "batcalc"."dbl", 1, 1, 1, "cast tail to dbl");
+        sig!(r, "batcalc"."isnil", 1, 1, 1, "nil test per row");
+        // calc — scalar ops (constant folding targets).
+        sig!(r, "calc"."+", 2, 2, 1, "scalar add");
+        sig!(r, "calc"."-", 2, 2, 1, "scalar subtract");
+        sig!(r, "calc"."*", 2, 2, 1, "scalar multiply");
+        sig!(r, "calc"."/", 2, 2, 1, "scalar divide");
+        sig!(r, "calc"."identity", 1, 1, 1, "pass a value through");
+        // aggr — aggregation, plain and grouped.
+        sig!(r, "aggr"."sum", 1, 2, 1, "sum of a BAT");
+        sig!(r, "aggr"."count", 1, 2, 1, "row count of a BAT");
+        sig!(r, "aggr"."avg", 1, 2, 1, "mean of a BAT");
+        sig!(r, "aggr"."min", 1, 2, 1, "minimum of a BAT");
+        sig!(r, "aggr"."max", 1, 2, 1, "maximum of a BAT");
+        sig!(r, "aggr"."subsum", 3, 3, 1, "per-group sum");
+        sig!(r, "aggr"."subcount", 3, 3, 1, "per-group count");
+        sig!(r, "aggr"."subavg", 3, 3, 1, "per-group mean");
+        sig!(r, "aggr"."submin", 3, 3, 1, "per-group minimum");
+        sig!(r, "aggr"."submax", 3, 3, 1, "per-group maximum");
+        // group — grouping.
+        sig!(r, "group"."group", 1, 1, 3, "group rows; returns (groups, extents, histo)");
+        sig!(r, "group"."subgroup", 2, 2, 3, "refine an existing grouping");
+        // bat — BAT bookkeeping.
+        sig!(r, "bat"."new", 0, 2, 1, "allocate an empty BAT");
+        sig!(r, "bat"."append", 2, 2, 1, "append one BAT to another");
+        sig!(r, "bat"."mirror", 1, 1, 1, "head oids as tail values");
+        // mat — merge tables (mitosis glue).
+        sig!(r, "mat"."pack", 1, VAR, 1, "concatenate partition results");
+        // alarm / io — demo helpers (long-running instructions, output).
+        sig!(r, "alarm"."sleep", 1, 1, 0, "sleep for N milliseconds (long-op demos)");
+        sig!(r, "io"."print", 1, VAR, 0, "print values to the server console");
+        // language / querylog — administrative.
+        sig!(r, "language"."pass", 0, VAR, 0, "keep a variable alive / no-op");
+        sig!(r, "language"."dataflow", 0, 0, 0, "marks a dataflow-scheduled block");
+        sig!(r, "querylog"."define", 1, 3, 0, "record the query text");
+        r
+    }
+}
+
+fn leak_cmp(f: &str) -> &'static str {
+    match f {
+        "==" => "==",
+        "!=" => "!=",
+        "<" => "<",
+        "<=" => "<=",
+        ">" => ">",
+        _ => ">=",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Arg;
+    use crate::plan::PlanBuilder;
+    use crate::types::MalType;
+    use crate::value::Value;
+
+    #[test]
+    fn standard_registry_is_populated() {
+        let r = ModuleRegistry::standard();
+        assert!(r.get("algebra", "select").is_some());
+        assert!(r.get("aggr", "subsum").is_some());
+        assert!(r.get("batcalc", "<=").is_some());
+        assert!(r.get("algebra", "frobnicate").is_none());
+        let modules = r.modules();
+        for m in ["sql", "algebra", "batcalc", "calc", "aggr", "group", "bat", "mat", "language"] {
+            assert!(modules.contains(&m), "missing module {m}");
+        }
+    }
+
+    #[test]
+    fn check_rejects_bad_arity() {
+        let r = ModuleRegistry::standard();
+        let ins = Instruction {
+            pc: 0,
+            module: "algebra".into(),
+            function: "projection".into(),
+            results: vec![crate::plan::VarId(0)],
+            args: vec![Arg::Lit(Value::Int(1))],
+        };
+        assert!(matches!(
+            r.check(&ins),
+            Err(MalError::SignatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn check_rejects_bad_result_count() {
+        let r = ModuleRegistry::standard();
+        let ins = Instruction {
+            pc: 0,
+            module: "group".into(),
+            function: "group".into(),
+            results: vec![crate::plan::VarId(0)],
+            args: vec![Arg::Lit(Value::Int(1))],
+        };
+        assert!(matches!(
+            r.check(&ins),
+            Err(MalError::SignatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn check_rejects_unknown_function() {
+        let r = ModuleRegistry::standard();
+        let ins = Instruction {
+            pc: 0,
+            module: "algebra".into(),
+            function: "frobnicate".into(),
+            results: vec![],
+            args: vec![],
+        };
+        assert!(matches!(r.check(&ins), Err(MalError::UnknownFunction { .. })));
+    }
+
+    #[test]
+    fn check_plan_accepts_wellformed_plan() {
+        let mut b = PlanBuilder::new("user.ok");
+        let mvc = b.call("sql", "mvc", MalType::Int, vec![]);
+        let tid = b.call(
+            "sql",
+            "tid",
+            MalType::bat(MalType::Oid),
+            vec![
+                Arg::Var(mvc),
+                Arg::Lit(Value::Str("sys".into())),
+                Arg::Lit(Value::Str("lineitem".into())),
+            ],
+        );
+        b.push("language", "pass", vec![], vec![Arg::Var(tid)]);
+        let plan = b.finish();
+        ModuleRegistry::standard().check_plan(&plan).unwrap();
+    }
+
+    #[test]
+    fn variadic_max_is_unbounded() {
+        let r = ModuleRegistry::standard();
+        let mut b = PlanBuilder::new("user.v");
+        let mut parts = Vec::new();
+        for _ in 0..10 {
+            parts.push(b.call("bat", "new", MalType::bat(MalType::Int), vec![]));
+        }
+        let packed = b.call(
+            "mat",
+            "pack",
+            MalType::bat(MalType::Int),
+            parts.into_iter().map(Arg::Var).collect(),
+        );
+        b.push("language", "pass", vec![], vec![Arg::Var(packed)]);
+        r.check_plan(&b.finish()).unwrap();
+    }
+
+    #[test]
+    fn all_is_sorted_and_docs_nonempty() {
+        let r = ModuleRegistry::standard();
+        let all = r.all();
+        assert!(all.windows(2).all(|w| (w[0].module, w[0].function) <= (w[1].module, w[1].function)));
+        assert!(all.iter().all(|s| !s.doc.is_empty()));
+    }
+}

@@ -1,0 +1,323 @@
+//! Parser for textual MAL plan listings.
+//!
+//! Accepts the format produced by [`crate::Plan::listing`], which mirrors
+//! the listings in the paper's Figure 1:
+//!
+//! ```text
+//! function user.s1_1();
+//!     X_0:int := sql.mvc();
+//!     X_1:bat[:oid] := sql.tid(X_0, "sys", "lineitem");
+//!     (X_2:bat[:oid], X_3:bat[:oid]) := group.group(X_1);
+//!     language.pass(X_1);
+//! end user.s1_1;
+//! ```
+//!
+//! Statements may omit the `function`/`end` wrapper, in which case the plan
+//! is named `user.main`. Comments start with `#` and run to end of line.
+
+use std::collections::HashMap;
+
+use crate::instr::Arg;
+use crate::plan::{Plan, PlanBuilder, VarId};
+use crate::types::MalType;
+use crate::value::Value;
+use crate::{MalError, Result};
+
+/// Parse a full plan listing.
+pub fn parse_plan(text: &str) -> Result<Plan> {
+    let mut name = String::from("user.main");
+    let mut builder: Option<PlanBuilder> = None;
+    let mut vars: HashMap<String, VarId> = HashMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        if let Some(rest) = line.strip_prefix("function ") {
+            let rest = rest.trim_end_matches(';').trim();
+            name = rest.trim_end_matches("()").to_string();
+            builder = Some(PlanBuilder::new(name.clone()));
+            continue;
+        }
+        if line.starts_with("end") {
+            continue;
+        }
+        let b = builder.get_or_insert_with(|| PlanBuilder::new(name.clone()));
+        parse_statement(line, lineno, b, &mut vars)?;
+    }
+
+    let plan = builder
+        .unwrap_or_else(|| PlanBuilder::new(name))
+        .finish();
+    plan.validate()?;
+    Ok(plan)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` inside string literals must not start a comment.
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_escape => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_escape = c == '\\' && !prev_escape;
+    }
+    line
+}
+
+fn parse_statement(
+    line: &str,
+    lineno: usize,
+    b: &mut PlanBuilder,
+    vars: &mut HashMap<String, VarId>,
+) -> Result<()> {
+    let err = |msg: &str| MalError::Parse {
+        line: lineno,
+        msg: msg.to_string(),
+    };
+    let line = line.trim_end_matches(';').trim();
+
+    let (results_part, call_part) = match split_assign(line) {
+        Some((l, r)) => (Some(l.trim()), r.trim()),
+        None => (None, line),
+    };
+
+    // Parse result variables.
+    let mut results = Vec::new();
+    if let Some(res) = results_part {
+        let inner = res
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .unwrap_or(res);
+        for tok in split_top_level(inner) {
+            let tok = tok.trim();
+            if tok.is_empty() {
+                continue;
+            }
+            let (vname, ty) = match tok.split_once(':') {
+                Some((n, t)) => (n.trim(), t.trim().parse::<MalType>()?),
+                None => (tok, MalType::Void),
+            };
+            if vars.contains_key(vname) {
+                return Err(MalError::Redefinition(vname.to_string()));
+            }
+            let id = b.new_named_var(vname, ty);
+            vars.insert(vname.to_string(), id);
+            results.push(id);
+        }
+    }
+
+    // Parse `module.function(args)`.
+    let open = call_part.find('(').ok_or_else(|| err("expected '('"))?;
+    let close = call_part.rfind(')').ok_or_else(|| err("expected ')'"))?;
+    if close < open {
+        return Err(err("')' before '('"));
+    }
+    let target = &call_part[..open];
+    let (module, function) = target
+        .split_once('.')
+        .ok_or_else(|| err("expected module.function"))?;
+    let args_text = &call_part[open + 1..close];
+
+    let mut args = Vec::new();
+    for tok in split_top_level(args_text) {
+        let tok = tok.trim();
+        if tok.is_empty() {
+            continue;
+        }
+        // Variable references are bare identifiers already in scope;
+        // a `name:type` token referencing a known var is also a var.
+        let base = tok.split(':').next().unwrap_or(tok);
+        if let Some(id) = vars.get(base) {
+            args.push(Arg::Var(*id));
+        } else if is_identifier(base) && !tok.starts_with('"') && !is_literal_like(base) {
+            return Err(MalError::UndefinedVariable(base.to_string()));
+        } else {
+            args.push(Arg::Lit(Value::parse_literal(tok).map_err(|_| {
+                err(&format!("bad argument `{tok}`"))
+            })?));
+        }
+    }
+
+    b.push(module.trim(), function.trim(), results, args);
+    Ok(())
+}
+
+/// Find the `:=` separating results from the call, ignoring string bodies.
+fn split_assign(line: &str) -> Option<(&str, &str)> {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b':' if !in_str && bytes[i + 1] == b'=' => {
+                return Some((&line[..i], &line[i + 2..]));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Split on commas that are not inside quotes or brackets.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut start = 0;
+    let mut prev_escape = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' if !prev_escape => in_str = !in_str,
+            '(' | '[' if !in_str => depth += 1,
+            ')' | ']' if !in_str => depth -= 1,
+            ',' if !in_str && depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        prev_escape = c == '\\' && !prev_escape;
+    }
+    if start < s.len() {
+        parts.push(&s[start..]);
+    }
+    parts
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Is this token's base (before any `:type` suffix) a literal keyword or
+/// number rather than a variable name?
+fn is_literal_like(base: &str) -> bool {
+    base == "true"
+        || base == "false"
+        || base == "nil"
+        || base.starts_with(|c: char| c.is_ascii_digit() || c == '-' || c == '"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanBuilder;
+
+    #[test]
+    fn parses_figure1_style_plan() {
+        let text = r#"
+function user.s1_1();
+    X_0:int := sql.mvc();
+    X_1:bat[:oid] := sql.tid(X_0, "sys", "lineitem");
+    X_2:bat[:int] := sql.bind(X_0, "sys", "lineitem", "l_partkey", 0:int);
+    X_3:bat[:oid] := algebra.select(X_2, X_1, 1:int, 1:int);
+    X_4:bat[:dbl] := sql.bind(X_0, "sys", "lineitem", "l_tax", 0:int);
+    X_5:bat[:dbl] := algebra.projection(X_3, X_4);
+    sql.resultSet("l_tax", X_5);
+end user.s1_1;
+"#;
+        let plan = parse_plan(text).unwrap();
+        assert_eq!(plan.name, "user.s1_1");
+        assert_eq!(plan.len(), 7);
+        assert_eq!(plan.instructions[3].qualified_name(), "algebra.select");
+        assert_eq!(plan.instructions[3].args.len(), 4);
+        assert_eq!(plan.instructions[6].results.len(), 0);
+    }
+
+    #[test]
+    fn listing_round_trip() {
+        let mut b = PlanBuilder::new("user.rt");
+        let mvc = b.call("sql", "mvc", MalType::Int, vec![]);
+        let tid = b.call(
+            "sql",
+            "tid",
+            MalType::bat(MalType::Oid),
+            vec![
+                Arg::Var(mvc),
+                Arg::Lit(Value::Str("sys".into())),
+                Arg::Lit(Value::Str("lineitem".into())),
+            ],
+        );
+        let g1 = b.new_var(MalType::bat(MalType::Oid));
+        let g2 = b.new_var(MalType::bat(MalType::Oid));
+        b.push("group", "group", vec![g1, g2], vec![Arg::Var(tid)]);
+        b.push("language", "pass", vec![], vec![Arg::Var(tid)]);
+        let plan = b.finish();
+
+        let text = plan.listing();
+        let back = parse_plan(&text).unwrap();
+        assert_eq!(back.name, plan.name);
+        assert_eq!(back.len(), plan.len());
+        for (a, b) in back.instructions.iter().zip(&plan.instructions) {
+            assert_eq!(a.qualified_name(), b.qualified_name());
+            assert_eq!(a.results.len(), b.results.len());
+            assert_eq!(a.args.len(), b.args.len());
+        }
+        // And the re-rendered listing is identical text.
+        assert_eq!(back.listing(), text);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header comment\n\nX_0:int := sql.mvc(); # trailing\n";
+        let plan = parse_plan(text).unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.name, "user.main");
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let text = "X_0:bat[:oid] := sql.tid(0:int, \"sys#1\", \"t\");\n";
+        let plan = parse_plan(text).unwrap();
+        let lit = plan.instructions[0].args[1].lit().unwrap();
+        assert_eq!(lit.as_str(), Some("sys#1"));
+    }
+
+    #[test]
+    fn undefined_variable_rejected() {
+        let r = parse_plan("X_1:int := calc.add(X_0, 1:int);\n");
+        assert!(matches!(r, Err(MalError::UndefinedVariable(_))));
+    }
+
+    #[test]
+    fn redefinition_rejected() {
+        let text = "X_0:int := sql.mvc();\nX_0:int := sql.mvc();\n";
+        assert!(matches!(parse_plan(text), Err(MalError::Redefinition(_))));
+    }
+
+    #[test]
+    fn multi_result_statement() {
+        let text = "X_0:bat[:oid] := sql.tid(0:int, \"sys\", \"t\");\n\
+                    (X_1:bat[:oid], X_2:bat[:oid], X_3:bat[:int]) := group.group(X_0);\n";
+        let plan = parse_plan(text).unwrap();
+        assert_eq!(plan.instructions[1].results.len(), 3);
+        assert_eq!(plan.var(plan.instructions[1].results[2]).ty, MalType::bat(MalType::Int));
+    }
+
+    #[test]
+    fn commas_inside_strings_do_not_split() {
+        let text = "X_0:str := calc.identity(\"a,b,c\");\n";
+        let plan = parse_plan(text).unwrap();
+        assert_eq!(plan.instructions[0].args.len(), 1);
+    }
+
+    #[test]
+    fn missing_paren_is_parse_error() {
+        assert!(matches!(
+            parse_plan("X_0:int := sql.mvc;\n"),
+            Err(MalError::Parse { .. })
+        ));
+    }
+}

@@ -1,0 +1,346 @@
+//! MAL plans: an ordered list of instructions plus a variable table.
+//!
+//! Plans are single-assignment: each variable is defined by exactly one
+//! instruction. The plan's `pc` numbering is dense and equals each
+//! instruction's index, which is the contract the trace↔dot mapping of the
+//! paper's §3.3 relies on.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::instr::{Arg, Instruction};
+use crate::types::MalType;
+use crate::{MalError, Result};
+
+/// Identifier of a plan variable. Displayed as `X_<n>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X_{}", self.0)
+    }
+}
+
+/// Metadata for one plan variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarInfo {
+    /// Display name, `X_<id>` by default.
+    pub name: String,
+    /// Declared MAL type.
+    pub ty: MalType,
+    /// pc of the defining instruction, once known.
+    pub def: Option<usize>,
+}
+
+/// A complete MAL plan (one MAL function body).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Fully qualified function name, e.g. `user.s1_1`.
+    pub name: String,
+    /// Instructions in execution order; `instructions[i].pc == i`.
+    pub instructions: Vec<Instruction>,
+    vars: Vec<VarInfo>,
+}
+
+impl Plan {
+    /// Variable metadata lookup. Panics on a foreign `VarId` — ids are only
+    /// minted by this plan's builder/parser, so that is a logic error.
+    pub fn var(&self, id: VarId) -> &VarInfo {
+        &self.vars[id.0]
+    }
+
+    /// Number of variables in the plan.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// All variables with ids.
+    pub fn vars(&self) -> impl Iterator<Item = (VarId, &VarInfo)> {
+        self.vars.iter().enumerate().map(|(i, v)| (VarId(i), v))
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True if the plan has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Look up a variable id by display name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(VarId)
+    }
+
+    /// Validate structural invariants: dense pcs, single assignment,
+    /// def-before-use.
+    pub fn validate(&self) -> Result<()> {
+        let mut defined = vec![false; self.vars.len()];
+        for (i, ins) in self.instructions.iter().enumerate() {
+            if ins.pc != i {
+                return Err(MalError::Invalid(format!(
+                    "instruction {i} has pc {}",
+                    ins.pc
+                )));
+            }
+            for a in &ins.args {
+                if let Arg::Var(v) = a {
+                    if v.0 >= self.vars.len() {
+                        return Err(MalError::UndefinedVariable(format!("X_{}", v.0)));
+                    }
+                    if !defined[v.0] {
+                        return Err(MalError::UndefinedVariable(
+                            self.vars[v.0].name.clone(),
+                        ));
+                    }
+                }
+            }
+            for r in &ins.results {
+                if r.0 >= self.vars.len() {
+                    return Err(MalError::UndefinedVariable(format!("X_{}", r.0)));
+                }
+                if defined[r.0] {
+                    return Err(MalError::Redefinition(self.vars[r.0].name.clone()));
+                }
+                defined[r.0] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the full plan listing, Figure-1 style:
+    ///
+    /// ```text
+    /// function user.s1_1();
+    ///     X_0 := sql.mvc();
+    ///     ...
+    /// end user.s1_1;
+    /// ```
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("function {}();\n", self.name));
+        for ins in &self.instructions {
+            out.push_str("    ");
+            out.push_str(&ins.render(self));
+            out.push('\n');
+        }
+        out.push_str(&format!("end {};\n", self.name));
+        out
+    }
+
+    /// Map from pc to statement text, used when building trace events.
+    pub fn stmt_texts(&self) -> Vec<String> {
+        self.instructions.iter().map(|i| i.render(self)).collect()
+    }
+
+    /// Instruction count per `module.function`, a cheap plan profile.
+    pub fn op_histogram(&self) -> HashMap<String, usize> {
+        let mut h = HashMap::new();
+        for i in &self.instructions {
+            *h.entry(i.qualified_name()).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+/// Incremental builder for [`Plan`]s; used by the SQL code generator and
+/// by tests.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    name: String,
+    instructions: Vec<Instruction>,
+    vars: Vec<VarInfo>,
+}
+
+impl PlanBuilder {
+    /// Start a new plan with the given function name.
+    pub fn new(name: impl Into<String>) -> Self {
+        PlanBuilder {
+            name: name.into(),
+            instructions: Vec::new(),
+            vars: Vec::new(),
+        }
+    }
+
+    /// Mint a fresh variable of type `ty`, named `X_<id>`.
+    pub fn new_var(&mut self, ty: MalType) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push(VarInfo {
+            name: format!("X_{}", id.0),
+            ty,
+            def: None,
+        });
+        id
+    }
+
+    /// Mint a fresh variable with an explicit name (the parser uses this to
+    /// preserve source names).
+    pub fn new_named_var(&mut self, name: impl Into<String>, ty: MalType) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push(VarInfo {
+            name: name.into(),
+            ty,
+            def: None,
+        });
+        id
+    }
+
+    /// Append an instruction; its pc is the current plan length.
+    pub fn push(
+        &mut self,
+        module: impl Into<String>,
+        function: impl Into<String>,
+        results: Vec<VarId>,
+        args: Vec<Arg>,
+    ) -> usize {
+        let pc = self.instructions.len();
+        for r in &results {
+            self.vars[r.0].def = Some(pc);
+        }
+        self.instructions.push(Instruction {
+            pc,
+            module: module.into(),
+            function: function.into(),
+            results,
+            args,
+        });
+        pc
+    }
+
+    /// Convenience: append a single-result call and return the fresh result
+    /// variable.
+    pub fn call(
+        &mut self,
+        module: &str,
+        function: &str,
+        result_ty: MalType,
+        args: Vec<Arg>,
+    ) -> VarId {
+        let r = self.new_var(result_ty);
+        self.push(module, function, vec![r], args);
+        r
+    }
+
+    /// Number of instructions appended so far.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True if nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Type of a previously minted variable.
+    pub fn var_type(&self, id: VarId) -> &MalType {
+        &self.vars[id.0].ty
+    }
+
+    /// Finish and return the plan.
+    pub fn finish(self) -> Plan {
+        Plan {
+            name: self.name,
+            instructions: self.instructions,
+            vars: self.vars,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn tiny_plan() -> Plan {
+        let mut b = PlanBuilder::new("user.s1_1");
+        let mvc = b.call("sql", "mvc", MalType::Int, vec![]);
+        let tid = b.call(
+            "sql",
+            "tid",
+            MalType::bat(MalType::Oid),
+            vec![Arg::Var(mvc), Arg::Lit(Value::Str("sys".into()))],
+        );
+        let col = b.call(
+            "sql",
+            "bind",
+            MalType::bat(MalType::Int),
+            vec![Arg::Var(mvc), Arg::Lit(Value::Str("lineitem".into()))],
+        );
+        b.call(
+            "algebra",
+            "projection",
+            MalType::bat(MalType::Int),
+            vec![Arg::Var(tid), Arg::Var(col)],
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn builder_assigns_dense_pcs() {
+        let p = tiny_plan();
+        for (i, ins) in p.instructions.iter().enumerate() {
+            assert_eq!(ins.pc, i);
+        }
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn var_defs_recorded() {
+        let p = tiny_plan();
+        assert_eq!(p.var(VarId(0)).def, Some(0));
+        assert_eq!(p.var(VarId(3)).def, Some(3));
+    }
+
+    #[test]
+    fn validate_rejects_use_before_def() {
+        let mut b = PlanBuilder::new("user.bad");
+        let v = b.new_var(MalType::Int);
+        // v used but never defined by an instruction.
+        b.push("calc", "identity", vec![], vec![Arg::Var(v)]);
+        let p = b.finish();
+        assert!(matches!(
+            p.validate(),
+            Err(MalError::UndefinedVariable(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_redefinition() {
+        let mut b = PlanBuilder::new("user.bad");
+        let v = b.new_var(MalType::Int);
+        b.push("sql", "mvc", vec![v], vec![]);
+        b.push("sql", "mvc", vec![v], vec![]);
+        let p = b.finish();
+        assert!(matches!(p.validate(), Err(MalError::Redefinition(_))));
+    }
+
+    #[test]
+    fn listing_has_function_wrapper() {
+        let p = tiny_plan();
+        let text = p.listing();
+        assert!(text.starts_with("function user.s1_1();\n"));
+        assert!(text.ends_with("end user.s1_1;\n"));
+        assert_eq!(text.lines().count(), p.len() + 2);
+    }
+
+    #[test]
+    fn histogram_counts_ops() {
+        let p = tiny_plan();
+        let h = p.op_histogram();
+        assert_eq!(h.get("sql.mvc"), Some(&1));
+        assert_eq!(h.get("algebra.projection"), Some(&1));
+    }
+
+    #[test]
+    fn var_by_name_finds_builder_names() {
+        let p = tiny_plan();
+        assert_eq!(p.var_by_name("X_2"), Some(VarId(2)));
+        assert_eq!(p.var_by_name("X_99"), None);
+    }
+}

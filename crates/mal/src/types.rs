@@ -1,0 +1,158 @@
+//! The MAL type system.
+//!
+//! MonetDB's MAL works over a small set of scalar types and BATs (Binary
+//! Association Tables — the columnar storage unit). A BAT has a virtual
+//! dense `oid` head and a typed tail, so a BAT type is written `bat[:int]`
+//! in plan listings.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::MalError;
+
+/// A MAL type, either scalar or a BAT over a scalar tail type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MalType {
+    /// No value (statements executed for effect).
+    Void,
+    /// Boolean (`bit` in MonetDB parlance).
+    Bit,
+    /// 64-bit signed integer. MonetDB distinguishes bte/sht/int/lng; our
+    /// engine stores all of them as 64-bit and keeps the declared width
+    /// only for display, so the model collapses them into `Int`.
+    Int,
+    /// Double-precision float (`dbl`).
+    Dbl,
+    /// Variable-length string (`str`).
+    Str,
+    /// Object identifier — row position within a BAT (`oid`).
+    Oid,
+    /// Calendar date, stored as days since epoch (`date`).
+    Date,
+    /// A BAT with the given tail type.
+    Bat(Box<MalType>),
+}
+
+impl MalType {
+    /// A BAT over `tail`.
+    pub fn bat(tail: MalType) -> MalType {
+        MalType::Bat(Box::new(tail))
+    }
+
+    /// True if this is a BAT type.
+    pub fn is_bat(&self) -> bool {
+        matches!(self, MalType::Bat(_))
+    }
+
+    /// Tail type of a BAT, or the type itself for scalars.
+    pub fn tail(&self) -> &MalType {
+        match self {
+            MalType::Bat(t) => t,
+            other => other,
+        }
+    }
+
+    /// True if the type is numeric (int, dbl, oid or date).
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            MalType::Int | MalType::Dbl | MalType::Oid | MalType::Date
+        )
+    }
+}
+
+impl fmt::Display for MalType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MalType::Void => write!(f, "void"),
+            MalType::Bit => write!(f, "bit"),
+            MalType::Int => write!(f, "int"),
+            MalType::Dbl => write!(f, "dbl"),
+            MalType::Str => write!(f, "str"),
+            MalType::Oid => write!(f, "oid"),
+            MalType::Date => write!(f, "date"),
+            MalType::Bat(t) => write!(f, "bat[:{t}]"),
+        }
+    }
+}
+
+impl FromStr for MalType {
+    type Err = MalError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if let Some(inner) = s.strip_prefix("bat[:").and_then(|r| r.strip_suffix(']')) {
+            return Ok(MalType::bat(inner.parse()?));
+        }
+        match s {
+            "void" => Ok(MalType::Void),
+            "bit" => Ok(MalType::Bit),
+            // Accept all MonetDB integer widths; see `MalType::Int`.
+            "bte" | "sht" | "int" | "lng" => Ok(MalType::Int),
+            "flt" | "dbl" => Ok(MalType::Dbl),
+            "str" => Ok(MalType::Str),
+            "oid" => Ok(MalType::Oid),
+            "date" => Ok(MalType::Date),
+            other => Err(MalError::BadType(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_via_fromstr() {
+        for t in [
+            MalType::Void,
+            MalType::Bit,
+            MalType::Int,
+            MalType::Dbl,
+            MalType::Str,
+            MalType::Oid,
+            MalType::Date,
+            MalType::bat(MalType::Int),
+            MalType::bat(MalType::bat(MalType::Str)),
+        ] {
+            let text = t.to_string();
+            let back: MalType = text.parse().unwrap();
+            assert_eq!(back, t, "round trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn integer_widths_collapse() {
+        for w in ["bte", "sht", "int", "lng"] {
+            assert_eq!(w.parse::<MalType>().unwrap(), MalType::Int);
+        }
+        assert_eq!("flt".parse::<MalType>().unwrap(), MalType::Dbl);
+    }
+
+    #[test]
+    fn bat_accessors() {
+        let t = MalType::bat(MalType::Dbl);
+        assert!(t.is_bat());
+        assert_eq!(t.tail(), &MalType::Dbl);
+        assert!(!MalType::Str.is_bat());
+        assert_eq!(MalType::Str.tail(), &MalType::Str);
+    }
+
+    #[test]
+    fn bad_type_is_an_error() {
+        assert!(matches!(
+            "wibble".parse::<MalType>(),
+            Err(MalError::BadType(_))
+        ));
+        assert!("bat[:wibble]".parse::<MalType>().is_err());
+    }
+
+    #[test]
+    fn numeric_classification() {
+        assert!(MalType::Int.is_numeric());
+        assert!(MalType::Dbl.is_numeric());
+        assert!(MalType::Oid.is_numeric());
+        assert!(!MalType::Str.is_numeric());
+        assert!(!MalType::bat(MalType::Int).is_numeric());
+    }
+}

@@ -1,0 +1,245 @@
+//! MAL literal values.
+//!
+//! Literals appear as instruction arguments in plan listings with an
+//! explicit type suffix, e.g. `1:int`, `0.08:dbl`, `"lineitem":str`.
+
+use std::fmt;
+
+use crate::types::MalType;
+use crate::MalError;
+
+/// A scalar MAL literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The `nil` of a given type.
+    Nil(MalType),
+    /// Boolean.
+    Bit(bool),
+    /// Integer (all MonetDB integer widths collapse to 64-bit).
+    Int(i64),
+    /// Double.
+    Dbl(f64),
+    /// String.
+    Str(String),
+    /// Object id.
+    Oid(u64),
+    /// Date as days since 1970-01-01.
+    Date(i32),
+}
+
+impl Value {
+    /// The MAL type of this literal.
+    pub fn mal_type(&self) -> MalType {
+        match self {
+            Value::Nil(t) => t.clone(),
+            Value::Bit(_) => MalType::Bit,
+            Value::Int(_) => MalType::Int,
+            Value::Dbl(_) => MalType::Dbl,
+            Value::Str(_) => MalType::Str,
+            Value::Oid(_) => MalType::Oid,
+            Value::Date(_) => MalType::Date,
+        }
+    }
+
+    /// Integer content, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Double content; integers widen implicitly.
+    pub fn as_dbl(&self) -> Option<f64> {
+        match self {
+            Value::Dbl(d) => Some(*d),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean content, if this is a `Bit`.
+    pub fn as_bit(&self) -> Option<bool> {
+        match self {
+            Value::Bit(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True if the value is any `nil`.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Value::Nil(_))
+    }
+
+    /// Parse a literal token with type suffix, e.g. `1:int` or `"x":str`.
+    pub fn parse_literal(tok: &str) -> Result<Value, MalError> {
+        let bad = || MalError::Parse {
+            line: 0,
+            msg: format!("bad literal `{tok}`"),
+        };
+        // String literals: the suffix is after the closing quote.
+        if let Some(rest) = tok.strip_prefix('"') {
+            let end = rest.rfind('"').ok_or_else(bad)?;
+            let body = unescape(&rest[..end]);
+            return Ok(Value::Str(body));
+        }
+        let (body, ty) = match tok.rsplit_once(':') {
+            Some((b, t)) => (b, t.parse::<MalType>()?),
+            // Untyped tokens: infer int vs dbl vs bool.
+            None => {
+                if tok == "true" || tok == "false" {
+                    return Ok(Value::Bit(tok == "true"));
+                }
+                if tok.contains('.') {
+                    return tok.parse::<f64>().map(Value::Dbl).map_err(|_| bad());
+                }
+                return tok.parse::<i64>().map(Value::Int).map_err(|_| bad());
+            }
+        };
+        if body == "nil" {
+            return Ok(Value::Nil(ty));
+        }
+        match ty {
+            MalType::Bit => match body {
+                "true" => Ok(Value::Bit(true)),
+                "false" => Ok(Value::Bit(false)),
+                _ => Err(bad()),
+            },
+            MalType::Int => body.parse::<i64>().map(Value::Int).map_err(|_| bad()),
+            MalType::Dbl => body.parse::<f64>().map(Value::Dbl).map_err(|_| bad()),
+            MalType::Oid => {
+                let body = body.strip_suffix('@').unwrap_or(body);
+                body.parse::<u64>().map(Value::Oid).map_err(|_| bad())
+            }
+            MalType::Date => body.parse::<i32>().map(Value::Date).map_err(|_| bad()),
+            MalType::Str => Ok(Value::Str(body.to_string())),
+            MalType::Void | MalType::Bat(_) => Err(bad()),
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+impl fmt::Display for Value {
+    /// Renders with the `:type` suffix used in plan listings.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil(t) => write!(f, "nil:{t}"),
+            Value::Bit(b) => write!(f, "{b}:bit"),
+            Value::Int(i) => write!(f, "{i}:int"),
+            Value::Dbl(d) => {
+                // Keep a trailing `.0` so the token re-parses as dbl.
+                if d.fract() == 0.0 && d.is_finite() {
+                    write!(f, "{d:.1}:dbl")
+                } else {
+                    write!(f, "{d}:dbl")
+                }
+            }
+            Value::Str(s) => write!(f, "\"{}\"", escape(s)),
+            Value::Oid(o) => write!(f, "{o}@:oid"),
+            Value::Date(d) => write!(f, "{d}:date"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_round_trip() {
+        for v in [
+            Value::Bit(true),
+            Value::Bit(false),
+            Value::Int(-42),
+            Value::Dbl(0.08),
+            Value::Dbl(3.0),
+            Value::Str("lineitem".into()),
+            Value::Str("quote \" and \\ slash".into()),
+            Value::Oid(17),
+            Value::Date(12345),
+            Value::Nil(MalType::Int),
+        ] {
+            let text = v.to_string();
+            let back = Value::parse_literal(&text).unwrap();
+            assert_eq!(back, v, "round trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn untyped_tokens_are_inferred() {
+        assert_eq!(Value::parse_literal("7").unwrap(), Value::Int(7));
+        assert_eq!(Value::parse_literal("7.5").unwrap(), Value::Dbl(7.5));
+        assert_eq!(Value::parse_literal("true").unwrap(), Value::Bit(true));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_dbl(), Some(3.0));
+        assert_eq!(Value::Dbl(2.5).as_dbl(), Some(2.5));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Bit(true).as_bit(), Some(true));
+        assert!(Value::Nil(MalType::Int).is_nil());
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+    }
+
+    #[test]
+    fn types_of_literals() {
+        assert_eq!(Value::Int(1).mal_type(), MalType::Int);
+        assert_eq!(Value::Nil(MalType::Str).mal_type(), MalType::Str);
+        assert_eq!(Value::Oid(0).mal_type(), MalType::Oid);
+    }
+
+    #[test]
+    fn bad_literals_error() {
+        assert!(Value::parse_literal("abc:int").is_err());
+        assert!(Value::parse_literal("1:bat[:int]").is_err());
+        assert!(Value::parse_literal("xyz").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Value::Str("a\nb\tc".into());
+        let text = v.to_string();
+        assert_eq!(Value::parse_literal(&text).unwrap(), v);
+    }
+}

@@ -1,0 +1,134 @@
+//! Trace event model.
+//!
+//! Each MAL instruction appears in the trace twice: "a `start` event marks
+//! the start of the instruction and a `done` event marks the end of the
+//! instruction. The program counter (pc) is an important field in the
+//! trace, and is used to map pc to a node number in a dot file." (§3.3)
+
+use serde::{Deserialize, Serialize};
+
+/// Whether the record marks instruction start or completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventStatus {
+    /// Instruction began executing.
+    Start,
+    /// Instruction finished.
+    Done,
+}
+
+impl EventStatus {
+    /// Trace-file keyword.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventStatus::Start => "start",
+            EventStatus::Done => "done",
+        }
+    }
+}
+
+/// One profiler record. Field set follows the paper's Figure 3: an event
+/// sequence number (used "as an index to store the attribute contents",
+/// §4), the status, the pc, plus the OS-specific properties the profiler
+/// samples — thread, clock, elapsed time, memory (rss) — and the statement
+/// text that maps to the dot node label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Monotone event sequence number within one trace.
+    pub event: u64,
+    /// `start` or `done`.
+    pub status: EventStatus,
+    /// Program counter of the instruction; maps to dot node `n<pc>`.
+    pub pc: usize,
+    /// Worker thread that executed the instruction.
+    pub thread: usize,
+    /// Microseconds since query start when the event was recorded.
+    pub clk: u64,
+    /// Execution time in microseconds; zero on `start` events.
+    pub usec: u64,
+    /// Resident set size in KiB at event time.
+    pub rss: u64,
+    /// Rendered MAL statement (the dot `label` counterpart).
+    pub stmt: String,
+}
+
+impl TraceEvent {
+    /// Construct a `start` record.
+    pub fn start(event: u64, pc: usize, thread: usize, clk: u64, rss: u64, stmt: impl Into<String>) -> Self {
+        TraceEvent {
+            event,
+            status: EventStatus::Start,
+            pc,
+            thread,
+            clk,
+            usec: 0,
+            rss,
+            stmt: stmt.into(),
+        }
+    }
+
+    /// Construct a `done` record.
+    pub fn done(event: u64, pc: usize, thread: usize, clk: u64, usec: u64, rss: u64, stmt: impl Into<String>) -> Self {
+        TraceEvent {
+            event,
+            status: EventStatus::Done,
+            pc,
+            thread,
+            clk,
+            usec,
+            rss,
+            stmt: stmt.into(),
+        }
+    }
+
+    /// `module.function` extracted from the statement text, or `"?"`.
+    /// Works for both assignment and bare-call statement forms.
+    pub fn operator(&self) -> &str {
+        let body = match self.stmt.find(":=") {
+            Some(i) => self.stmt[i + 2..].trim_start(),
+            None => self.stmt.trim_start(),
+        };
+        match body.find('(') {
+            Some(i) => body[..i].trim(),
+            None => "?",
+        }
+    }
+
+    /// Module part of [`Self::operator`].
+    pub fn module(&self) -> &str {
+        self.operator().split('.').next().unwrap_or("?")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_fields() {
+        let s = TraceEvent::start(7, 3, 1, 100, 2048, "X_3 := algebra.select(X_1);");
+        assert_eq!(s.status, EventStatus::Start);
+        assert_eq!(s.usec, 0);
+        assert_eq!(s.pc, 3);
+        let d = TraceEvent::done(8, 3, 1, 400, 300, 2048, "X_3 := algebra.select(X_1);");
+        assert_eq!(d.status, EventStatus::Done);
+        assert_eq!(d.usec, 300);
+    }
+
+    #[test]
+    fn operator_extraction() {
+        let e = TraceEvent::start(0, 0, 0, 0, 0, "X_5:bat[:dbl] := algebra.leftjoin(X_23, X_10);");
+        assert_eq!(e.operator(), "algebra.leftjoin");
+        assert_eq!(e.module(), "algebra");
+        let bare = TraceEvent::start(0, 0, 0, 0, 0, "language.pass(X_1);");
+        assert_eq!(bare.operator(), "language.pass");
+        let odd = TraceEvent::start(0, 0, 0, 0, 0, "garbage");
+        assert_eq!(odd.operator(), "?");
+        assert_eq!(odd.module(), "?");
+    }
+
+    #[test]
+    fn status_keywords() {
+        assert_eq!(EventStatus::Start.as_str(), "start");
+        assert_eq!(EventStatus::Done.as_str(), "done");
+    }
+}

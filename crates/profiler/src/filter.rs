@@ -1,0 +1,221 @@
+//! Profiler filter options.
+//!
+//! "The profiler accepts filter options set through Stethoscope, which
+//! enables it to profile only a subset of event types" (§3), and the
+//! textual Stethoscope's "filter options allow for selective tracing of
+//! execution states on each of the connected servers" (§3.2). Claim 4 of
+//! the paper is "flexible options for filtering of execution traces".
+//!
+//! Filters compose conjunctively: an event passes when every configured
+//! criterion accepts it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{EventStatus, TraceEvent};
+
+/// Conjunctive event filter.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FilterOptions {
+    /// Keep only events whose statement operator belongs to one of these
+    /// MAL modules (empty = all modules).
+    pub modules: Vec<String>,
+    /// Keep only these `module.function` operators (empty = all).
+    pub operators: Vec<String>,
+    /// Keep only events with `pc` inside this inclusive range.
+    pub pc_range: Option<(usize, usize)>,
+    /// Keep only events from these worker threads (empty = all).
+    pub threads: Vec<usize>,
+    /// Keep only `start` or only `done` events.
+    pub status: Option<EventStatus>,
+    /// Keep only `done` events that ran at least this many microseconds
+    /// (`start` events pass unless `status` excludes them — duration is
+    /// unknown at start time).
+    pub min_usec: Option<u64>,
+    /// Drop administrative statements (`language.pass` etc.); the §6
+    /// "selective pruning" extension exposed as a filter.
+    pub drop_administrative: bool,
+}
+
+impl FilterOptions {
+    /// A filter that accepts everything.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Builder: restrict to one module.
+    pub fn with_module(mut self, module: impl Into<String>) -> Self {
+        self.modules.push(module.into());
+        self
+    }
+
+    /// Builder: restrict to one operator.
+    pub fn with_operator(mut self, op: impl Into<String>) -> Self {
+        self.operators.push(op.into());
+        self
+    }
+
+    /// Builder: restrict pc range (inclusive).
+    pub fn with_pc_range(mut self, lo: usize, hi: usize) -> Self {
+        self.pc_range = Some((lo, hi));
+        self
+    }
+
+    /// Builder: restrict to a thread.
+    pub fn with_thread(mut self, t: usize) -> Self {
+        self.threads.push(t);
+        self
+    }
+
+    /// Builder: restrict status.
+    pub fn with_status(mut self, s: EventStatus) -> Self {
+        self.status = Some(s);
+        self
+    }
+
+    /// Builder: minimum duration for done events.
+    pub fn with_min_usec(mut self, usec: u64) -> Self {
+        self.min_usec = Some(usec);
+        self
+    }
+
+    /// Builder: drop administrative instructions.
+    pub fn without_administrative(mut self) -> Self {
+        self.drop_administrative = true;
+        self
+    }
+
+    /// Does `e` pass the filter?
+    pub fn accepts(&self, e: &TraceEvent) -> bool {
+        if let Some(s) = self.status {
+            if e.status != s {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.pc_range {
+            if e.pc < lo || e.pc > hi {
+                return false;
+            }
+        }
+        if !self.threads.is_empty() && !self.threads.contains(&e.thread) {
+            return false;
+        }
+        if !self.modules.is_empty() && !self.modules.iter().any(|m| m == e.module()) {
+            return false;
+        }
+        if !self.operators.is_empty() && !self.operators.iter().any(|o| o == e.operator()) {
+            return false;
+        }
+        if let Some(min) = self.min_usec {
+            if e.status == EventStatus::Done && e.usec < min {
+                return false;
+            }
+        }
+        if self.drop_administrative {
+            let op = e.operator();
+            if matches!(
+                op,
+                "language.pass" | "language.dataflow" | "querylog.define"
+            ) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Apply to a slice, returning passing events.
+    pub fn filter<'a>(&self, events: &'a [TraceEvent]) -> Vec<&'a TraceEvent> {
+        events.iter().filter(|e| self.accepts(e)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pc: usize, thread: usize, status: EventStatus, usec: u64, stmt: &str) -> TraceEvent {
+        TraceEvent {
+            event: 0,
+            status,
+            pc,
+            thread,
+            clk: 0,
+            usec,
+            rss: 0,
+            stmt: stmt.to_string(),
+        }
+    }
+
+    #[test]
+    fn default_accepts_everything() {
+        let f = FilterOptions::all();
+        assert!(f.accepts(&ev(0, 0, EventStatus::Start, 0, "x := a.b(c);")));
+    }
+
+    #[test]
+    fn module_filter() {
+        let f = FilterOptions::all().with_module("algebra");
+        assert!(f.accepts(&ev(1, 0, EventStatus::Start, 0, "X := algebra.select(Y);")));
+        assert!(!f.accepts(&ev(1, 0, EventStatus::Start, 0, "X := sql.bind(Y);")));
+    }
+
+    #[test]
+    fn operator_filter() {
+        let f = FilterOptions::all().with_operator("aggr.sum");
+        assert!(f.accepts(&ev(1, 0, EventStatus::Done, 5, "X := aggr.sum(Y);")));
+        assert!(!f.accepts(&ev(1, 0, EventStatus::Done, 5, "X := aggr.count(Y);")));
+    }
+
+    #[test]
+    fn pc_range_inclusive() {
+        let f = FilterOptions::all().with_pc_range(2, 4);
+        assert!(!f.accepts(&ev(1, 0, EventStatus::Start, 0, "f.g();")));
+        assert!(f.accepts(&ev(2, 0, EventStatus::Start, 0, "f.g();")));
+        assert!(f.accepts(&ev(4, 0, EventStatus::Start, 0, "f.g();")));
+        assert!(!f.accepts(&ev(5, 0, EventStatus::Start, 0, "f.g();")));
+    }
+
+    #[test]
+    fn thread_and_status_filters() {
+        let f = FilterOptions::all().with_thread(2).with_status(EventStatus::Done);
+        assert!(f.accepts(&ev(0, 2, EventStatus::Done, 0, "f.g();")));
+        assert!(!f.accepts(&ev(0, 2, EventStatus::Start, 0, "f.g();")));
+        assert!(!f.accepts(&ev(0, 1, EventStatus::Done, 0, "f.g();")));
+    }
+
+    #[test]
+    fn min_usec_only_constrains_done() {
+        let f = FilterOptions::all().with_min_usec(100);
+        assert!(f.accepts(&ev(0, 0, EventStatus::Start, 0, "f.g();")));
+        assert!(f.accepts(&ev(0, 0, EventStatus::Done, 150, "f.g();")));
+        assert!(!f.accepts(&ev(0, 0, EventStatus::Done, 50, "f.g();")));
+    }
+
+    #[test]
+    fn administrative_pruning() {
+        let f = FilterOptions::all().without_administrative();
+        assert!(!f.accepts(&ev(0, 0, EventStatus::Start, 0, "language.pass(X_1);")));
+        assert!(f.accepts(&ev(0, 0, EventStatus::Start, 0, "X := algebra.select(Y);")));
+    }
+
+    #[test]
+    fn filters_compose_conjunctively() {
+        let f = FilterOptions::all()
+            .with_module("algebra")
+            .with_pc_range(0, 10)
+            .with_min_usec(10);
+        assert!(f.accepts(&ev(5, 0, EventStatus::Done, 20, "X := algebra.join(A, B);")));
+        assert!(!f.accepts(&ev(11, 0, EventStatus::Done, 20, "X := algebra.join(A, B);")));
+        assert!(!f.accepts(&ev(5, 0, EventStatus::Done, 5, "X := algebra.join(A, B);")));
+        assert!(!f.accepts(&ev(5, 0, EventStatus::Done, 20, "X := sql.bind(A);")));
+    }
+
+    #[test]
+    fn slice_filter_helper() {
+        let events = vec![
+            ev(0, 0, EventStatus::Start, 0, "X := algebra.select(Y);"),
+            ev(0, 0, EventStatus::Done, 9, "X := sql.bind(Y);"),
+        ];
+        let f = FilterOptions::all().with_module("algebra");
+        assert_eq!(f.filter(&events).len(), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Aggregate statistics over a trace — the inputs to Stethoscope's debug
+//! windows and the §5 offline analyses.
+
+use std::collections::HashMap;
+
+use crate::event::{EventStatus, TraceEvent};
+
+/// Summary statistics for one trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Total events.
+    pub events: usize,
+    /// `start` events.
+    pub starts: usize,
+    /// `done` events.
+    pub dones: usize,
+    /// Distinct pcs observed.
+    pub distinct_pcs: usize,
+    /// Distinct worker threads observed.
+    pub distinct_threads: usize,
+    /// Sum of `usec` over done events.
+    pub total_usec: u64,
+    /// Maximum single-instruction duration.
+    pub max_usec: u64,
+    /// pc of the longest-running instruction.
+    pub max_usec_pc: Option<usize>,
+    /// Wall-clock span (max clk − min clk).
+    pub span_usec: u64,
+    /// Peak rss observed (KiB).
+    pub peak_rss: u64,
+    /// Done-event time per `module.function`.
+    pub usec_by_operator: HashMap<String, u64>,
+    /// Done-event count per `module.function`.
+    pub count_by_operator: HashMap<String, usize>,
+}
+
+impl TraceStats {
+    /// Compute statistics over `events`.
+    pub fn compute(events: &[TraceEvent]) -> Self {
+        let mut s = TraceStats::default();
+        if events.is_empty() {
+            return s;
+        }
+        let mut pcs = std::collections::HashSet::new();
+        let mut threads = std::collections::HashSet::new();
+        let mut min_clk = u64::MAX;
+        let mut max_clk = 0u64;
+        for e in events {
+            s.events += 1;
+            pcs.insert(e.pc);
+            threads.insert(e.thread);
+            min_clk = min_clk.min(e.clk);
+            max_clk = max_clk.max(e.clk);
+            s.peak_rss = s.peak_rss.max(e.rss);
+            match e.status {
+                EventStatus::Start => s.starts += 1,
+                EventStatus::Done => {
+                    s.dones += 1;
+                    s.total_usec += e.usec;
+                    if e.usec >= s.max_usec {
+                        s.max_usec = e.usec;
+                        s.max_usec_pc = Some(e.pc);
+                    }
+                    let op = e.operator().to_string();
+                    *s.usec_by_operator.entry(op.clone()).or_insert(0) += e.usec;
+                    *s.count_by_operator.entry(op).or_insert(0) += 1;
+                }
+            }
+        }
+        s.distinct_pcs = pcs.len();
+        s.distinct_threads = threads.len();
+        s.span_usec = max_clk - min_clk;
+        s
+    }
+
+    /// Operators ranked by total time, heaviest first.
+    pub fn top_operators(&self, n: usize) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .usec_by_operator
+            .iter()
+            .map(|(k, &u)| (k.clone(), u))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::start(0, 0, 0, 0, 100, "X := sql.bind(a);"),
+            TraceEvent::done(1, 0, 0, 50, 50, 110, "X := sql.bind(a);"),
+            TraceEvent::start(2, 1, 1, 55, 120, "Y := algebra.select(X);"),
+            TraceEvent::done(3, 1, 1, 255, 200, 180, "Y := algebra.select(X);"),
+            TraceEvent::start(4, 2, 0, 260, 150, "Z := algebra.select(Y);"),
+            TraceEvent::done(5, 2, 0, 300, 40, 140, "Z := algebra.select(Y);"),
+        ]
+    }
+
+    #[test]
+    fn counts_and_totals() {
+        let s = TraceStats::compute(&trace());
+        assert_eq!(s.events, 6);
+        assert_eq!(s.starts, 3);
+        assert_eq!(s.dones, 3);
+        assert_eq!(s.distinct_pcs, 3);
+        assert_eq!(s.distinct_threads, 2);
+        assert_eq!(s.total_usec, 290);
+        assert_eq!(s.max_usec, 200);
+        assert_eq!(s.max_usec_pc, Some(1));
+        assert_eq!(s.span_usec, 300);
+        assert_eq!(s.peak_rss, 180);
+    }
+
+    #[test]
+    fn per_operator_aggregation() {
+        let s = TraceStats::compute(&trace());
+        assert_eq!(s.usec_by_operator["algebra.select"], 240);
+        assert_eq!(s.usec_by_operator["sql.bind"], 50);
+        assert_eq!(s.count_by_operator["algebra.select"], 2);
+        let top = s.top_operators(1);
+        assert_eq!(top, vec![("algebra.select".to_string(), 240)]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceStats::compute(&[]);
+        assert_eq!(s.events, 0);
+        assert_eq!(s.span_usec, 0);
+        assert!(s.top_operators(3).is_empty());
+    }
+}

@@ -1,0 +1,445 @@
+//! UDP streaming: the profiler emitter and the *textual Stethoscope*.
+//!
+//! "It uses a UDP socket interface to connect to MonetDB server, for
+//! receiving the MonetDB execution trace. The textual Stethoscope can
+//! connect to multiple MonetDB servers at the same time to receive
+//! execution traces from all (distributed) sources." (§3.2)
+//!
+//! And for online mode: "The MonetDB server generates the dot file content
+//! and sends it over on the UDP stream to the textual Stethoscope, before
+//! query execution begins. A separate thread monitors the received UDP
+//! stream for dot file and execution trace file content. It filters the
+//! dot file content, generates a new dot file" (§4.2).
+//!
+//! The stream therefore interleaves two kinds of content. Dot content is
+//! framed with `%dot-begin` / `%dot` / `%dot-end` control lines; trace
+//! records are the bracketed lines of [`crate::format`]. `%eot` marks
+//! end-of-trace for one query.
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use crate::event::TraceEvent;
+use crate::filter::FilterOptions;
+use crate::format::{format_event, parse_event};
+
+/// One item of the merged multi-server stream, tagged with its source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamItem {
+    /// Start of a dot file; payload is the plan name.
+    DotBegin {
+        /// Sending server.
+        source: SocketAddr,
+        /// Plan name announced by the server.
+        name: String,
+    },
+    /// One line of dot file content.
+    DotLine {
+        /// Sending server.
+        source: SocketAddr,
+        /// Raw dot text line.
+        line: String,
+    },
+    /// End of the dot file.
+    DotEnd {
+        /// Sending server.
+        source: SocketAddr,
+    },
+    /// One trace event (already filtered).
+    Event {
+        /// Sending server.
+        source: SocketAddr,
+        /// The record.
+        event: TraceEvent,
+    },
+    /// End of trace for the current query on this server.
+    EndOfTrace {
+        /// Sending server.
+        source: SocketAddr,
+    },
+    /// A line that could not be parsed (kept for diagnostics).
+    Garbled {
+        /// Sending server.
+        source: SocketAddr,
+        /// Raw line.
+        line: String,
+    },
+}
+
+/// Server-side (Mserver) emitter: streams profiler output to one textual
+/// Stethoscope over UDP.
+#[derive(Debug)]
+pub struct ProfilerEmitter {
+    socket: UdpSocket,
+}
+
+impl ProfilerEmitter {
+    /// Create an emitter targeting `stethoscope` (e.g. the address
+    /// returned by [`TextualStethoscope::local_addr`]).
+    pub fn connect(stethoscope: impl ToSocketAddrs) -> io::Result<Self> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.connect(stethoscope)?;
+        Ok(ProfilerEmitter { socket })
+    }
+
+    /// The emitter's own address — the stream's source tag on the
+    /// receiving side.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Send one trace event.
+    pub fn emit(&self, e: &TraceEvent) -> io::Result<()> {
+        self.socket.send(format_event(e).as_bytes())?;
+        Ok(())
+    }
+
+    /// Send a complete dot file, framed, before query execution begins.
+    pub fn send_dot(&self, plan_name: &str, dot_text: &str) -> io::Result<()> {
+        self.socket
+            .send(format!("%dot-begin {plan_name}").as_bytes())?;
+        for line in dot_text.lines() {
+            self.socket.send(format!("%dot {line}").as_bytes())?;
+        }
+        self.socket.send(b"%dot-end")?;
+        Ok(())
+    }
+
+    /// Mark the end of the current query's trace.
+    pub fn send_end_of_trace(&self) -> io::Result<()> {
+        self.socket.send(b"%eot")?;
+        Ok(())
+    }
+}
+
+/// The textual Stethoscope: binds a UDP port, receives interleaved dot +
+/// trace streams from any number of servers, filters them, and forwards
+/// structured [`StreamItem`]s over a channel.
+pub struct TextualStethoscope {
+    socket: UdpSocket,
+    running: Arc<AtomicBool>,
+    filters: Arc<Mutex<HashMap<SocketAddr, FilterOptions>>>,
+    default_filter: Arc<Mutex<FilterOptions>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TextualStethoscope {
+    /// Bind on an ephemeral localhost port.
+    pub fn bind() -> io::Result<Self> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        Ok(TextualStethoscope {
+            socket,
+            running: Arc::new(AtomicBool::new(false)),
+            filters: Arc::new(Mutex::new(HashMap::new())),
+            default_filter: Arc::new(Mutex::new(FilterOptions::all())),
+            handle: None,
+        })
+    }
+
+    /// Address servers should emit to.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Set the filter applied to servers without a per-server override.
+    pub fn set_default_filter(&self, f: FilterOptions) {
+        *self.default_filter.lock() = f;
+    }
+
+    /// Per-server filter — "selective tracing of execution states on each
+    /// of the connected servers" (§3.2).
+    pub fn set_server_filter(&self, server: SocketAddr, f: FilterOptions) {
+        self.filters.lock().insert(server, f);
+    }
+
+    /// Start the listening thread; returns the stream of items. Call at
+    /// most once.
+    pub fn start(&mut self) -> Receiver<StreamItem> {
+        let (tx, rx) = unbounded();
+        self.running.store(true, Ordering::SeqCst);
+        let socket = self.socket.try_clone().expect("udp socket clone");
+        let running = Arc::clone(&self.running);
+        let filters = Arc::clone(&self.filters);
+        let default_filter = Arc::clone(&self.default_filter);
+        let handle = std::thread::Builder::new()
+            .name("textual-stethoscope".into())
+            .spawn(move || listen_loop(socket, running, filters, default_filter, tx))
+            .expect("spawn textual stethoscope thread");
+        self.handle = Some(handle);
+        rx
+    }
+
+    /// Stop the listening thread and wait for it.
+    pub fn stop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TextualStethoscope {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn listen_loop(
+    socket: UdpSocket,
+    running: Arc<AtomicBool>,
+    filters: Arc<Mutex<HashMap<SocketAddr, FilterOptions>>>,
+    default_filter: Arc<Mutex<FilterOptions>>,
+    tx: Sender<StreamItem>,
+) {
+    let mut buf = vec![0u8; 64 * 1024];
+    while running.load(Ordering::SeqCst) {
+        let (len, source) = match socket.recv_from(&mut buf) {
+            Ok(x) => x,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        let text = String::from_utf8_lossy(&buf[..len]);
+        for line in text.lines() {
+            let item = classify(line, source, &filters, &default_filter);
+            match item {
+                Some(i) => {
+                    if tx.send(i).is_err() {
+                        return; // receiver gone
+                    }
+                }
+                None => continue, // filtered out
+            }
+        }
+    }
+}
+
+fn classify(
+    line: &str,
+    source: SocketAddr,
+    filters: &Mutex<HashMap<SocketAddr, FilterOptions>>,
+    default_filter: &Mutex<FilterOptions>,
+) -> Option<StreamItem> {
+    let trimmed = line.trim_end();
+    if trimmed.is_empty() {
+        return None;
+    }
+    if let Some(name) = trimmed.strip_prefix("%dot-begin") {
+        return Some(StreamItem::DotBegin {
+            source,
+            name: name.trim().to_string(),
+        });
+    }
+    if trimmed == "%dot-end" {
+        return Some(StreamItem::DotEnd { source });
+    }
+    if let Some(rest) = trimmed.strip_prefix("%dot") {
+        // `%dot ` prefix; an empty dot line arrives as just `%dot`.
+        let content = rest.strip_prefix(' ').unwrap_or(rest);
+        return Some(StreamItem::DotLine {
+            source,
+            line: content.to_string(),
+        });
+    }
+    if trimmed == "%eot" {
+        return Some(StreamItem::EndOfTrace { source });
+    }
+    match parse_event(trimmed) {
+        Ok(event) => {
+            let map = filters.lock();
+            let pass = match map.get(&source) {
+                Some(f) => f.accepts(&event),
+                None => default_filter.lock().accepts(&event),
+            };
+            drop(map);
+            pass.then_some(StreamItem::Event { source, event })
+        }
+        Err(_) => Some(StreamItem::Garbled {
+            source,
+            line: trimmed.to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventStatus;
+    use std::time::Duration;
+
+    fn ev(i: u64, pc: usize, stmt: &str) -> TraceEvent {
+        TraceEvent {
+            event: i,
+            status: if i.is_multiple_of(2) { EventStatus::Start } else { EventStatus::Done },
+            pc,
+            thread: 0,
+            clk: i,
+            usec: 0,
+            rss: 0,
+            stmt: stmt.to_string(),
+        }
+    }
+
+    fn drain(rx: &Receiver<StreamItem>, want: usize) -> Vec<StreamItem> {
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while got.len() < want && std::time::Instant::now() < deadline {
+            if let Ok(item) = rx.recv_timeout(Duration::from_millis(100)) {
+                got.push(item);
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn events_flow_end_to_end() {
+        let mut steth = TextualStethoscope::bind().unwrap();
+        let rx = steth.start();
+        let emitter = ProfilerEmitter::connect(steth.local_addr().unwrap()).unwrap();
+        for i in 0..5 {
+            emitter.emit(&ev(i, i as usize, "X := algebra.select(Y);")).unwrap();
+        }
+        emitter.send_end_of_trace().unwrap();
+        let items = drain(&rx, 6);
+        assert_eq!(items.len(), 6);
+        let events: Vec<_> = items
+            .iter()
+            .filter_map(|i| match i {
+                StreamItem::Event { event, .. } => Some(event.event),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(events, vec![0, 1, 2, 3, 4]);
+        assert!(matches!(items.last(), Some(StreamItem::EndOfTrace { .. })));
+        steth.stop();
+    }
+
+    #[test]
+    fn dot_frames_are_classified() {
+        let mut steth = TextualStethoscope::bind().unwrap();
+        let rx = steth.start();
+        let emitter = ProfilerEmitter::connect(steth.local_addr().unwrap()).unwrap();
+        emitter
+            .send_dot("user.s1_1", "digraph g {\nn0;\nn0 -> n1;\n}")
+            .unwrap();
+        let items = drain(&rx, 6);
+        assert!(matches!(
+            &items[0],
+            StreamItem::DotBegin { name, .. } if name == "user.s1_1"
+        ));
+        let lines: Vec<&str> = items
+            .iter()
+            .filter_map(|i| match i {
+                StreamItem::DotLine { line, .. } => Some(line.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lines, vec!["digraph g {", "n0;", "n0 -> n1;", "}"]);
+        assert!(matches!(items.last(), Some(StreamItem::DotEnd { .. })));
+        steth.stop();
+    }
+
+    #[test]
+    fn default_filter_applies() {
+        let mut steth = TextualStethoscope::bind().unwrap();
+        steth.set_default_filter(FilterOptions::all().with_module("algebra"));
+        let rx = steth.start();
+        let emitter = ProfilerEmitter::connect(steth.local_addr().unwrap()).unwrap();
+        emitter.emit(&ev(0, 0, "X := sql.bind(a);")).unwrap();
+        emitter.emit(&ev(1, 1, "Y := algebra.select(X);")).unwrap();
+        emitter.send_end_of_trace().unwrap();
+        let items = drain(&rx, 2);
+        assert_eq!(items.len(), 2);
+        assert!(matches!(
+            &items[0],
+            StreamItem::Event { event, .. } if event.pc == 1
+        ));
+        steth.stop();
+    }
+
+    #[test]
+    fn multiple_servers_are_tagged_separately() {
+        let mut steth = TextualStethoscope::bind().unwrap();
+        let rx = steth.start();
+        let addr = steth.local_addr().unwrap();
+        let e1 = ProfilerEmitter::connect(addr).unwrap();
+        let e2 = ProfilerEmitter::connect(addr).unwrap();
+        e1.emit(&ev(0, 0, "a.b();")).unwrap();
+        e2.emit(&ev(0, 1, "a.b();")).unwrap();
+        let items = drain(&rx, 2);
+        let sources: std::collections::HashSet<SocketAddr> = items
+            .iter()
+            .filter_map(|i| match i {
+                StreamItem::Event { source, .. } => Some(*source),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sources.len(), 2, "events must be tagged per server");
+        assert!(sources.contains(&e1.local_addr().unwrap()));
+        assert!(sources.contains(&e2.local_addr().unwrap()));
+        steth.stop();
+    }
+
+    #[test]
+    fn per_server_filter_overrides_default() {
+        let mut steth = TextualStethoscope::bind().unwrap();
+        let addr = steth.local_addr().unwrap();
+        let e1 = ProfilerEmitter::connect(addr).unwrap();
+        let e2 = ProfilerEmitter::connect(addr).unwrap();
+        // Default accepts everything; e2 restricted to aggr module.
+        steth.set_server_filter(
+            e2.local_addr().unwrap(),
+            FilterOptions::all().with_module("aggr"),
+        );
+        let rx = steth.start();
+        e1.emit(&ev(0, 0, "X := sql.bind(a);")).unwrap();
+        e2.emit(&ev(0, 1, "X := sql.bind(a);")).unwrap(); // filtered
+        e2.emit(&ev(1, 2, "X := aggr.sum(a);")).unwrap(); // passes
+        let items = drain(&rx, 2);
+        let pcs: Vec<usize> = items
+            .iter()
+            .filter_map(|i| match i {
+                StreamItem::Event { event, .. } => Some(event.pc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pcs.len(), 2);
+        assert!(pcs.contains(&0));
+        assert!(pcs.contains(&2));
+        steth.stop();
+    }
+
+    #[test]
+    fn garbled_lines_surface() {
+        let mut steth = TextualStethoscope::bind().unwrap();
+        let rx = steth.start();
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sock.send_to(b"this is not a record", steth.local_addr().unwrap())
+            .unwrap();
+        let items = drain(&rx, 1);
+        assert!(matches!(items.first(), Some(StreamItem::Garbled { .. })));
+        steth.stop();
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_drop_safe() {
+        let mut steth = TextualStethoscope::bind().unwrap();
+        let _rx = steth.start();
+        steth.stop();
+        steth.stop();
+        // Drop after stop must not hang.
+    }
+}

@@ -1,0 +1,706 @@
+//! Relational algebra — the intermediate representation between the AST
+//! and MAL code generation (paper §2: "converted into a relational algebra
+//! representation. This algebra representation is then converted to a MAL
+//! plan").
+//!
+//! The builder normalises a [`Select`] into a left-deep operator tree:
+//!
+//! ```text
+//! Scan → Filter* → EquiJoin* → Filter* → (Aggregate | Project) → Sort? → Limit?
+//! ```
+//!
+//! Single-table predicates are pushed below joins (the classic selection
+//! pushdown); equi-join conjuncts between two tables become join edges.
+
+use crate::ast::{AggFunc, CmpOp, Expr, OrderKey, Pred, Select, SelectItem};
+use crate::error::SqlError;
+use crate::Result;
+
+/// One aggregate computed by an [`RelOp::Aggregate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// Function.
+    pub func: AggFunc,
+    /// Argument expression; `None` = `count(*)`.
+    pub arg: Option<Expr>,
+    /// Output column name.
+    pub alias: String,
+}
+
+/// Relational operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelOp {
+    /// Base table scan.
+    Scan {
+        /// Catalog table name.
+        table: String,
+        /// Name the query refers to it by (alias or table name).
+        binding: String,
+    },
+    /// Row filter.
+    Filter {
+        /// Input relation.
+        input: Box<RelOp>,
+        /// Predicate over input columns.
+        pred: Pred,
+    },
+    /// Equi-join on one column pair.
+    EquiJoin {
+        /// Left input.
+        left: Box<RelOp>,
+        /// Right input.
+        right: Box<RelOp>,
+        /// Left join column.
+        left_col: Expr,
+        /// Right join column.
+        right_col: Expr,
+    },
+    /// Grouped (or global, when `keys` is empty) aggregation. Produces
+    /// the named output columns in `output` order.
+    Aggregate {
+        /// Input relation.
+        input: Box<RelOp>,
+        /// Grouping key columns.
+        keys: Vec<Expr>,
+        /// Aggregates.
+        aggs: Vec<AggSpec>,
+        /// Final column order: names drawn from keys' column names and
+        /// agg aliases.
+        output: Vec<String>,
+    },
+    /// Projection of scalar expressions.
+    Project {
+        /// Input relation.
+        input: Box<RelOp>,
+        /// (expression, output name) pairs.
+        items: Vec<SelectItem>,
+    },
+    /// Duplicate elimination over projected columns (`SELECT DISTINCT`).
+    Distinct {
+        /// Input (must produce columns).
+        input: Box<RelOp>,
+    },
+    /// Post-aggregation filter (`HAVING`). Predicates reference output
+    /// column names; `drop` lists helper columns (aggregates computed
+    /// only for the predicate) removed afterwards.
+    Having {
+        /// Input (must produce columns).
+        input: Box<RelOp>,
+        /// Filter over output columns.
+        pred: Pred,
+        /// Hidden helper columns to drop after filtering.
+        drop: Vec<String>,
+    },
+    /// Sort by output columns.
+    Sort {
+        /// Input relation.
+        input: Box<RelOp>,
+        /// Keys in major-to-minor order.
+        keys: Vec<OrderKey>,
+    },
+    /// Keep the first `n` rows.
+    Limit {
+        /// Input relation.
+        input: Box<RelOp>,
+        /// Row count.
+        n: u64,
+    },
+}
+
+impl RelOp {
+    /// Operator name, for debug listings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RelOp::Scan { .. } => "Scan",
+            RelOp::Filter { .. } => "Filter",
+            RelOp::EquiJoin { .. } => "EquiJoin",
+            RelOp::Aggregate { .. } => "Aggregate",
+            RelOp::Project { .. } => "Project",
+            RelOp::Distinct { .. } => "Distinct",
+            RelOp::Having { .. } => "Having",
+            RelOp::Sort { .. } => "Sort",
+            RelOp::Limit { .. } => "Limit",
+        }
+    }
+
+    /// Indented tree rendering, for `EXPLAIN`-style output.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.explain_into(&mut s, 0);
+        s
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            RelOp::Scan { table, binding } => {
+                out.push_str(&format!("{pad}Scan {table} as {binding}\n"));
+            }
+            RelOp::Filter { input, pred } => {
+                out.push_str(&format!("{pad}Filter {pred:?}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            RelOp::EquiJoin {
+                left,
+                right,
+                left_col,
+                right_col,
+            } => {
+                out.push_str(&format!("{pad}EquiJoin {left_col:?} = {right_col:?}\n"));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            RelOp::Aggregate { input, keys, aggs, .. } => {
+                out.push_str(&format!(
+                    "{pad}Aggregate keys={} aggs={}\n",
+                    keys.len(),
+                    aggs.len()
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            RelOp::Project { input, items } => {
+                out.push_str(&format!("{pad}Project {} items\n", items.len()));
+                input.explain_into(out, depth + 1);
+            }
+            RelOp::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.explain_into(out, depth + 1);
+            }
+            RelOp::Having { input, pred, .. } => {
+                out.push_str(&format!("{pad}Having {pred:?}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            RelOp::Sort { input, keys } => {
+                out.push_str(&format!("{pad}Sort {} keys\n", keys.len()));
+                input.explain_into(out, depth + 1);
+            }
+            RelOp::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// Rewrite a HAVING predicate: aggregate calls become references to the
+/// aggregate's output column, adding hidden helper aggregates for calls
+/// that don't appear in the select list.
+fn rewrite_having(
+    pred: &Pred,
+    aggs: &mut Vec<AggSpec>,
+    hidden: &mut Vec<String>,
+) -> crate::Result<Pred> {
+    fn rewrite_expr(
+        e: &Expr,
+        aggs: &mut Vec<AggSpec>,
+        hidden: &mut Vec<String>,
+    ) -> crate::Result<Expr> {
+        match e {
+            Expr::Agg { func, arg } => {
+                let arg_expr = arg.as_deref().cloned();
+                if let Some(existing) = aggs
+                    .iter()
+                    .find(|a| a.func == *func && a.arg == arg_expr)
+                {
+                    return Ok(Expr::Column {
+                        table: None,
+                        name: existing.alias.clone(),
+                    });
+                }
+                let alias = format!("__having_{}", aggs.len());
+                aggs.push(AggSpec {
+                    func: *func,
+                    arg: arg_expr,
+                    alias: alias.clone(),
+                });
+                hidden.push(alias.clone());
+                Ok(Expr::Column {
+                    table: None,
+                    name: alias,
+                })
+            }
+            Expr::Arith { op, left, right } => Ok(Expr::Arith {
+                op: *op,
+                left: Box::new(rewrite_expr(left, aggs, hidden)?),
+                right: Box::new(rewrite_expr(right, aggs, hidden)?),
+            }),
+            other => Ok(other.clone()),
+        }
+    }
+    Ok(match pred {
+        Pred::Cmp { op, left, right } => Pred::Cmp {
+            op: *op,
+            left: rewrite_expr(left, aggs, hidden)?,
+            right: rewrite_expr(right, aggs, hidden)?,
+        },
+        Pred::Between { expr, lo, hi } => Pred::Between {
+            expr: rewrite_expr(expr, aggs, hidden)?,
+            lo: rewrite_expr(lo, aggs, hidden)?,
+            hi: rewrite_expr(hi, aggs, hidden)?,
+        },
+        Pred::Like {
+            expr,
+            pattern,
+            negated,
+        } => Pred::Like {
+            expr: rewrite_expr(expr, aggs, hidden)?,
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Pred::InList {
+            expr,
+            list,
+            negated,
+        } => Pred::InList {
+            expr: rewrite_expr(expr, aggs, hidden)?,
+            list: list
+                .iter()
+                .map(|e| rewrite_expr(e, aggs, hidden))
+                .collect::<crate::Result<Vec<_>>>()?,
+            negated: *negated,
+        },
+        Pred::And(a, b) => Pred::And(
+            Box::new(rewrite_having(a, aggs, hidden)?),
+            Box::new(rewrite_having(b, aggs, hidden)?),
+        ),
+        Pred::Or(a, b) => Pred::Or(
+            Box::new(rewrite_having(a, aggs, hidden)?),
+            Box::new(rewrite_having(b, aggs, hidden)?),
+        ),
+        Pred::Not(a) => Pred::Not(Box::new(rewrite_having(a, aggs, hidden)?)),
+    })
+}
+
+/// Do two column references name the same column? When one side lacks a
+/// table qualifier, the column names alone decide.
+fn same_column(a: &Expr, b: &Expr) -> bool {
+    match (a, b) {
+        (
+            Expr::Column {
+                table: ta,
+                name: na,
+            },
+            Expr::Column {
+                table: tb,
+                name: nb,
+            },
+        ) => {
+            na == nb
+                && match (ta, tb) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => true,
+                }
+        }
+        _ => a == b,
+    }
+}
+
+/// Which table bindings an expression references.
+fn expr_bindings(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Column { table, .. } => {
+            if let Some(t) = table {
+                if !out.contains(t) {
+                    out.push(t.clone());
+                }
+            } else {
+                // Unqualified: binding unknown until name resolution;
+                // mark with empty string meaning "any".
+                if !out.contains(&String::new()) {
+                    out.push(String::new());
+                }
+            }
+        }
+        Expr::Arith { left, right, .. } => {
+            expr_bindings(left, out);
+            expr_bindings(right, out);
+        }
+        Expr::Agg { arg: Some(a), .. } => expr_bindings(a, out),
+        _ => {}
+    }
+}
+
+fn pred_bindings(p: &Pred) -> Vec<String> {
+    let mut v = Vec::new();
+    fn walk(p: &Pred, v: &mut Vec<String>) {
+        match p {
+            Pred::Cmp { left, right, .. } => {
+                expr_bindings(left, v);
+                expr_bindings(right, v);
+            }
+            Pred::Between { expr, lo, hi } => {
+                expr_bindings(expr, v);
+                expr_bindings(lo, v);
+                expr_bindings(hi, v);
+            }
+            Pred::Like { expr, .. } => expr_bindings(expr, v),
+            Pred::InList { expr, list, .. } => {
+                expr_bindings(expr, v);
+                for e in list {
+                    expr_bindings(e, v);
+                }
+            }
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                walk(a, v);
+                walk(b, v);
+            }
+            Pred::Not(a) => walk(a, v),
+        }
+    }
+    walk(p, &mut v);
+    v
+}
+
+/// Is this conjunct an equi-join edge `a.x = b.y` between two different
+/// bindings?
+fn as_join_edge(p: &Pred) -> Option<(Expr, Expr)> {
+    if let Pred::Cmp {
+        op: CmpOp::Eq,
+        left,
+        right,
+    } = p
+    {
+        if let (Expr::Column { .. }, Expr::Column { .. }) = (left, right) {
+            let mut lb = Vec::new();
+            let mut rb = Vec::new();
+            expr_bindings(left, &mut lb);
+            expr_bindings(right, &mut rb);
+            // Both sides qualified with different bindings → join edge.
+            if lb.len() == 1 && rb.len() == 1 && lb[0] != rb[0] && !lb[0].is_empty() && !rb[0].is_empty() {
+                return Some((left.clone(), right.clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Build the algebra tree for a parsed SELECT.
+pub fn build(sel: &Select) -> Result<RelOp> {
+    if sel.from.is_empty() {
+        return Err(SqlError::Unsupported("FROM clause is required".into()));
+    }
+
+    // Partition WHERE conjuncts: per-binding filters, join edges, rest.
+    let conjuncts: Vec<Pred> = sel
+        .where_clause
+        .as_ref()
+        .map(|w| w.conjuncts().into_iter().cloned().collect())
+        .unwrap_or_default();
+    let mut per_binding: Vec<(String, Pred)> = Vec::new();
+    let mut join_edges: Vec<(Expr, Expr)> = Vec::new();
+    let mut residual: Vec<Pred> = Vec::new();
+    for c in conjuncts {
+        if let Some(edge) = as_join_edge(&c) {
+            join_edges.push(edge);
+            continue;
+        }
+        let bs = pred_bindings(&c);
+        let named: Vec<&String> = bs.iter().filter(|b| !b.is_empty()).collect();
+        if sel.from.len() == 1 {
+            per_binding.push((sel.from[0].effective_name().to_string(), c));
+        } else if named.len() == 1 && bs.len() == 1 {
+            per_binding.push((named[0].clone(), c));
+        } else {
+            residual.push(c);
+        }
+    }
+
+    // Scans with pushed-down filters.
+    let mut relations: Vec<(String, RelOp)> = sel
+        .from
+        .iter()
+        .map(|t| {
+            let binding = t.effective_name().to_string();
+            let mut rel = RelOp::Scan {
+                table: t.name.clone(),
+                binding: binding.clone(),
+            };
+            for (b, p) in &per_binding {
+                if *b == binding {
+                    rel = RelOp::Filter {
+                        input: Box::new(rel),
+                        pred: p.clone(),
+                    };
+                }
+            }
+            (binding, rel)
+        })
+        .collect();
+
+    // Join relations left-deep, consuming edges that connect the joined
+    // set to a new relation.
+    let (mut joined_bindings, mut tree) = {
+        let (b, r) = relations.remove(0);
+        (vec![b], r)
+    };
+    while !relations.is_empty() {
+        let mut used_edge = None;
+        'edges: for (i, (l, r)) in join_edges.iter().enumerate() {
+            let mut lb = Vec::new();
+            let mut rb = Vec::new();
+            expr_bindings(l, &mut lb);
+            expr_bindings(r, &mut rb);
+            let (inside, outside, lcol, rcol) = if joined_bindings.contains(&lb[0]) {
+                (&lb[0], &rb[0], l.clone(), r.clone())
+            } else if joined_bindings.contains(&rb[0]) {
+                (&rb[0], &lb[0], r.clone(), l.clone())
+            } else {
+                continue 'edges;
+            };
+            let _ = inside;
+            if let Some(pos) = relations.iter().position(|(b, _)| b == outside) {
+                used_edge = Some((i, pos, lcol, rcol));
+                break 'edges;
+            }
+        }
+        match used_edge {
+            Some((edge_i, rel_pos, lcol, rcol)) => {
+                let (b, rel) = relations.remove(rel_pos);
+                tree = RelOp::EquiJoin {
+                    left: Box::new(tree),
+                    right: Box::new(rel),
+                    left_col: lcol,
+                    right_col: rcol,
+                };
+                joined_bindings.push(b);
+                join_edges.remove(edge_i);
+            }
+            None => {
+                return Err(SqlError::Unsupported(
+                    "cross products without an equi-join predicate".into(),
+                ))
+            }
+        }
+    }
+    // Leftover join edges (extra equality conditions) become filters.
+    for (l, r) in join_edges {
+        residual.push(Pred::Cmp {
+            op: CmpOp::Eq,
+            left: l,
+            right: r,
+        });
+    }
+    for p in residual {
+        tree = RelOp::Filter {
+            input: Box::new(tree),
+            pred: p,
+        };
+    }
+
+    // Aggregation or plain projection.
+    let has_agg = sel
+        .items
+        .iter()
+        .any(|i| matches!(i.expr, Expr::Agg { .. }));
+    if has_agg || !sel.group_by.is_empty() {
+        let mut aggs = Vec::new();
+        let mut output = Vec::new();
+        for item in &sel.items {
+            match &item.expr {
+                Expr::Agg { func, arg } => {
+                    aggs.push(AggSpec {
+                        func: *func,
+                        arg: arg.as_deref().cloned(),
+                        alias: item.alias.clone(),
+                    });
+                    output.push(item.alias.clone());
+                }
+                Expr::Column { .. } => {
+                    // Must be a group key (qualification may differ).
+                    let is_key = sel
+                        .group_by
+                        .iter()
+                        .any(|k| same_column(k, &item.expr));
+                    if !is_key {
+                        return Err(SqlError::Semantic(format!(
+                            "column `{}` must appear in GROUP BY",
+                            item.alias
+                        )));
+                    }
+                    output.push(item.alias.clone());
+                }
+                _ => {
+                    return Err(SqlError::Unsupported(
+                        "expressions over aggregates in the select list".into(),
+                    ))
+                }
+            }
+        }
+        // HAVING: rewrite aggregate calls in the predicate into column
+        // references; aggregates not in the select list become hidden
+        // helper columns computed for the filter and dropped after it.
+        let having = match &sel.having {
+            Some(h) => {
+                let mut hidden = Vec::new();
+                let pred = rewrite_having(h, &mut aggs, &mut hidden)?;
+                for name in &hidden {
+                    output.push(name.clone());
+                }
+                Some((pred, hidden))
+            }
+            None => None,
+        };
+        tree = RelOp::Aggregate {
+            input: Box::new(tree),
+            keys: sel.group_by.clone(),
+            aggs,
+            output,
+        };
+        if let Some((pred, drop)) = having {
+            tree = RelOp::Having {
+                input: Box::new(tree),
+                pred,
+                drop,
+            };
+        }
+    } else {
+        if sel.having.is_some() {
+            return Err(SqlError::Semantic(
+                "HAVING requires GROUP BY or aggregates".into(),
+            ));
+        }
+        tree = RelOp::Project {
+            input: Box::new(tree),
+            items: sel.items.clone(),
+        };
+        if sel.distinct {
+            tree = RelOp::Distinct {
+                input: Box::new(tree),
+            };
+        }
+    }
+
+    if !sel.order_by.is_empty() {
+        tree = RelOp::Sort {
+            input: Box::new(tree),
+            keys: sel.order_by.clone(),
+        };
+    }
+    if let Some(n) = sel.limit {
+        tree = RelOp::Limit {
+            input: Box::new(tree),
+            n,
+        };
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn single_table_shape() {
+        let t = build(&parse("select l_tax from lineitem where l_partkey = 1").unwrap()).unwrap();
+        // Project(Filter(Scan))
+        match t {
+            RelOp::Project { input, .. } => match *input {
+                RelOp::Filter { input, .. } => {
+                    assert!(matches!(*input, RelOp::Scan { .. }));
+                }
+                other => panic!("expected Filter, got {}", other.name()),
+            },
+            other => panic!("expected Project, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn filters_push_below_join() {
+        let t = build(
+            &parse(
+                "select o.o_orderkey from orders o, customer c \
+                 where o.o_custkey = c.c_custkey and c.c_mktsegment = 'BUILDING'",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // Project(EquiJoin(Scan(orders), Filter(Scan(customer))))
+        match t {
+            RelOp::Project { input, .. } => match *input {
+                RelOp::EquiJoin { left, right, .. } => {
+                    assert!(matches!(*left, RelOp::Scan { .. }));
+                    assert!(matches!(*right, RelOp::Filter { .. }));
+                }
+                other => panic!("expected EquiJoin, got {}", other.name()),
+            },
+            other => panic!("expected Project, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn aggregation_shape_and_output_order() {
+        let t = build(
+            &parse(
+                "select l_returnflag, sum(l_quantity) as sq, count(*) as n \
+                 from lineitem group by l_returnflag",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        match t {
+            RelOp::Aggregate { keys, aggs, output, .. } => {
+                assert_eq!(keys.len(), 1);
+                assert_eq!(aggs.len(), 2);
+                assert_eq!(output, vec!["l_returnflag", "sq", "n"]);
+            }
+            other => panic!("expected Aggregate, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn non_grouped_column_rejected() {
+        let r = build(
+            &parse("select l_tax, sum(l_quantity) from lineitem group by l_returnflag").unwrap(),
+        );
+        assert!(matches!(r, Err(SqlError::Semantic(_))));
+    }
+
+    #[test]
+    fn sort_and_limit_wrap() {
+        let t = build(&parse("select a from t order by a limit 5").unwrap()).unwrap();
+        match t {
+            RelOp::Limit { input, n } => {
+                assert_eq!(n, 5);
+                assert!(matches!(*input, RelOp::Sort { .. }));
+            }
+            other => panic!("expected Limit, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn cross_product_rejected() {
+        let r = build(&parse("select a from t1, t2").unwrap());
+        assert!(matches!(r, Err(SqlError::Unsupported(_))));
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let t = build(&parse("select l_tax from lineitem where l_partkey = 1").unwrap()).unwrap();
+        let text = t.explain();
+        assert!(text.contains("Project"));
+        assert!(text.contains("Filter"));
+        assert!(text.contains("Scan lineitem"));
+    }
+
+    #[test]
+    fn three_way_join_builds_left_deep() {
+        let t = build(
+            &parse(
+                "select c.c_name from customer c, orders o, lineitem l \
+                 where c.c_custkey = o.o_custkey and o.o_orderkey = l.l_orderkey",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        match t {
+            RelOp::Project { input, .. } => match *input {
+                RelOp::EquiJoin { left, .. } => {
+                    assert!(matches!(*left, RelOp::EquiJoin { .. }));
+                }
+                other => panic!("expected outer EquiJoin, got {}", other.name()),
+            },
+            other => panic!("expected Project, got {}", other.name()),
+        }
+    }
+}

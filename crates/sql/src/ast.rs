@@ -1,0 +1,321 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+/// Scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, optionally table-qualified.
+    Column {
+        /// Table or alias, when written `t.c`.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `date 'YYYY-MM-DD'` literal, already converted to days since epoch.
+    Date(i32),
+    /// Binary arithmetic.
+    Arith {
+        /// `+`, `-`, `*`, `/`.
+        op: ArithOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Aggregate call.
+    Agg {
+        /// Which aggregate.
+        func: AggFunc,
+        /// Argument; `None` means `count(*)`.
+        arg: Option<Box<Expr>>,
+    },
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl ArithOp {
+    /// The batcalc/calc function name.
+    pub fn mal_name(&self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// SUM
+    Sum,
+    /// COUNT
+    Count,
+    /// AVG
+    Avg,
+    /// MIN
+    Min,
+    /// MAX
+    Max,
+}
+
+/// Comparison operators in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The MAL theta string (`==`, `!=`, ...).
+    pub fn theta(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Neq => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Boolean predicate (WHERE clause), in conjunctive structure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// Comparison between two expressions.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left expression.
+        left: Expr,
+        /// Right expression.
+        right: Expr,
+    },
+    /// `left BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Tested expression.
+        expr: Expr,
+        /// Lower bound.
+        lo: Expr,
+        /// Upper bound.
+        hi: Expr,
+    },
+    /// `expr [NOT] LIKE 'pattern'`.
+    Like {
+        /// Tested expression (string-typed).
+        expr: Expr,
+        /// SQL LIKE pattern (`%`, `_`).
+        pattern: String,
+        /// NOT LIKE?
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Expr,
+        /// The list members.
+        list: Vec<Expr>,
+        /// NOT IN?
+        negated: bool,
+    },
+    /// Conjunction.
+    And(Box<Pred>, Box<Pred>),
+    /// Disjunction.
+    Or(Box<Pred>, Box<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    /// Flatten the top-level conjunction into a list of conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Pred> {
+        match self {
+            Pred::And(a, b) => {
+                let mut v = a.conjuncts();
+                v.extend(b.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: Expr,
+    /// Output name (`AS alias` or derived).
+    pub alias: String,
+}
+
+/// A table in the FROM clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub name: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// Name the table is referred to by.
+    pub fn effective_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Output column name or select-list alias.
+    pub expr: Expr,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM tables (cross product; equi-join predicates connect them).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub where_clause: Option<Pred>,
+    /// GROUP BY expressions (column refs).
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate (over group keys and aggregates).
+    pub having: Option<Pred>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+}
+
+/// Parse a `date 'YYYY-MM-DD'` body into days since 1970-01-01.
+/// Proleptic Gregorian; valid for the TPC-H date range.
+pub fn date_to_days(s: &str) -> Option<i32> {
+    let mut parts = s.split('-');
+    let y: i64 = parts.next()?.parse().ok()?;
+    let m: i64 = parts.next()?.parse().ok()?;
+    let d: i64 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    // Days from civil algorithm (Howard Hinnant).
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    Some((era * 146097 + doe - 719468) as i32)
+}
+
+/// Inverse of [`date_to_days`], for display.
+pub fn days_to_date(days: i32) -> String {
+    let z = days as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_round_trip() {
+        for s in ["1970-01-01", "1994-01-01", "1998-12-01", "2000-02-29", "1992-03-15"] {
+            let days = date_to_days(s).unwrap();
+            assert_eq!(days_to_date(days), s, "round trip failed for {s}");
+        }
+        assert_eq!(date_to_days("1970-01-01"), Some(0));
+        assert_eq!(date_to_days("1970-01-02"), Some(1));
+    }
+
+    #[test]
+    fn bad_dates_rejected() {
+        assert!(date_to_days("1994-13-01").is_none());
+        assert!(date_to_days("1994-01").is_none());
+        assert!(date_to_days("xx-01-01").is_none());
+    }
+
+    #[test]
+    fn conjunct_flattening() {
+        let p = Pred::And(
+            Box::new(Pred::And(
+                Box::new(Pred::Cmp {
+                    op: CmpOp::Eq,
+                    left: Expr::Int(1),
+                    right: Expr::Int(1),
+                }),
+                Box::new(Pred::Cmp {
+                    op: CmpOp::Lt,
+                    left: Expr::Int(1),
+                    right: Expr::Int(2),
+                }),
+            )),
+            Box::new(Pred::Cmp {
+                op: CmpOp::Gt,
+                left: Expr::Int(3),
+                right: Expr::Int(2),
+            }),
+        );
+        assert_eq!(p.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn cmp_theta_strings() {
+        assert_eq!(CmpOp::Eq.theta(), "==");
+        assert_eq!(CmpOp::Neq.theta(), "!=");
+        assert_eq!(CmpOp::Le.theta(), "<=");
+    }
+
+    #[test]
+    fn table_ref_effective_name() {
+        let t = TableRef {
+            name: "lineitem".into(),
+            alias: Some("l".into()),
+        };
+        assert_eq!(t.effective_name(), "l");
+    }
+}

@@ -1,0 +1,1282 @@
+//! Algebra → MAL code generation.
+//!
+//! The generated plans have the exact shape of the paper's Figure 1:
+//! `sql.mvc` / `sql.tid` / `sql.bind` feeding `algebra.select` /
+//! `algebra.projection` pipelines, ending in `sql.resultSet`.
+//!
+//! Internally a relation in flight is a *candidate vector*: one aligned
+//! oid column per base-table binding. Scans start with `sql.tid`; filters
+//! shrink the vector (directly via `algebra.select`/`thetaselect` on the
+//! single-table fast path, or via a computed bit mask after joins); joins
+//! extend it; projection/aggregation turn it into named output columns.
+
+use std::collections::HashMap;
+
+use stetho_engine::Catalog;
+use stetho_mal::{Arg, MalType, Plan, PlanBuilder, Value, VarId};
+
+use crate::algebra::{AggSpec, RelOp};
+use crate::ast::{AggFunc, ArithOp, CmpOp, Expr, OrderKey, Pred};
+use crate::error::SqlError;
+use crate::Result;
+
+/// Generate a MAL plan for an algebra tree.
+pub fn generate(catalog: &Catalog, rel: &RelOp, plan_name: &str) -> Result<Plan> {
+    let mut cg = Codegen {
+        catalog,
+        b: PlanBuilder::new(plan_name),
+        mvc: None,
+        bound: HashMap::new(),
+    };
+    let mvc = cg.b.call("sql", "mvc", MalType::Int, vec![]);
+    cg.mvc = Some(mvc);
+    let cols = match cg.gen(rel)? {
+        Gen::Cols(c) => c,
+        Gen::Rows(_) => {
+            return Err(SqlError::Semantic(
+                "query has no projection (internal)".into(),
+            ))
+        }
+    };
+    let mut args = Vec::with_capacity(cols.len() * 2);
+    for (name, var) in &cols {
+        args.push(Arg::Lit(Value::Str(name.clone())));
+        args.push(Arg::Var(*var));
+    }
+    cg.b.push("sql", "resultSet", vec![], args);
+    let plan = cg.b.finish();
+    plan.validate()
+        .map_err(|e| SqlError::Semantic(format!("generated invalid plan: {e}")))?;
+    Ok(plan)
+}
+
+/// One binding's slice of the candidate vector.
+#[derive(Debug, Clone)]
+struct Binding {
+    binding: String,
+    table: String,
+    oids: VarId,
+}
+
+/// Rows in flight (aligned oid columns).
+#[derive(Debug, Clone)]
+struct Rows {
+    bindings: Vec<Binding>,
+}
+
+/// Result of generating a subtree.
+enum Gen {
+    Rows(Rows),
+    Cols(Vec<(String, VarId)>),
+}
+
+/// An evaluated scalar expression.
+#[derive(Debug, Clone)]
+enum EV {
+    Bat(VarId, MalType),
+    Lit(Value),
+}
+
+struct Codegen<'a> {
+    catalog: &'a Catalog,
+    b: PlanBuilder,
+    mvc: Option<VarId>,
+    /// Cache of `sql.bind` results keyed by (table, column).
+    bound: HashMap<(String, String), (VarId, MalType)>,
+}
+
+impl<'a> Codegen<'a> {
+    fn mvc(&self) -> VarId {
+        self.mvc.expect("mvc emitted first")
+    }
+
+    /// `sql.bind` a base column (cached).
+    fn bind_column(&mut self, table: &str, column: &str) -> Result<(VarId, MalType)> {
+        if let Some(hit) = self.bound.get(&(table.to_string(), column.to_string())) {
+            return Ok(hit.clone());
+        }
+        let def = self
+            .catalog
+            .table(table)
+            .map_err(|_| SqlError::Unknown {
+                kind: "table",
+                name: table.to_string(),
+            })?
+            .column_def(column)
+            .ok_or_else(|| SqlError::Unknown {
+                kind: "column",
+                name: format!("{table}.{column}"),
+            })?
+            .clone();
+        let mvc = self.mvc();
+        let var = self.b.call(
+            "sql",
+            "bind",
+            MalType::bat(def.ty.clone()),
+            vec![
+                Arg::Var(mvc),
+                Arg::Lit(Value::Str("sys".into())),
+                Arg::Lit(Value::Str(table.into())),
+                Arg::Lit(Value::Str(column.into())),
+                Arg::Lit(Value::Int(0)),
+            ],
+        );
+        self.bound.insert(
+            (table.to_string(), column.to_string()),
+            (var, def.ty.clone()),
+        );
+        Ok((var, def.ty))
+    }
+
+    /// Resolve a column reference against the current bindings: returns
+    /// (binding index, table, column name).
+    fn resolve(
+        &self,
+        rows: &Rows,
+        table: &Option<String>,
+        name: &str,
+    ) -> Result<(usize, String, String)> {
+        match table {
+            Some(t) => {
+                let idx = rows
+                    .bindings
+                    .iter()
+                    .position(|b| b.binding == *t)
+                    .ok_or_else(|| SqlError::Unknown {
+                        kind: "table",
+                        name: t.clone(),
+                    })?;
+                Ok((idx, rows.bindings[idx].table.clone(), name.to_string()))
+            }
+            None => {
+                let mut hit = None;
+                for (i, b) in rows.bindings.iter().enumerate() {
+                    let has = self
+                        .catalog
+                        .table(&b.table)
+                        .ok()
+                        .and_then(|t| t.column_def(name))
+                        .is_some();
+                    if has {
+                        if hit.is_some() {
+                            return Err(SqlError::Semantic(format!(
+                                "column `{name}` is ambiguous"
+                            )));
+                        }
+                        hit = Some((i, b.table.clone(), name.to_string()));
+                    }
+                }
+                hit.ok_or_else(|| SqlError::Unknown {
+                    kind: "column",
+                    name: name.to_string(),
+                })
+            }
+        }
+    }
+
+    /// Project a base column at the current rows (one value per row).
+    fn column_over_rows(&mut self, rows: &Rows, idx: usize, table: &str, column: &str) -> Result<(VarId, MalType)> {
+        let (col, ty) = self.bind_column(table, column)?;
+        let oids = rows.bindings[idx].oids;
+        let out = self.b.call(
+            "algebra",
+            "projection",
+            MalType::bat(ty.clone()),
+            vec![Arg::Var(oids), Arg::Var(col)],
+        );
+        Ok((out, ty))
+    }
+
+    fn lit_value(e: &Expr) -> Option<Value> {
+        match e {
+            Expr::Int(n) => Some(Value::Int(*n)),
+            Expr::Float(x) => Some(Value::Dbl(*x)),
+            Expr::Str(s) => Some(Value::Str(s.clone())),
+            Expr::Date(d) => Some(Value::Date(*d)),
+            _ => None,
+        }
+    }
+
+    /// Evaluate a scalar expression over the current rows.
+    fn eval_expr(&mut self, rows: &Rows, e: &Expr) -> Result<EV> {
+        if let Some(v) = Self::lit_value(e) {
+            return Ok(EV::Lit(v));
+        }
+        match e {
+            Expr::Column { table, name } => {
+                let (idx, t, c) = self.resolve(rows, table, name)?;
+                let (var, ty) = self.column_over_rows(rows, idx, &t, &c)?;
+                Ok(EV::Bat(var, ty))
+            }
+            Expr::Arith { op, left, right } => {
+                let l = self.eval_expr(rows, left)?;
+                let r = self.eval_expr(rows, right)?;
+                match (&l, &r) {
+                    (EV::Lit(a), EV::Lit(b)) => fold_scalar(*op, a, b).map(EV::Lit),
+                    _ => {
+                        let out_ty = arith_type(&l, &r);
+                        let args = vec![ev_arg(&l), ev_arg(&r)];
+                        let var = self.b.call(
+                            "batcalc",
+                            op.mal_name(),
+                            MalType::bat(out_ty.clone()),
+                            args,
+                        );
+                        Ok(EV::Bat(var, out_ty))
+                    }
+                }
+            }
+            Expr::Agg { .. } => Err(SqlError::Semantic(
+                "aggregate in a scalar context".into(),
+            )),
+            _ => unreachable!("literals handled above"),
+        }
+    }
+
+    /// Evaluate a predicate to a bit-mask BAT aligned with the rows.
+    fn eval_mask(&mut self, rows: &Rows, p: &Pred) -> Result<VarId> {
+        match p {
+            Pred::Cmp { op, left, right } => {
+                let mut l = self.eval_expr(rows, left)?;
+                let mut r = self.eval_expr(rows, right)?;
+                self.coerce_date_sides(&mut l, &mut r);
+                match (&l, &r) {
+                    (EV::Lit(_), EV::Lit(_)) => Err(SqlError::Unsupported(
+                        "constant predicates".into(),
+                    )),
+                    _ => Ok(self.b.call(
+                        "batcalc",
+                        op.theta(),
+                        MalType::bat(MalType::Bit),
+                        vec![ev_arg(&l), ev_arg(&r)],
+                    )),
+                }
+            }
+            Pred::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let col = match self.eval_expr(rows, expr)? {
+                    EV::Bat(v, _) => v,
+                    EV::Lit(_) => {
+                        return Err(SqlError::Unsupported("LIKE over a constant".into()))
+                    }
+                };
+                let mask = self.b.call(
+                    "batcalc",
+                    "like",
+                    MalType::bat(MalType::Bit),
+                    vec![Arg::Var(col), Arg::Lit(Value::Str(pattern.clone()))],
+                );
+                if *negated {
+                    Ok(self.b.call(
+                        "batcalc",
+                        "not",
+                        MalType::bat(MalType::Bit),
+                        vec![Arg::Var(mask)],
+                    ))
+                } else {
+                    Ok(mask)
+                }
+            }
+            Pred::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                // OR-chain of equality masks.
+                let mut acc: Option<VarId> = None;
+                for item in list {
+                    let m = self.eval_mask(
+                        rows,
+                        &Pred::Cmp {
+                            op: CmpOp::Eq,
+                            left: expr.clone(),
+                            right: item.clone(),
+                        },
+                    )?;
+                    acc = Some(match acc {
+                        Some(prev) => self.b.call(
+                            "batcalc",
+                            "or",
+                            MalType::bat(MalType::Bit),
+                            vec![Arg::Var(prev), Arg::Var(m)],
+                        ),
+                        None => m,
+                    });
+                }
+                let mask = acc.ok_or_else(|| SqlError::Semantic("empty IN list".into()))?;
+                if *negated {
+                    Ok(self.b.call(
+                        "batcalc",
+                        "not",
+                        MalType::bat(MalType::Bit),
+                        vec![Arg::Var(mask)],
+                    ))
+                } else {
+                    Ok(mask)
+                }
+            }
+            Pred::Between { expr, lo, hi } => {
+                let lo_p = Pred::Cmp {
+                    op: CmpOp::Ge,
+                    left: expr.clone(),
+                    right: lo.clone(),
+                };
+                let hi_p = Pred::Cmp {
+                    op: CmpOp::Le,
+                    left: expr.clone(),
+                    right: hi.clone(),
+                };
+                let a = self.eval_mask(rows, &lo_p)?;
+                let b = self.eval_mask(rows, &hi_p)?;
+                Ok(self.b.call(
+                    "batcalc",
+                    "and",
+                    MalType::bat(MalType::Bit),
+                    vec![Arg::Var(a), Arg::Var(b)],
+                ))
+            }
+            Pred::And(a, b) => {
+                let ma = self.eval_mask(rows, a)?;
+                let mb = self.eval_mask(rows, b)?;
+                Ok(self.b.call(
+                    "batcalc",
+                    "and",
+                    MalType::bat(MalType::Bit),
+                    vec![Arg::Var(ma), Arg::Var(mb)],
+                ))
+            }
+            Pred::Or(a, b) => {
+                let ma = self.eval_mask(rows, a)?;
+                let mb = self.eval_mask(rows, b)?;
+                Ok(self.b.call(
+                    "batcalc",
+                    "or",
+                    MalType::bat(MalType::Bit),
+                    vec![Arg::Var(ma), Arg::Var(mb)],
+                ))
+            }
+            Pred::Not(a) => {
+                let m = self.eval_mask(rows, a)?;
+                Ok(self.b.call(
+                    "batcalc",
+                    "not",
+                    MalType::bat(MalType::Bit),
+                    vec![Arg::Var(m)],
+                ))
+            }
+        }
+    }
+
+    /// If one side is a date BAT and the other a string literal that looks
+    /// like a date, convert the literal.
+    fn coerce_date_sides(&self, l: &mut EV, r: &mut EV) {
+        let fix = |bat: &EV, lit: &mut EV| {
+            if let (EV::Bat(_, MalType::Date), EV::Lit(Value::Str(s))) = (bat, &lit) {
+                if let Some(d) = crate::ast::date_to_days(s) {
+                    *lit = EV::Lit(Value::Date(d));
+                }
+            }
+        };
+        let lc = l.clone();
+        fix(&lc, r);
+        let rc = r.clone();
+        fix(&rc, l);
+    }
+
+    /// Filter the rows by a predicate.
+    fn gen_filter(&mut self, rows: Rows, pred: &Pred) -> Result<Rows> {
+        // Fast path: single binding, conjunction of simple col-vs-literal
+        // comparisons → Figure-1 style select/thetaselect chains.
+        if rows.bindings.len() == 1 {
+            let mut current = rows;
+            let mut leftovers: Vec<&Pred> = Vec::new();
+            for c in pred.conjuncts() {
+                if !self.try_simple_select(&mut current, c)? {
+                    leftovers.push(c);
+                }
+            }
+            let mut out = current;
+            for c in leftovers {
+                out = self.mask_filter(out, c)?;
+            }
+            return Ok(out);
+        }
+        self.mask_filter(rows, pred)
+    }
+
+    /// Try the direct select/thetaselect path for one conjunct; returns
+    /// true when handled.
+    fn try_simple_select(&mut self, rows: &mut Rows, c: &Pred) -> Result<bool> {
+        let (col_expr, op, lit) = match c {
+            Pred::Cmp { op, left, right } => {
+                if matches!(left, Expr::Column { .. }) {
+                    match Self::lit_value(right) {
+                        Some(v) => (left, *op, v),
+                        None => return Ok(false),
+                    }
+                } else if matches!(right, Expr::Column { .. }) {
+                    match Self::lit_value(left) {
+                        Some(v) => (right, flip(*op), v),
+                        None => return Ok(false),
+                    }
+                } else {
+                    return Ok(false);
+                }
+            }
+            Pred::Between { expr, lo, hi } => {
+                if let (Expr::Column { table, name }, Some(lo), Some(hi)) =
+                    (expr, Self::lit_value(lo), Self::lit_value(hi))
+                {
+                    let (_, t, cname) = self.resolve(rows, table, name)?;
+                    let (col, ty) = self.bind_column(&t, &cname)?;
+                    let (lo, hi) = (coerce_lit(lo, &ty), coerce_lit(hi, &ty));
+                    let cand = rows.bindings[0].oids;
+                    let new = self.b.call(
+                        "algebra",
+                        "select",
+                        MalType::bat(MalType::Oid),
+                        vec![
+                            Arg::Var(col),
+                            Arg::Var(cand),
+                            Arg::Lit(lo),
+                            Arg::Lit(hi),
+                            Arg::Lit(Value::Bit(true)),
+                        ],
+                    );
+                    rows.bindings[0].oids = new;
+                    return Ok(true);
+                }
+                return Ok(false);
+            }
+            Pred::Like {
+                expr: Expr::Column { table, name },
+                pattern,
+                negated,
+            } => {
+                let (_, t, cname) = self.resolve(rows, table, name)?;
+                let (col, _) = self.bind_column(&t, &cname)?;
+                let cand = rows.bindings[0].oids;
+                let new = self.b.call(
+                    "algebra",
+                    "likeselect",
+                    MalType::bat(MalType::Oid),
+                    vec![
+                        Arg::Var(col),
+                        Arg::Var(cand),
+                        Arg::Lit(Value::Str(pattern.clone())),
+                        Arg::Lit(Value::Bit(*negated)),
+                    ],
+                );
+                rows.bindings[0].oids = new;
+                return Ok(true);
+            }
+            Pred::InList {
+                expr: Expr::Column { table, name },
+                list,
+                negated: false,
+            } if list.iter().all(|e| Self::lit_value(e).is_some()) => {
+                // Union of equality selections over the shared candidates.
+                let (_, t, cname) = self.resolve(rows, table, name)?;
+                let (col, ty) = self.bind_column(&t, &cname)?;
+                let cand = rows.bindings[0].oids;
+                let mut acc: Option<VarId> = None;
+                for item in list {
+                    let lit = coerce_lit(
+                        Self::lit_value(item).expect("checked literal"),
+                        &ty,
+                    );
+                    let sel = self.b.call(
+                        "algebra",
+                        "select",
+                        MalType::bat(MalType::Oid),
+                        vec![
+                            Arg::Var(col),
+                            Arg::Var(cand),
+                            Arg::Lit(lit.clone()),
+                            Arg::Lit(lit),
+                            Arg::Lit(Value::Bit(true)),
+                        ],
+                    );
+                    acc = Some(match acc {
+                        Some(prev) => self.b.call(
+                            "algebra",
+                            "union",
+                            MalType::bat(MalType::Oid),
+                            vec![Arg::Var(prev), Arg::Var(sel)],
+                        ),
+                        None => sel,
+                    });
+                }
+                rows.bindings[0].oids =
+                    acc.ok_or_else(|| SqlError::Semantic("empty IN list".into()))?;
+                return Ok(true);
+            }
+            _ => return Ok(false),
+        };
+        let (table, name) = match col_expr {
+            Expr::Column { table, name } => (table, name),
+            _ => return Ok(false),
+        };
+        let (_, t, cname) = self.resolve(rows, table, name)?;
+        let (col, ty) = self.bind_column(&t, &cname)?;
+        let lit = coerce_lit(lit, &ty);
+        let cand = rows.bindings[0].oids;
+        let new = match op {
+            CmpOp::Eq => self.b.call(
+                "algebra",
+                "select",
+                MalType::bat(MalType::Oid),
+                vec![
+                    Arg::Var(col),
+                    Arg::Var(cand),
+                    Arg::Lit(lit.clone()),
+                    Arg::Lit(lit),
+                    Arg::Lit(Value::Bit(true)),
+                ],
+            ),
+            other => self.b.call(
+                "algebra",
+                "thetaselect",
+                MalType::bat(MalType::Oid),
+                vec![
+                    Arg::Var(col),
+                    Arg::Var(cand),
+                    Arg::Lit(lit),
+                    Arg::Lit(Value::Str(other.theta().into())),
+                ],
+            ),
+        };
+        rows.bindings[0].oids = new;
+        Ok(true)
+    }
+
+    /// The general mask-based filter.
+    fn mask_filter(&mut self, rows: Rows, pred: &Pred) -> Result<Rows> {
+        let mask = self.eval_mask(&rows, pred)?;
+        let sel = self.b.call(
+            "algebra",
+            "select",
+            MalType::bat(MalType::Oid),
+            vec![
+                Arg::Var(mask),
+                Arg::Lit(Value::Bit(true)),
+                Arg::Lit(Value::Bit(true)),
+                Arg::Lit(Value::Bit(true)),
+            ],
+        );
+        let bindings = rows
+            .bindings
+            .into_iter()
+            .map(|b| {
+                let oids = self.b.call(
+                    "algebra",
+                    "projection",
+                    MalType::bat(MalType::Oid),
+                    vec![Arg::Var(sel), Arg::Var(b.oids)],
+                );
+                Binding { oids, ..b }
+            })
+            .collect();
+        Ok(Rows { bindings })
+    }
+
+    fn gen(&mut self, rel: &RelOp) -> Result<Gen> {
+        match rel {
+            RelOp::Scan { table, binding } => {
+                // Verify the table exists before emitting.
+                self.catalog.table(table).map_err(|_| SqlError::Unknown {
+                    kind: "table",
+                    name: table.clone(),
+                })?;
+                let mvc = self.mvc();
+                let tid = self.b.call(
+                    "sql",
+                    "tid",
+                    MalType::bat(MalType::Oid),
+                    vec![
+                        Arg::Var(mvc),
+                        Arg::Lit(Value::Str("sys".into())),
+                        Arg::Lit(Value::Str(table.clone())),
+                    ],
+                );
+                Ok(Gen::Rows(Rows {
+                    bindings: vec![Binding {
+                        binding: binding.clone(),
+                        table: table.clone(),
+                        oids: tid,
+                    }],
+                }))
+            }
+            RelOp::Filter { input, pred } => {
+                let rows = self.gen_rows(input)?;
+                Ok(Gen::Rows(self.gen_filter(rows, pred)?))
+            }
+            RelOp::EquiJoin {
+                left,
+                right,
+                left_col,
+                right_col,
+            } => {
+                let l = self.gen_rows(left)?;
+                let r = self.gen_rows(right)?;
+                let lv = match self.eval_expr(&l, left_col)? {
+                    EV::Bat(v, _) => v,
+                    EV::Lit(_) => {
+                        return Err(SqlError::Semantic("join key must be a column".into()))
+                    }
+                };
+                let rv = match self.eval_expr(&r, right_col)? {
+                    EV::Bat(v, _) => v,
+                    EV::Lit(_) => {
+                        return Err(SqlError::Semantic("join key must be a column".into()))
+                    }
+                };
+                let jl = self.b.new_var(MalType::bat(MalType::Oid));
+                let jr = self.b.new_var(MalType::bat(MalType::Oid));
+                self.b.push(
+                    "algebra",
+                    "join",
+                    vec![jl, jr],
+                    vec![Arg::Var(lv), Arg::Var(rv)],
+                );
+                let mut bindings = Vec::new();
+                for b in l.bindings {
+                    let oids = self.b.call(
+                        "algebra",
+                        "projection",
+                        MalType::bat(MalType::Oid),
+                        vec![Arg::Var(jl), Arg::Var(b.oids)],
+                    );
+                    bindings.push(Binding { oids, ..b });
+                }
+                for b in r.bindings {
+                    let oids = self.b.call(
+                        "algebra",
+                        "projection",
+                        MalType::bat(MalType::Oid),
+                        vec![Arg::Var(jr), Arg::Var(b.oids)],
+                    );
+                    bindings.push(Binding { oids, ..b });
+                }
+                Ok(Gen::Rows(Rows { bindings }))
+            }
+            RelOp::Project { input, items } => {
+                let rows = self.gen_rows(input)?;
+                let mut cols = Vec::with_capacity(items.len());
+                for item in items {
+                    let var = match self.eval_expr(&rows, &item.expr)? {
+                        EV::Bat(v, _) => v,
+                        EV::Lit(_) => {
+                            return Err(SqlError::Unsupported(
+                                "constant select items".into(),
+                            ))
+                        }
+                    };
+                    cols.push((item.alias.clone(), var));
+                }
+                Ok(Gen::Cols(cols))
+            }
+            RelOp::Aggregate {
+                input,
+                keys,
+                aggs,
+                output,
+            } => {
+                let rows = self.gen_rows(input)?;
+                self.gen_aggregate(rows, keys, aggs, output)
+            }
+            RelOp::Distinct { input } => {
+                let cols = self.gen_cols(input)?;
+                self.gen_distinct(cols)
+            }
+            RelOp::Having { input, pred, drop } => {
+                let cols = self.gen_cols(input)?;
+                self.gen_having(cols, pred, drop)
+            }
+            RelOp::Sort { input, keys } => {
+                let cols = self.gen_cols(input)?;
+                self.gen_sort(cols, keys)
+            }
+            RelOp::Limit { input, n } => {
+                let cols = self.gen_cols(input)?;
+                let out = cols
+                    .into_iter()
+                    .map(|(name, var)| {
+                        let ty = self.b.var_type(var).clone();
+                        let sliced = self.b.call(
+                            "algebra",
+                            "slice",
+                            ty,
+                            vec![
+                                Arg::Var(var),
+                                Arg::Lit(Value::Int(0)),
+                                Arg::Lit(Value::Int(*n as i64)),
+                            ],
+                        );
+                        (name, sliced)
+                    })
+                    .collect();
+                Ok(Gen::Cols(out))
+            }
+        }
+    }
+
+    fn gen_rows(&mut self, rel: &RelOp) -> Result<Rows> {
+        match self.gen(rel)? {
+            Gen::Rows(r) => Ok(r),
+            Gen::Cols(_) => Err(SqlError::Semantic(
+                "row-level operator over projected columns (internal)".into(),
+            )),
+        }
+    }
+
+    fn gen_cols(&mut self, rel: &RelOp) -> Result<Vec<(String, VarId)>> {
+        match self.gen(rel)? {
+            Gen::Cols(c) => Ok(c),
+            Gen::Rows(_) => Err(SqlError::Semantic(
+                "expected projected columns (internal)".into(),
+            )),
+        }
+    }
+
+    fn gen_aggregate(
+        &mut self,
+        rows: Rows,
+        keys: &[Expr],
+        aggs: &[AggSpec],
+        output: &[String],
+    ) -> Result<Gen> {
+        let mut named: HashMap<String, VarId> = HashMap::new();
+
+        if keys.is_empty() {
+            // Global aggregation → scalar results.
+            for a in aggs {
+                let var = match (&a.func, &a.arg) {
+                    (AggFunc::Count, None) => {
+                        let oids = rows.bindings[0].oids;
+                        self.b
+                            .call("aggr", "count", MalType::Int, vec![Arg::Var(oids)])
+                    }
+                    (func, arg) => {
+                        let arg = arg.as_ref().ok_or_else(|| {
+                            SqlError::Semantic("aggregate needs an argument".into())
+                        })?;
+                        let (v, ty) = match self.eval_expr(&rows, arg)? {
+                            EV::Bat(v, ty) => (v, ty),
+                            EV::Lit(_) => {
+                                return Err(SqlError::Unsupported(
+                                    "aggregating a constant".into(),
+                                ))
+                            }
+                        };
+                        let (fname, rty) = plain_agg(func, &ty);
+                        self.b.call("aggr", fname, rty, vec![Arg::Var(v)])
+                    }
+                };
+                named.insert(a.alias.clone(), var);
+            }
+        } else {
+            // Grouped aggregation.
+            let mut key_bats = Vec::new();
+            for k in keys {
+                match self.eval_expr(&rows, k)? {
+                    EV::Bat(v, ty) => key_bats.push((v, ty)),
+                    EV::Lit(_) => {
+                        return Err(SqlError::Semantic("GROUP BY constant".into()))
+                    }
+                }
+            }
+            // group.group on the first key, subgroup for the rest.
+            let g = self.b.new_var(MalType::bat(MalType::Oid));
+            let e = self.b.new_var(MalType::bat(MalType::Oid));
+            let h = self.b.new_var(MalType::bat(MalType::Int));
+            self.b
+                .push("group", "group", vec![g, e, h], vec![Arg::Var(key_bats[0].0)]);
+            let (mut g, mut e) = (g, e);
+            for (kv, _) in &key_bats[1..] {
+                let g2 = self.b.new_var(MalType::bat(MalType::Oid));
+                let e2 = self.b.new_var(MalType::bat(MalType::Oid));
+                let h2 = self.b.new_var(MalType::bat(MalType::Int));
+                self.b.push(
+                    "group",
+                    "subgroup",
+                    vec![g2, e2, h2],
+                    vec![Arg::Var(*kv), Arg::Var(g)],
+                );
+                g = g2;
+                e = e2;
+            }
+
+            // Key output columns: key value at each group's first row.
+            for (k, (kv, ty)) in keys.iter().zip(&key_bats) {
+                let name = match k {
+                    Expr::Column { name, .. } => name.clone(),
+                    _ => continue,
+                };
+                let out = self.b.call(
+                    "algebra",
+                    "projection",
+                    MalType::bat(ty.clone()),
+                    vec![Arg::Var(e), Arg::Var(*kv)],
+                );
+                named.insert(name, out);
+            }
+
+            for a in aggs {
+                let var = match (&a.func, &a.arg) {
+                    (AggFunc::Count, None) => self.b.call(
+                        "aggr",
+                        "subcount",
+                        MalType::bat(MalType::Int),
+                        vec![Arg::Var(g), Arg::Var(g), Arg::Var(e)],
+                    ),
+                    (func, arg) => {
+                        let arg = arg.as_ref().ok_or_else(|| {
+                            SqlError::Semantic("aggregate needs an argument".into())
+                        })?;
+                        let (v, ty) = match self.eval_expr(&rows, arg)? {
+                            EV::Bat(v, ty) => (v, ty),
+                            EV::Lit(_) => {
+                                return Err(SqlError::Unsupported(
+                                    "aggregating a constant".into(),
+                                ))
+                            }
+                        };
+                        let (fname, rty) = grouped_agg(func, &ty);
+                        self.b.call(
+                            "aggr",
+                            fname,
+                            rty,
+                            vec![Arg::Var(v), Arg::Var(g), Arg::Var(e)],
+                        )
+                    }
+                };
+                named.insert(a.alias.clone(), var);
+            }
+        }
+
+        let mut cols = Vec::with_capacity(output.len());
+        for name in output {
+            let var = named.get(name).ok_or_else(|| {
+                SqlError::Semantic(format!("internal: missing output column `{name}`"))
+            })?;
+            cols.push((name.clone(), *var));
+        }
+        Ok(Gen::Cols(cols))
+    }
+
+    /// `SELECT DISTINCT`: group over all output columns and keep each
+    /// group's first row (preserving first-occurrence order).
+    fn gen_distinct(&mut self, cols: Vec<(String, VarId)>) -> Result<Gen> {
+        if cols.is_empty() {
+            return Ok(Gen::Cols(cols));
+        }
+        // group.group on the first column, subgroup for the rest.
+        let g0 = self.b.new_var(MalType::bat(MalType::Oid));
+        let e0 = self.b.new_var(MalType::bat(MalType::Oid));
+        let h0 = self.b.new_var(MalType::bat(MalType::Int));
+        self.b
+            .push("group", "group", vec![g0, e0, h0], vec![Arg::Var(cols[0].1)]);
+        let (mut g, mut e) = (g0, e0);
+        for (_, var) in &cols[1..] {
+            let g2 = self.b.new_var(MalType::bat(MalType::Oid));
+            let e2 = self.b.new_var(MalType::bat(MalType::Oid));
+            let h2 = self.b.new_var(MalType::bat(MalType::Int));
+            self.b.push(
+                "group",
+                "subgroup",
+                vec![g2, e2, h2],
+                vec![Arg::Var(*var), Arg::Var(g)],
+            );
+            g = g2;
+            e = e2;
+        }
+        let out = cols
+            .into_iter()
+            .map(|(name, var)| {
+                let ty = self.b.var_type(var).clone();
+                let deduped = self.b.call(
+                    "algebra",
+                    "projection",
+                    ty,
+                    vec![Arg::Var(e), Arg::Var(var)],
+                );
+                (name, deduped)
+            })
+            .collect();
+        Ok(Gen::Cols(out))
+    }
+
+    /// `HAVING`: evaluate the predicate over output columns, keep the
+    /// passing rows, then drop hidden helper columns.
+    fn gen_having(
+        &mut self,
+        cols: Vec<(String, VarId)>,
+        pred: &Pred,
+        drop: &[String],
+    ) -> Result<Gen> {
+        let mask = self.eval_mask_over_cols(&cols, pred)?;
+        let sel = self.b.call(
+            "algebra",
+            "select",
+            MalType::bat(MalType::Oid),
+            vec![
+                Arg::Var(mask),
+                Arg::Lit(Value::Bit(true)),
+                Arg::Lit(Value::Bit(true)),
+                Arg::Lit(Value::Bit(true)),
+            ],
+        );
+        let out = cols
+            .into_iter()
+            .filter(|(name, _)| !drop.contains(name))
+            .map(|(name, var)| {
+                let ty = self.b.var_type(var).clone();
+                let filtered = self.b.call(
+                    "algebra",
+                    "projection",
+                    ty,
+                    vec![Arg::Var(sel), Arg::Var(var)],
+                );
+                (name, filtered)
+            })
+            .collect();
+        Ok(Gen::Cols(out))
+    }
+
+    /// Evaluate an expression where column references name output
+    /// columns (the HAVING context).
+    fn eval_expr_over_cols(
+        &mut self,
+        cols: &[(String, VarId)],
+        e: &Expr,
+    ) -> Result<EV> {
+        if let Some(v) = Self::lit_value(e) {
+            return Ok(EV::Lit(v));
+        }
+        match e {
+            Expr::Column { name, .. } => {
+                let var = cols
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .ok_or_else(|| SqlError::Unknown {
+                        kind: "column",
+                        name: name.clone(),
+                    })?;
+                let ty = self.b.var_type(var).tail().clone();
+                Ok(EV::Bat(var, ty))
+            }
+            Expr::Arith { op, left, right } => {
+                let l = self.eval_expr_over_cols(cols, left)?;
+                let r = self.eval_expr_over_cols(cols, right)?;
+                match (&l, &r) {
+                    (EV::Lit(a), EV::Lit(b)) => fold_scalar(*op, a, b).map(EV::Lit),
+                    _ => {
+                        let out_ty = arith_type(&l, &r);
+                        let var = self.b.call(
+                            "batcalc",
+                            op.mal_name(),
+                            MalType::bat(out_ty.clone()),
+                            vec![ev_arg(&l), ev_arg(&r)],
+                        );
+                        Ok(EV::Bat(var, out_ty))
+                    }
+                }
+            }
+            Expr::Agg { .. } => Err(SqlError::Semantic(
+                "unrewritten aggregate in HAVING (internal)".into(),
+            )),
+            _ => unreachable!("literals handled above"),
+        }
+    }
+
+    /// Predicate mask in the HAVING context (column refs = output names).
+    fn eval_mask_over_cols(
+        &mut self,
+        cols: &[(String, VarId)],
+        p: &Pred,
+    ) -> Result<VarId> {
+        match p {
+            Pred::Cmp { op, left, right } => {
+                let l = self.eval_expr_over_cols(cols, left)?;
+                let r = self.eval_expr_over_cols(cols, right)?;
+                match (&l, &r) {
+                    (EV::Lit(_), EV::Lit(_)) => {
+                        Err(SqlError::Unsupported("constant HAVING predicates".into()))
+                    }
+                    _ => Ok(self.b.call(
+                        "batcalc",
+                        op.theta(),
+                        MalType::bat(MalType::Bit),
+                        vec![ev_arg(&l), ev_arg(&r)],
+                    )),
+                }
+            }
+            Pred::Between { expr, lo, hi } => {
+                let a = self.eval_mask_over_cols(
+                    cols,
+                    &Pred::Cmp {
+                        op: CmpOp::Ge,
+                        left: expr.clone(),
+                        right: lo.clone(),
+                    },
+                )?;
+                let b = self.eval_mask_over_cols(
+                    cols,
+                    &Pred::Cmp {
+                        op: CmpOp::Le,
+                        left: expr.clone(),
+                        right: hi.clone(),
+                    },
+                )?;
+                Ok(self.b.call(
+                    "batcalc",
+                    "and",
+                    MalType::bat(MalType::Bit),
+                    vec![Arg::Var(a), Arg::Var(b)],
+                ))
+            }
+            Pred::And(a, b) => {
+                let ma = self.eval_mask_over_cols(cols, a)?;
+                let mb = self.eval_mask_over_cols(cols, b)?;
+                Ok(self.b.call(
+                    "batcalc",
+                    "and",
+                    MalType::bat(MalType::Bit),
+                    vec![Arg::Var(ma), Arg::Var(mb)],
+                ))
+            }
+            Pred::Or(a, b) => {
+                let ma = self.eval_mask_over_cols(cols, a)?;
+                let mb = self.eval_mask_over_cols(cols, b)?;
+                Ok(self.b.call(
+                    "batcalc",
+                    "or",
+                    MalType::bat(MalType::Bit),
+                    vec![Arg::Var(ma), Arg::Var(mb)],
+                ))
+            }
+            Pred::Not(a) => {
+                let m = self.eval_mask_over_cols(cols, a)?;
+                Ok(self.b.call(
+                    "batcalc",
+                    "not",
+                    MalType::bat(MalType::Bit),
+                    vec![Arg::Var(m)],
+                ))
+            }
+            Pred::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let col = match self.eval_expr_over_cols(cols, expr)? {
+                    EV::Bat(v, _) => v,
+                    EV::Lit(_) => {
+                        return Err(SqlError::Unsupported("LIKE over a constant".into()))
+                    }
+                };
+                let mask = self.b.call(
+                    "batcalc",
+                    "like",
+                    MalType::bat(MalType::Bit),
+                    vec![Arg::Var(col), Arg::Lit(Value::Str(pattern.clone()))],
+                );
+                if *negated {
+                    Ok(self.b.call(
+                        "batcalc",
+                        "not",
+                        MalType::bat(MalType::Bit),
+                        vec![Arg::Var(mask)],
+                    ))
+                } else {
+                    Ok(mask)
+                }
+            }
+            Pred::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let mut acc: Option<VarId> = None;
+                for item in list {
+                    let m = self.eval_mask_over_cols(
+                        cols,
+                        &Pred::Cmp {
+                            op: CmpOp::Eq,
+                            left: expr.clone(),
+                            right: item.clone(),
+                        },
+                    )?;
+                    acc = Some(match acc {
+                        Some(prev) => self.b.call(
+                            "batcalc",
+                            "or",
+                            MalType::bat(MalType::Bit),
+                            vec![Arg::Var(prev), Arg::Var(m)],
+                        ),
+                        None => m,
+                    });
+                }
+                let mask = acc.ok_or_else(|| SqlError::Semantic("empty IN list".into()))?;
+                if *negated {
+                    Ok(self.b.call(
+                        "batcalc",
+                        "not",
+                        MalType::bat(MalType::Bit),
+                        vec![Arg::Var(mask)],
+                    ))
+                } else {
+                    Ok(mask)
+                }
+            }
+        }
+    }
+
+    fn gen_sort(
+        &mut self,
+        mut cols: Vec<(String, VarId)>,
+        keys: &[OrderKey],
+    ) -> Result<Gen> {
+        // Stable sort by minor keys first, then major keys.
+        for key in keys.iter().rev() {
+            let keyname = match &key.expr {
+                Expr::Column { name, .. } => name.clone(),
+                _ => {
+                    return Err(SqlError::Unsupported(
+                        "ORDER BY expressions (use an alias)".into(),
+                    ))
+                }
+            };
+            let keyvar = cols
+                .iter()
+                .find(|(n, _)| *n == keyname)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| SqlError::Unknown {
+                    kind: "column",
+                    name: keyname.clone(),
+                })?;
+            let sorted = self.b.new_var(self.b.var_type(keyvar).clone());
+            let order = self.b.new_var(MalType::bat(MalType::Oid));
+            self.b.push(
+                "algebra",
+                "sort",
+                vec![sorted, order],
+                vec![Arg::Var(keyvar), Arg::Lit(Value::Bit(key.desc))],
+            );
+            cols = cols
+                .into_iter()
+                .map(|(name, var)| {
+                    if var == keyvar {
+                        (name, sorted)
+                    } else {
+                        let ty = self.b.var_type(var).clone();
+                        let reordered = self.b.call(
+                            "algebra",
+                            "projection",
+                            ty,
+                            vec![Arg::Var(order), Arg::Var(var)],
+                        );
+                        (name, reordered)
+                    }
+                })
+                .collect();
+        }
+        Ok(Gen::Cols(cols))
+    }
+}
+
+fn ev_arg(e: &EV) -> Arg {
+    match e {
+        EV::Bat(v, _) => Arg::Var(*v),
+        EV::Lit(v) => Arg::Lit(v.clone()),
+    }
+}
+
+fn arith_type(l: &EV, r: &EV) -> MalType {
+    let t = |e: &EV| match e {
+        EV::Bat(_, t) => t.clone(),
+        EV::Lit(v) => v.mal_type(),
+    };
+    if t(l) == MalType::Dbl || t(r) == MalType::Dbl {
+        MalType::Dbl
+    } else {
+        MalType::Int
+    }
+}
+
+fn fold_scalar(op: ArithOp, a: &Value, b: &Value) -> Result<Value> {
+    let err = || SqlError::Semantic("non-numeric constant arithmetic".into());
+    if let (Value::Int(x), Value::Int(y)) = (a, b) {
+        return Ok(match op {
+            ArithOp::Add => Value::Int(x + y),
+            ArithOp::Sub => Value::Int(x - y),
+            ArithOp::Mul => Value::Int(x * y),
+            ArithOp::Div => {
+                if *y == 0 {
+                    return Err(SqlError::Semantic("division by zero".into()));
+                }
+                Value::Int(x / y)
+            }
+        });
+    }
+    let x = a.as_dbl().ok_or_else(err)?;
+    let y = b.as_dbl().ok_or_else(err)?;
+    Ok(match op {
+        ArithOp::Add => Value::Dbl(x + y),
+        ArithOp::Sub => Value::Dbl(x - y),
+        ArithOp::Mul => Value::Dbl(x * y),
+        ArithOp::Div => {
+            if y == 0.0 {
+                return Err(SqlError::Semantic("division by zero".into()));
+            }
+            Value::Dbl(x / y)
+        }
+    })
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+/// Coerce a literal to a column's type where the engine would not
+/// (string ↔ date, int → dbl).
+fn coerce_lit(v: Value, col_ty: &MalType) -> Value {
+    match (&v, col_ty) {
+        (Value::Str(s), MalType::Date) => crate::ast::date_to_days(s)
+            .map(Value::Date)
+            .unwrap_or(v),
+        (Value::Int(x), MalType::Dbl) => Value::Dbl(*x as f64),
+        _ => v,
+    }
+}
+
+fn plain_agg(f: &AggFunc, arg_ty: &MalType) -> (&'static str, MalType) {
+    match f {
+        AggFunc::Sum => ("sum", arg_ty.clone()),
+        AggFunc::Count => ("count", MalType::Int),
+        AggFunc::Avg => ("avg", MalType::Dbl),
+        AggFunc::Min => ("min", arg_ty.clone()),
+        AggFunc::Max => ("max", arg_ty.clone()),
+    }
+}
+
+fn grouped_agg(f: &AggFunc, arg_ty: &MalType) -> (&'static str, MalType) {
+    match f {
+        AggFunc::Sum => ("subsum", MalType::bat(arg_ty.clone())),
+        AggFunc::Count => ("subcount", MalType::bat(MalType::Int)),
+        AggFunc::Avg => ("subavg", MalType::bat(MalType::Dbl)),
+        AggFunc::Min => ("submin", MalType::bat(arg_ty.clone())),
+        AggFunc::Max => ("submax", MalType::bat(arg_ty.clone())),
+    }
+}

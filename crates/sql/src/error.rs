@@ -1,0 +1,62 @@
+//! SQL front-end errors.
+
+use std::fmt;
+
+/// Errors from lexing, parsing, binding, or code generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexer hit an unexpected character.
+    Lex {
+        /// Byte offset.
+        at: usize,
+        /// Explanation.
+        msg: String,
+    },
+    /// Parser hit an unexpected token.
+    Parse {
+        /// Token index.
+        at: usize,
+        /// Explanation.
+        msg: String,
+    },
+    /// Name resolution failed.
+    Unknown {
+        /// What kind of thing (table/column/function).
+        kind: &'static str,
+        /// The name.
+        name: String,
+    },
+    /// Feature outside the supported subset.
+    Unsupported(String),
+    /// Semantic error (type mix-ups, aggregates in wrong place, ...).
+    Semantic(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { at, msg } => write!(f, "SQL lex error at byte {at}: {msg}"),
+            SqlError::Parse { at, msg } => write!(f, "SQL parse error at token {at}: {msg}"),
+            SqlError::Unknown { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            SqlError::Unsupported(msg) => write!(f, "unsupported SQL: {msg}"),
+            SqlError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SqlError::Unknown {
+            kind: "table",
+            name: "x".into()
+        }
+        .to_string()
+        .contains("unknown table `x`"));
+    }
+}

@@ -1,0 +1,254 @@
+//! SQL lexer.
+
+use crate::error::SqlError;
+use crate::Result;
+
+/// SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are uppercased at parse time).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// Punctuation / operators.
+    Symbol(Sym),
+}
+
+/// Punctuation and operator symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Tokenise `sql`. Comments (`-- ...`) are skipped.
+pub fn lex(sql: &str) -> Result<Vec<Token>> {
+    let b: Vec<char> = sql.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if b.get(i + 1) == Some(&'-') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Symbol(Sym::Semi));
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Symbol(Sym::Dot));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Symbol(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Symbol(Sym::Minus));
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Symbol(Sym::Slash));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            '!' if b.get(i + 1) == Some(&'=') => {
+                out.push(Token::Symbol(Sym::Neq));
+                i += 2;
+            }
+            '<' => {
+                match b.get(i + 1) {
+                    Some('=') => {
+                        out.push(Token::Symbol(Sym::Le));
+                        i += 2;
+                    }
+                    Some('>') => {
+                        out.push(Token::Symbol(Sym::Neq));
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Symbol(Sym::Lt));
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&'=') {
+                    out.push(Token::Symbol(Sym::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match b.get(i) {
+                        Some('\'') if b.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(SqlError::Lex {
+                                at: i,
+                                msg: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == '.') {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                if text.contains('.') {
+                    out.push(Token::Float(text.parse().map_err(|_| SqlError::Lex {
+                        at: start,
+                        msg: format!("bad number `{text}`"),
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| SqlError::Lex {
+                        at: start,
+                        msg: format!("bad number `{text}`"),
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(b[start..i].iter().collect()));
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    at: i,
+                    msg: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_simple_query() {
+        let toks = lex("select l_tax from lineitem where l_partkey=1").unwrap();
+        assert_eq!(toks.len(), 8);
+        assert_eq!(toks[0], Token::Ident("select".into()));
+        assert_eq!(toks[5], Token::Ident("l_partkey".into()));
+        assert_eq!(toks[6], Token::Symbol(Sym::Eq));
+        assert_eq!(toks[7], Token::Int(1));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("a <= b >= c <> d != e < f > g").unwrap();
+        let syms: Vec<Sym> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syms, vec![Sym::Le, Sym::Ge, Sym::Neq, Sym::Neq, Sym::Lt, Sym::Gt]);
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let toks = lex("'abc' 'it''s'").unwrap();
+        assert_eq!(toks[0], Token::Str("abc".into()));
+        assert_eq!(toks[1], Token::Str("it's".into()));
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = lex("42 0.08").unwrap();
+        assert_eq!(toks[0], Token::Int(42));
+        assert_eq!(toks[1], Token::Float(0.08));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("select -- comment\n 1").unwrap();
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        assert!(lex("select @").is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # stetho-sql — the SQL front end
+//!
+//! "A SQL query gets parsed and is converted into a relational algebra
+//! representation. This algebra representation is then converted to a MAL
+//! plan. Subsequently, optimizers work on the generated MAL plan to derive
+//! an optimized MAL plan. The final MAL plan is then interpreted."
+//! (paper §2)
+//!
+//! This crate reproduces that pipeline end to end:
+//!
+//! * [`lexer`] / [`parser`] / [`ast`] — a SQL subset sufficient for the
+//!   paper's demo workloads (TPC-H style scans, filters, equi-joins,
+//!   GROUP BY aggregation, ORDER BY, LIMIT);
+//! * [`algebra`] — the relational algebra representation;
+//! * [`codegen`] — algebra → MAL plan (Figure-1 style plans);
+//! * [`opt`] — the MAL optimizer pipeline: constant folding, common
+//!   subexpression elimination, dead code elimination, and *mitosis*
+//!   (range-partition parallelism producing the wide Figure-2 scale
+//!   plans whose multi-core execution the Stethoscope demo analyses);
+//! * [`mod@compile`] — the one-call front door: SQL text → optimized plan.
+
+pub mod algebra;
+pub mod ast;
+pub mod codegen;
+pub mod compile;
+pub mod error;
+pub mod lexer;
+pub mod opt;
+pub mod parser;
+
+pub use compile::{compile, compile_with, CompileOptions};
+pub use error::SqlError;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SqlError>;

@@ -1,0 +1,183 @@
+//! Common subexpression elimination: two pure calls with identical
+//! arguments compute the same value, so the second is dropped and its
+//! result variables aliased to the first's.
+
+use std::collections::HashMap;
+
+use stetho_mal::{Arg, Plan, PlanBuilder};
+
+use super::{is_pure, Pass};
+use crate::error::SqlError;
+use crate::Result;
+
+/// The CSE pass.
+pub struct Cse;
+
+impl Pass for Cse {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run(&self, plan: &Plan) -> Result<Plan> {
+        let mut b = PlanBuilder::new(plan.name.clone());
+        let mut map: HashMap<usize, Arg> = HashMap::new();
+        // Canonical call key -> new result vars.
+        let mut seen: HashMap<String, Vec<Arg>> = HashMap::new();
+
+        for ins in &plan.instructions {
+            let args: Vec<Arg> = ins
+                .args
+                .iter()
+                .map(|a| match a {
+                    Arg::Var(v) => map.get(&v.0).cloned().unwrap_or(a.clone()),
+                    lit => lit.clone(),
+                })
+                .collect();
+
+            if is_pure(&ins.module, &ins.function) {
+                let key = call_key(&ins.module, &ins.function, &args);
+                if let Some(prev_results) = seen.get(&key) {
+                    for (r, prev) in ins.results.iter().zip(prev_results.iter()) {
+                        map.insert(r.0, prev.clone());
+                    }
+                    continue;
+                }
+                let results: Vec<_> = ins
+                    .results
+                    .iter()
+                    .map(|r| {
+                        let nv =
+                            b.new_named_var(plan.var(*r).name.clone(), plan.var(*r).ty.clone());
+                        map.insert(r.0, Arg::Var(nv));
+                        nv
+                    })
+                    .collect();
+                seen.insert(key, results.iter().map(|r| Arg::Var(*r)).collect());
+                b.push(ins.module.clone(), ins.function.clone(), results, args);
+            } else {
+                let results: Vec<_> = ins
+                    .results
+                    .iter()
+                    .map(|r| {
+                        let nv =
+                            b.new_named_var(plan.var(*r).name.clone(), plan.var(*r).ty.clone());
+                        map.insert(r.0, Arg::Var(nv));
+                        nv
+                    })
+                    .collect();
+                b.push(ins.module.clone(), ins.function.clone(), results, args);
+            }
+        }
+        let out = b.finish();
+        out.validate()
+            .map_err(|e| SqlError::Semantic(format!("cse broke the plan: {e}")))?;
+        Ok(out)
+    }
+}
+
+fn call_key(module: &str, function: &str, args: &[Arg]) -> String {
+    use std::fmt::Write as _;
+    let mut k = format!("{module}.{function}(");
+    for a in args {
+        match a {
+            Arg::Var(v) => {
+                let _ = write!(k, "v{},", v.0);
+            }
+            Arg::Lit(l) => {
+                let _ = write!(k, "l{l},");
+            }
+        }
+    }
+    k.push(')');
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stetho_mal::parse_plan;
+
+    #[test]
+    fn dedups_identical_binds() {
+        let plan = parse_plan(
+            "X_0:int := sql.mvc();\n\
+             X_1:bat[:int] := sql.bind(X_0, \"sys\", \"t\", \"a\", 0:int);\n\
+             X_2:bat[:int] := sql.bind(X_0, \"sys\", \"t\", \"a\", 0:int);\n\
+             X_3:bat[:int] := bat.append(X_1, X_2);\n\
+             io.print(X_3);\n",
+        )
+        .unwrap();
+        let out = Cse.run(&plan).unwrap();
+        assert_eq!(out.len(), 4);
+        // Both append args now reference the same variable.
+        let append = out
+            .instructions
+            .iter()
+            .find(|i| i.function == "append")
+            .unwrap();
+        assert_eq!(append.args[0], append.args[1]);
+    }
+
+    #[test]
+    fn different_args_not_merged() {
+        let plan = parse_plan(
+            "X_0:int := sql.mvc();\n\
+             X_1:bat[:int] := sql.bind(X_0, \"sys\", \"t\", \"a\", 0:int);\n\
+             X_2:bat[:int] := sql.bind(X_0, \"sys\", \"t\", \"b\", 0:int);\n\
+             io.print(X_1);\nio.print(X_2);\n",
+        )
+        .unwrap();
+        let out = Cse.run(&plan).unwrap();
+        assert_eq!(out.len(), plan.len());
+    }
+
+    #[test]
+    fn side_effects_never_merged() {
+        let plan = parse_plan("alarm.sleep(1:int);\nalarm.sleep(1:int);\n").unwrap();
+        let out = Cse.run(&plan).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn multi_result_dedup() {
+        let plan = parse_plan(
+            "X_0:int := sql.mvc();\n\
+             X_1:bat[:oid] := sql.tid(X_0, \"sys\", \"t\");\n\
+             (X_2:bat[:oid], X_3:bat[:oid], X_4:bat[:int]) := group.group(X_1);\n\
+             (X_5:bat[:oid], X_6:bat[:oid], X_7:bat[:int]) := group.group(X_1);\n\
+             io.print(X_2);\nio.print(X_5);\nio.print(X_6);\n",
+        )
+        .unwrap();
+        let out = Cse.run(&plan).unwrap();
+        let groups = out
+            .instructions
+            .iter()
+            .filter(|i| i.qualified_name() == "group.group")
+            .count();
+        assert_eq!(groups, 1);
+    }
+
+    #[test]
+    fn transitive_dedup() {
+        // Second chain duplicates the first even though its inputs are
+        // (syntactically different) duplicate vars.
+        let plan = parse_plan(
+            "X_0:int := sql.mvc();\n\
+             X_1:bat[:oid] := sql.tid(X_0, \"sys\", \"t\");\n\
+             X_2:bat[:oid] := sql.tid(X_0, \"sys\", \"t\");\n\
+             X_3:bat[:oid] := bat.mirror(X_1);\n\
+             X_4:bat[:oid] := bat.mirror(X_2);\n\
+             io.print(X_3);\nio.print(X_4);\n",
+        )
+        .unwrap();
+        let out = Cse.run(&plan).unwrap();
+        let mirrors = out
+            .instructions
+            .iter()
+            .filter(|i| i.function == "mirror")
+            .count();
+        assert_eq!(mirrors, 1);
+        let tids = out.instructions.iter().filter(|i| i.function == "tid").count();
+        assert_eq!(tids, 1);
+    }
+}

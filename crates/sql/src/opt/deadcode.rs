@@ -1,0 +1,136 @@
+//! Dead code elimination: drop pure instructions whose results are never
+//! consumed (directly or transitively) by an effectful instruction.
+
+use std::collections::HashMap;
+
+use stetho_mal::{Arg, Plan, PlanBuilder};
+
+use super::{is_pure, Pass};
+use crate::error::SqlError;
+use crate::Result;
+
+/// The dead-code elimination pass.
+pub struct DeadCode;
+
+impl Pass for DeadCode {
+    fn name(&self) -> &'static str {
+        "deadcode"
+    }
+
+    fn run(&self, plan: &Plan) -> Result<Plan> {
+        let n = plan.len();
+        let mut live = vec![false; n];
+        // var id -> defining pc
+        let mut def: HashMap<usize, usize> = HashMap::new();
+        for ins in &plan.instructions {
+            for r in &ins.results {
+                def.insert(r.0, ins.pc);
+            }
+        }
+        // Seed: effectful instructions are live.
+        let mut stack: Vec<usize> = plan
+            .instructions
+            .iter()
+            .filter(|i| !is_pure(&i.module, &i.function))
+            .map(|i| i.pc)
+            .collect();
+        while let Some(pc) = stack.pop() {
+            if live[pc] {
+                continue;
+            }
+            live[pc] = true;
+            for a in &plan.instructions[pc].args {
+                if let Arg::Var(v) = a {
+                    if let Some(&d) = def.get(&v.0) {
+                        if !live[d] {
+                            stack.push(d);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut b = PlanBuilder::new(plan.name.clone());
+        let mut map: HashMap<usize, Arg> = HashMap::new();
+        for ins in &plan.instructions {
+            if !live[ins.pc] {
+                continue;
+            }
+            let args: Vec<Arg> = ins
+                .args
+                .iter()
+                .map(|a| match a {
+                    Arg::Var(v) => map.get(&v.0).cloned().unwrap_or(a.clone()),
+                    lit => lit.clone(),
+                })
+                .collect();
+            let results: Vec<_> = ins
+                .results
+                .iter()
+                .map(|r| {
+                    let nv = b.new_named_var(plan.var(*r).name.clone(), plan.var(*r).ty.clone());
+                    map.insert(r.0, Arg::Var(nv));
+                    nv
+                })
+                .collect();
+            b.push(ins.module.clone(), ins.function.clone(), results, args);
+        }
+        let out = b.finish();
+        out.validate()
+            .map_err(|e| SqlError::Semantic(format!("deadcode broke the plan: {e}")))?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stetho_mal::parse_plan;
+
+    #[test]
+    fn drops_unused_pure_chain() {
+        let plan = parse_plan(
+            "X_0:int := sql.mvc();\n\
+             X_1:bat[:oid] := sql.tid(X_0, \"sys\", \"t\");\n\
+             X_2:bat[:oid] := bat.mirror(X_1);\n\
+             io.print(X_0);\n",
+        )
+        .unwrap();
+        let out = DeadCode.run(&plan).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.instructions.iter().all(|i| i.function != "mirror"));
+    }
+
+    #[test]
+    fn keeps_transitively_used() {
+        let plan = parse_plan(
+            "X_0:int := sql.mvc();\n\
+             X_1:bat[:oid] := sql.tid(X_0, \"sys\", \"t\");\n\
+             X_2:bat[:oid] := bat.mirror(X_1);\n\
+             io.print(X_2);\n",
+        )
+        .unwrap();
+        let out = DeadCode.run(&plan).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn keeps_all_effectful() {
+        let plan = parse_plan("alarm.sleep(1:int);\nalarm.sleep(2:int);\n").unwrap();
+        let out = DeadCode.run(&plan).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_plan_ok() {
+        let out = DeadCode.run(&parse_plan("").unwrap()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fully_dead_plan_becomes_empty() {
+        let plan = parse_plan("X_0:int := sql.mvc();\nX_1:int := calc.identity(X_0);\n").unwrap();
+        let out = DeadCode.run(&plan).unwrap();
+        assert!(out.is_empty());
+    }
+}

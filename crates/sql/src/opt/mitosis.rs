@@ -1,0 +1,471 @@
+//! Mitosis: range-partition parallelism.
+//!
+//! MonetDB's mitosis optimizer splits a table scan into fragments and
+//! clones the dependent operator pipeline per fragment, letting the
+//! dataflow scheduler run the clones on different cores; `mat.pack`
+//! glues fragment results back together. This pass reproduces that
+//! rewrite on our plans:
+//!
+//! 1. take the (first) `sql.tid` candidate list `T`;
+//! 2. partition it positionally with `algebra.slice` into `k` chunks
+//!    whose bounds are computed at run time from `aggr.count(T)`;
+//! 3. clone every *partitionable* instruction downstream of `T` once per
+//!    chunk (`algebra.select`/`thetaselect`, `algebra.projection`/
+//!    `leftjoin`, and element-wise `batcalc.*`) — these all preserve the
+//!    property that concatenating per-chunk outputs in chunk order equals
+//!    the unpartitioned output;
+//! 4. at the region boundary insert `mat.pack(v_0, ..., v_{k-1})`, except
+//!    for plain `aggr.sum`/`aggr.count` consumers, which become
+//!    per-chunk partial aggregates combined with `calc.+` (partial
+//!    aggregation pushdown).
+//!
+//! The result is exactly the wide, Figure-2-style graph shape the paper
+//! shows for complex queries.
+
+use std::collections::HashMap;
+
+use stetho_mal::{Arg, Instruction, MalType, Plan, PlanBuilder, Value, VarId};
+
+use super::Pass;
+use crate::error::SqlError;
+use crate::Result;
+
+/// The mitosis pass.
+pub struct Mitosis {
+    /// Number of partitions to split into (≥ 2 to have any effect).
+    pub partitions: usize,
+}
+
+impl Pass for Mitosis {
+    fn name(&self) -> &'static str {
+        "mitosis"
+    }
+
+    fn run(&self, plan: &Plan) -> Result<Plan> {
+        let k = self.partitions;
+        if k < 2 {
+            return Ok(plan.clone());
+        }
+        // Locate the first sql.tid; without one there is nothing to split.
+        let tid_pc = match plan
+            .instructions
+            .iter()
+            .find(|i| i.module == "sql" && i.function == "tid")
+        {
+            Some(i) => i.pc,
+            None => return Ok(plan.clone()),
+        };
+        let tid_var = plan.instructions[tid_pc].results[0];
+
+        // Classify instructions: region (cloned per partition) vs outside.
+        let mut region_vars: Vec<bool> = vec![false; plan.var_count()];
+        region_vars[tid_var.0] = true;
+        let mut in_region: Vec<bool> = vec![false; plan.len()];
+        for ins in plan.instructions.iter().skip(tid_pc + 1) {
+            let uses_region = ins
+                .arg_vars()
+                .any(|v| region_vars[v.0]);
+            if uses_region && partitionable(ins, &region_vars) {
+                in_region[ins.pc] = true;
+                for r in &ins.results {
+                    region_vars[r.0] = true;
+                }
+            }
+        }
+        if !in_region.iter().any(|&x| x) {
+            return Ok(plan.clone());
+        }
+
+        // Rebuild.
+        let mut b = PlanBuilder::new(plan.name.clone());
+        // Outside vars: old -> new arg.
+        let mut omap: HashMap<usize, Arg> = HashMap::new();
+        // Region vars: old -> per-partition new vars.
+        let mut pmap: HashMap<usize, Vec<VarId>> = HashMap::new();
+        // Region vars already packed: old -> packed var.
+        let mut packed: HashMap<usize, VarId> = HashMap::new();
+
+        for ins in &plan.instructions {
+            if ins.pc == tid_pc {
+                // Emit tid, then the partition prelude.
+                let tid_new = emit_copy(&mut b, plan, ins, &omap)?;
+                omap.insert(tid_var.0, Arg::Var(tid_new[0]));
+                let cnt = b.call(
+                    "aggr",
+                    "count",
+                    MalType::Int,
+                    vec![Arg::Var(tid_new[0])],
+                );
+                let biased = b.call(
+                    "calc",
+                    "+",
+                    MalType::Int,
+                    vec![Arg::Var(cnt), Arg::Lit(Value::Int(k as i64 - 1))],
+                );
+                let chunk = b.call(
+                    "calc",
+                    "/",
+                    MalType::Int,
+                    vec![Arg::Var(biased), Arg::Lit(Value::Int(k as i64))],
+                );
+                let mut parts = Vec::with_capacity(k);
+                for i in 0..k {
+                    let lo = b.call(
+                        "calc",
+                        "*",
+                        MalType::Int,
+                        vec![Arg::Var(chunk), Arg::Lit(Value::Int(i as i64))],
+                    );
+                    let hi = b.call(
+                        "calc",
+                        "*",
+                        MalType::Int,
+                        vec![Arg::Var(chunk), Arg::Lit(Value::Int(i as i64 + 1))],
+                    );
+                    let cand = b.call(
+                        "algebra",
+                        "slice",
+                        MalType::bat(MalType::Oid),
+                        vec![Arg::Var(tid_new[0]), Arg::Var(lo), Arg::Var(hi)],
+                    );
+                    parts.push(cand);
+                }
+                pmap.insert(tid_var.0, parts);
+                continue;
+            }
+
+            if in_region[ins.pc] {
+                // Clone per partition.
+                let mut per_result: Vec<Vec<VarId>> =
+                    vec![Vec::with_capacity(k); ins.results.len()];
+                #[allow(clippy::needless_range_loop)] // `part` selects the pmap slot
+                for part in 0..k {
+                    let args: Vec<Arg> = ins
+                        .args
+                        .iter()
+                        .map(|a| match a {
+                            Arg::Var(v) if region_vars[v.0] => {
+                                Arg::Var(pmap[&v.0][part])
+                            }
+                            Arg::Var(v) => omap
+                                .get(&v.0)
+                                .cloned()
+                                .unwrap_or(Arg::Var(*v)),
+                            lit => lit.clone(),
+                        })
+                        .collect();
+                    let results: Vec<VarId> = ins
+                        .results
+                        .iter()
+                        .map(|r| b.new_var(plan.var(*r).ty.clone()))
+                        .collect();
+                    for (slot, r) in results.iter().enumerate() {
+                        per_result[slot].push(*r);
+                    }
+                    b.push(ins.module.clone(), ins.function.clone(), results, args);
+                }
+                for (slot, r) in ins.results.iter().enumerate() {
+                    pmap.insert(r.0, per_result[slot].clone());
+                }
+                continue;
+            }
+
+            // Outside instruction. Partial-aggregation shortcut?
+            if let Some(result) = try_partial_agg(&mut b, plan, ins, &region_vars, &pmap) {
+                omap.insert(ins.results[0].0, Arg::Var(result));
+                continue;
+            }
+
+            // Pack any region vars it consumes, then copy.
+            let args: Vec<Arg> = ins
+                .args
+                .iter()
+                .map(|a| match a {
+                    Arg::Var(v) if region_vars[v.0] => {
+                        let pv = *packed.entry(v.0).or_insert_with(|| {
+                            let parts = &pmap[&v.0];
+                            b.call(
+                                "mat",
+                                "pack",
+                                plan.var(VarId(v.0)).ty.clone(),
+                                parts.iter().map(|p| Arg::Var(*p)).collect(),
+                            )
+                        });
+                        Arg::Var(pv)
+                    }
+                    Arg::Var(v) => omap.get(&v.0).cloned().unwrap_or(Arg::Var(*v)),
+                    lit => lit.clone(),
+                })
+                .collect();
+            let results: Vec<VarId> = ins
+                .results
+                .iter()
+                .map(|r| {
+                    let nv = b.new_named_var(plan.var(*r).name.clone(), plan.var(*r).ty.clone());
+                    omap.insert(r.0, Arg::Var(nv));
+                    nv
+                })
+                .collect();
+            b.push(ins.module.clone(), ins.function.clone(), results, args);
+        }
+
+        let out = b.finish();
+        out.validate()
+            .map_err(|e| SqlError::Semantic(format!("mitosis broke the plan: {e}")))?;
+        Ok(out)
+    }
+}
+
+/// Copy one instruction with outside-var remapping; returns new results.
+fn emit_copy(
+    b: &mut PlanBuilder,
+    plan: &Plan,
+    ins: &Instruction,
+    omap: &HashMap<usize, Arg>,
+) -> Result<Vec<VarId>> {
+    let args: Vec<Arg> = ins
+        .args
+        .iter()
+        .map(|a| match a {
+            Arg::Var(v) => omap.get(&v.0).cloned().unwrap_or(Arg::Var(*v)),
+            lit => lit.clone(),
+        })
+        .collect();
+    let results: Vec<VarId> = ins
+        .results
+        .iter()
+        .map(|r| b.new_named_var(plan.var(*r).name.clone(), plan.var(*r).ty.clone()))
+        .collect();
+    b.push(ins.module.clone(), ins.function.clone(), results.clone(), args);
+    Ok(results)
+}
+
+/// Can this instruction be cloned per partition?
+fn partitionable(ins: &Instruction, region: &[bool]) -> bool {
+    let is_region = |a: &Arg| matches!(a, Arg::Var(v) if region[v.0]);
+    match (ins.module.as_str(), ins.function.as_str()) {
+        ("algebra", "select") => {
+            // Candidate form: cand (arg 1) must be region, column (arg 0)
+            // must be a base column. Mask form (4 args of which only the
+            // mask is a var): mask must be region.
+            if ins.args.len() >= 5 {
+                is_region(&ins.args[1]) && !is_region(&ins.args[0])
+            } else {
+                is_region(&ins.args[0])
+                    && ins.args[1..].iter().all(|a| !matches!(a, Arg::Var(v) if region[v.0]))
+            }
+        }
+        ("algebra", "thetaselect") => is_region(&ins.args[1]) && !is_region(&ins.args[0]),
+        ("algebra", "likeselect") => is_region(&ins.args[1]) && !is_region(&ins.args[0]),
+        // Per-partition candidate lists cover disjoint, ordered position
+        // ranges, so set operations distribute over partitions.
+        ("algebra", "union") | ("algebra", "intersect") => {
+            ins.arg_vars().count() == 2 && ins.arg_vars().all(|v| region[v.0])
+        }
+        ("algebra", "projection") | ("algebra", "leftjoin") => is_region(&ins.args[0]),
+        ("batcalc", _) => ins
+            .arg_vars()
+            .all(|v| region[v.0]),
+        _ => false,
+    }
+}
+
+/// Rewrite `aggr.sum`/`aggr.count` over a region var into per-partition
+/// partials combined with `calc.+`. Returns the combined scalar var.
+fn try_partial_agg(
+    b: &mut PlanBuilder,
+    plan: &Plan,
+    ins: &Instruction,
+    region: &[bool],
+    pmap: &HashMap<usize, Vec<VarId>>,
+) -> Option<VarId> {
+    if ins.module != "aggr" || ins.results.len() != 1 || ins.args.len() != 1 {
+        return None;
+    }
+    if !matches!(ins.function.as_str(), "sum" | "count") {
+        return None;
+    }
+    let v = match &ins.args[0] {
+        Arg::Var(v) if region[v.0] => *v,
+        _ => return None,
+    };
+    let parts = pmap.get(&v.0)?;
+    let out_ty = plan.var(ins.results[0]).ty.clone();
+    let partial_ty = if ins.function == "count" {
+        MalType::Int
+    } else {
+        out_ty.clone()
+    };
+    let partials: Vec<VarId> = parts
+        .iter()
+        .map(|p| {
+            b.call(
+                "aggr",
+                ins.function.as_str(),
+                partial_ty.clone(),
+                vec![Arg::Var(*p)],
+            )
+        })
+        .collect();
+    let mut acc = partials[0];
+    for p in &partials[1..] {
+        acc = b.call(
+            "calc",
+            "+",
+            partial_ty.clone(),
+            vec![Arg::Var(acc), Arg::Var(*p)],
+        );
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stetho_mal::parse_plan;
+
+    fn figure1() -> Plan {
+        parse_plan(
+            r#"
+X_0:int := sql.mvc();
+X_1:bat[:oid] := sql.tid(X_0, "sys", "lineitem");
+X_2:bat[:int] := sql.bind(X_0, "sys", "lineitem", "l_partkey", 0:int);
+X_3:bat[:oid] := algebra.select(X_2, X_1, 1:int, 1:int, true:bit);
+X_4:bat[:dbl] := sql.bind(X_0, "sys", "lineitem", "l_tax", 0:int);
+X_5:bat[:dbl] := algebra.projection(X_3, X_4);
+sql.resultSet("l_tax", X_5);
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clones_region_per_partition() {
+        let out = Mitosis { partitions: 4 }.run(&figure1()).unwrap();
+        let selects = out
+            .instructions
+            .iter()
+            .filter(|i| i.qualified_name() == "algebra.select")
+            .count();
+        assert_eq!(selects, 4);
+        let projections = out
+            .instructions
+            .iter()
+            .filter(|i| i.qualified_name() == "algebra.projection")
+            .count();
+        assert_eq!(projections, 4);
+        let packs = out
+            .instructions
+            .iter()
+            .filter(|i| i.qualified_name() == "mat.pack")
+            .count();
+        assert_eq!(packs, 1);
+        let slices = out
+            .instructions
+            .iter()
+            .filter(|i| i.qualified_name() == "algebra.slice")
+            .count();
+        assert_eq!(slices, 4);
+    }
+
+    #[test]
+    fn partitions_one_is_identity() {
+        let plan = figure1();
+        let out = Mitosis { partitions: 1 }.run(&plan).unwrap();
+        assert_eq!(out.len(), plan.len());
+    }
+
+    #[test]
+    fn no_tid_is_identity() {
+        let plan = parse_plan("X_0:int := sql.mvc();\nio.print(X_0);\n").unwrap();
+        let out = Mitosis { partitions: 4 }.run(&plan).unwrap();
+        assert_eq!(out.len(), plan.len());
+    }
+
+    #[test]
+    fn sum_becomes_partial_aggregation() {
+        let plan = parse_plan(
+            r#"
+X_0:int := sql.mvc();
+X_1:bat[:oid] := sql.tid(X_0, "sys", "t");
+X_2:bat[:dbl] := sql.bind(X_0, "sys", "t", "v", 0:int);
+X_3:bat[:dbl] := algebra.projection(X_1, X_2);
+X_4:dbl := aggr.sum(X_3);
+sql.resultSet("s", X_4);
+"#,
+        )
+        .unwrap();
+        let out = Mitosis { partitions: 3 }.run(&plan).unwrap();
+        let sums = out
+            .instructions
+            .iter()
+            .filter(|i| i.qualified_name() == "aggr.sum")
+            .count();
+        assert_eq!(sums, 3, "per-partition partial sums");
+        let combines = out
+            .instructions
+            .iter()
+            .filter(|i| i.qualified_name() == "calc.+")
+            .count();
+        // 2 combining adds + 1 from chunk-size computation.
+        assert_eq!(combines, 3);
+        assert!(out
+            .instructions
+            .iter()
+            .all(|i| i.qualified_name() != "mat.pack"));
+    }
+
+    #[test]
+    fn group_boundary_gets_pack() {
+        let plan = parse_plan(
+            r#"
+X_0:int := sql.mvc();
+X_1:bat[:oid] := sql.tid(X_0, "sys", "t");
+X_2:bat[:str] := sql.bind(X_0, "sys", "t", "k", 0:int);
+X_3:bat[:str] := algebra.projection(X_1, X_2);
+(X_4:bat[:oid], X_5:bat[:oid], X_6:bat[:int]) := group.group(X_3);
+sql.resultSet("g", X_4);
+"#,
+        )
+        .unwrap();
+        let out = Mitosis { partitions: 2 }.run(&plan).unwrap();
+        assert_eq!(
+            out.instructions
+                .iter()
+                .filter(|i| i.qualified_name() == "mat.pack")
+                .count(),
+            1
+        );
+        assert_eq!(
+            out.instructions
+                .iter()
+                .filter(|i| i.qualified_name() == "group.group")
+                .count(),
+            1,
+            "grouping itself is not cloned"
+        );
+    }
+
+    #[test]
+    fn region_grows_through_batcalc() {
+        let plan = parse_plan(
+            r#"
+X_0:int := sql.mvc();
+X_1:bat[:oid] := sql.tid(X_0, "sys", "t");
+X_2:bat[:dbl] := sql.bind(X_0, "sys", "t", "a", 0:int);
+X_3:bat[:dbl] := algebra.projection(X_1, X_2);
+X_4:bat[:dbl] := batcalc.*(X_3, 2.0:dbl);
+X_5:dbl := aggr.sum(X_4);
+sql.resultSet("s", X_5);
+"#,
+        )
+        .unwrap();
+        let out = Mitosis { partitions: 2 }.run(&plan).unwrap();
+        let muls = out
+            .instructions
+            .iter()
+            .filter(|i| i.qualified_name() == "batcalc.*")
+            .count();
+        assert_eq!(muls, 2);
+    }
+}

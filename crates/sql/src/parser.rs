@@ -1,0 +1,594 @@
+//! Recursive-descent parser for the SQL subset.
+//!
+//! Grammar:
+//!
+//! ```text
+//! select    := SELECT item ("," item)*
+//!              FROM table ("," table | JOIN table ON pred)*
+//!              [WHERE pred] [GROUP BY exprlist]
+//!              [ORDER BY key ("," key)*] [LIMIT int] [";"]
+//! item      := expr [AS? ident] | "*"   (bare * only with aggregates: count(*))
+//! expr      := term (("+"|"-") term)*
+//! term      := factor (("*"|"/") factor)*
+//! factor    := literal | DATE str | agg "(" (expr|"*") ")" | column | "(" expr ")"
+//! pred      := orpred ; orpred := andpred (OR andpred)*
+//! andpred   := atom (AND atom)* ; atom := NOT atom | "(" pred ")" | cmp | between
+//! ```
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::lexer::{lex, Sym, Token};
+use crate::Result;
+
+/// Parse one SELECT statement.
+pub fn parse(sql: &str) -> Result<Select> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let sel = p.parse_select()?;
+    p.eat_symbol(Sym::Semi);
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing tokens after statement"));
+    }
+    Ok(sel)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            at: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume a keyword (case-insensitive) if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn eat_symbol(&mut self, s: Sym) -> bool {
+        if self.peek() == Some(&Token::Symbol(s)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: Sym) -> Result<()> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_select_item(items.len())?);
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let mut from = vec![self.parse_table_ref()?];
+        let mut join_preds: Vec<Pred> = Vec::new();
+        loop {
+            if self.eat_symbol(Sym::Comma) {
+                from.push(self.parse_table_ref()?);
+            } else if self.peek_kw("join") || self.peek_kw("inner") {
+                let _ = self.eat_kw("inner");
+                self.expect_kw("join")?;
+                from.push(self.parse_table_ref()?);
+                self.expect_kw("on")?;
+                join_preds.push(self.parse_pred()?);
+            } else {
+                break;
+            }
+        }
+        let mut where_clause = if self.eat_kw("where") {
+            Some(self.parse_pred()?)
+        } else {
+            None
+        };
+        // Fold JOIN ... ON predicates into the WHERE conjunction.
+        for jp in join_preds {
+            where_clause = Some(match where_clause {
+                Some(w) => Pred::And(Box::new(w), Box::new(jp)),
+                None => jp,
+            });
+        }
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") {
+            Some(self.parse_pred()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    let _ = self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as u64),
+                other => return Err(self.err(format!("expected LIMIT count, got {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select_item(&mut self, index: usize) -> Result<SelectItem> {
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_kw("as") {
+            self.ident()?
+        } else if let Some(Token::Ident(s)) = self.peek() {
+            // Bare alias, unless it is a clause keyword.
+            let kw = [
+                "from", "where", "group", "having", "order", "limit", "join", "inner", "on",
+                "as",
+            ];
+            if kw.iter().any(|k| s.eq_ignore_ascii_case(k)) {
+                default_alias(&expr, index)
+            } else {
+                let a = s.clone();
+                self.pos += 1;
+                a
+            }
+        } else {
+            default_alias(&expr, index)
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident()?;
+        let alias = match self.peek() {
+            Some(Token::Ident(s)) => {
+                let kw = [
+                    "where", "group", "having", "order", "limit", "join", "inner", "on",
+                ];
+                if kw.iter().any(|k| s.eq_ignore_ascii_case(k)) {
+                    None
+                } else {
+                    let a = s.clone();
+                    self.pos += 1;
+                    Some(a)
+                }
+            }
+            _ => None,
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    // ---- predicates ----
+
+    fn parse_pred(&mut self) -> Result<Pred> {
+        let mut left = self.parse_and_pred()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and_pred()?;
+            left = Pred::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and_pred(&mut self) -> Result<Pred> {
+        let mut left = self.parse_atom_pred()?;
+        while self.eat_kw("and") {
+            let right = self.parse_atom_pred()?;
+            left = Pred::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_atom_pred(&mut self) -> Result<Pred> {
+        if self.eat_kw("not") {
+            return Ok(Pred::Not(Box::new(self.parse_atom_pred()?)));
+        }
+        // Parenthesised predicate vs parenthesised expression: try a
+        // predicate first, backtracking on failure.
+        if self.peek() == Some(&Token::Symbol(Sym::LParen)) {
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(p) = self.parse_pred() {
+                if self.eat_symbol(Sym::RParen) {
+                    return Ok(p);
+                }
+            }
+            self.pos = save;
+        }
+        let left = self.parse_expr()?;
+        if self.eat_kw("between") {
+            let lo = self.parse_expr()?;
+            self.expect_kw("and")?;
+            let hi = self.parse_expr()?;
+            return Ok(Pred::Between {
+                expr: left,
+                lo,
+                hi,
+            });
+        }
+        // `expr [NOT] LIKE 'pat'` / `expr [NOT] IN (...)`.
+        let negated = self.eat_kw("not");
+        if self.eat_kw("like") {
+            let pattern = match self.next() {
+                Some(Token::Str(s)) => s,
+                other => return Err(self.err(format!("expected LIKE pattern, got {other:?}"))),
+            };
+            return Ok(Pred::Like {
+                expr: left,
+                pattern,
+                negated,
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect_symbol(Sym::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            if list.is_empty() {
+                return Err(self.err("empty IN list"));
+            }
+            return Ok(Pred::InList {
+                expr: left,
+                list,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.err("expected LIKE or IN after NOT"));
+        }
+        let op = match self.next() {
+            Some(Token::Symbol(Sym::Eq)) => CmpOp::Eq,
+            Some(Token::Symbol(Sym::Neq)) => CmpOp::Neq,
+            Some(Token::Symbol(Sym::Lt)) => CmpOp::Lt,
+            Some(Token::Symbol(Sym::Le)) => CmpOp::Le,
+            Some(Token::Symbol(Sym::Gt)) => CmpOp::Gt,
+            Some(Token::Symbol(Sym::Ge)) => CmpOp::Ge,
+            other => return Err(self.err(format!("expected comparison, got {other:?}"))),
+        };
+        let right = self.parse_expr()?;
+        Ok(Pred::Cmp { op, left, right })
+    }
+
+    // ---- expressions ----
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        let mut left = self.parse_term()?;
+        loop {
+            let op = if self.eat_symbol(Sym::Plus) {
+                ArithOp::Add
+            } else if self.eat_symbol(Sym::Minus) {
+                ArithOp::Sub
+            } else {
+                break;
+            };
+            let right = self.parse_term()?;
+            left = Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr> {
+        let mut left = self.parse_factor()?;
+        loop {
+            let op = if self.eat_symbol(Sym::Star) {
+                ArithOp::Mul
+            } else if self.eat_symbol(Sym::Slash) {
+                ArithOp::Div
+            } else {
+                break;
+            };
+            let right = self.parse_factor()?;
+            left = Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(Expr::Int(n)),
+            Some(Token::Float(x)) => Ok(Expr::Float(x)),
+            Some(Token::Str(s)) => Ok(Expr::Str(s)),
+            Some(Token::Symbol(Sym::Minus)) => {
+                // Unary minus on a literal.
+                match self.parse_factor()? {
+                    Expr::Int(n) => Ok(Expr::Int(-n)),
+                    Expr::Float(x) => Ok(Expr::Float(-x)),
+                    other => Ok(Expr::Arith {
+                        op: ArithOp::Sub,
+                        left: Box::new(Expr::Int(0)),
+                        right: Box::new(other),
+                    }),
+                }
+            }
+            Some(Token::Symbol(Sym::LParen)) => {
+                let e = self.parse_expr()?;
+                self.expect_symbol(Sym::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("date") {
+                    if let Some(Token::Str(s)) = self.peek() {
+                        let s = s.clone();
+                        self.pos += 1;
+                        return date_to_days(&s)
+                            .map(Expr::Date)
+                            .ok_or_else(|| self.err(format!("bad date literal '{s}'")));
+                    }
+                }
+                let agg = match name.to_ascii_lowercase().as_str() {
+                    "sum" => Some(AggFunc::Sum),
+                    "count" => Some(AggFunc::Count),
+                    "avg" => Some(AggFunc::Avg),
+                    "min" => Some(AggFunc::Min),
+                    "max" => Some(AggFunc::Max),
+                    _ => None,
+                };
+                if let Some(func) = agg {
+                    if self.eat_symbol(Sym::LParen) {
+                        let arg = if self.eat_symbol(Sym::Star) {
+                            None
+                        } else {
+                            Some(Box::new(self.parse_expr()?))
+                        };
+                        self.expect_symbol(Sym::RParen)?;
+                        return Ok(Expr::Agg { func, arg });
+                    }
+                }
+                // Qualified column `t.c`?
+                if self.eat_symbol(Sym::Dot) {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column { table: None, name })
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+fn default_alias(expr: &Expr, index: usize) -> String {
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Agg { func, .. } => format!(
+            "{}_{index}",
+            match func {
+                AggFunc::Sum => "sum",
+                AggFunc::Count => "count",
+                AggFunc::Avg => "avg",
+                AggFunc::Min => "min",
+                AggFunc::Max => "max",
+            }
+        ),
+        _ => format!("col_{index}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_query_parses() {
+        let s = parse("select l_tax from lineitem where l_partkey=1").unwrap();
+        assert_eq!(s.items.len(), 1);
+        assert_eq!(s.items[0].alias, "l_tax");
+        assert_eq!(s.from[0].name, "lineitem");
+        let p = s.where_clause.unwrap();
+        assert!(matches!(p, Pred::Cmp { op: CmpOp::Eq, .. }));
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let s = parse(
+            "select l_returnflag, sum(l_quantity) as sum_qty, count(*) as n \
+             from lineitem group by l_returnflag",
+        )
+        .unwrap();
+        assert_eq!(s.items.len(), 3);
+        assert!(matches!(
+            s.items[1].expr,
+            Expr::Agg {
+                func: AggFunc::Sum,
+                ..
+            }
+        ));
+        assert!(matches!(s.items[2].expr, Expr::Agg { func: AggFunc::Count, arg: None }));
+        assert_eq!(s.group_by.len(), 1);
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let s = parse("select a + b * c from t").unwrap();
+        match &s.items[0].expr {
+            Expr::Arith {
+                op: ArithOp::Add,
+                right,
+                ..
+            } => {
+                assert!(matches!(**right, Expr::Arith { op: ArithOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesised_expression() {
+        let s = parse("select (a + b) * c from t").unwrap();
+        match &s.items[0].expr {
+            Expr::Arith { op: ArithOp::Mul, left, .. } => {
+                assert!(matches!(**left, Expr::Arith { op: ArithOp::Add, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_and_dates() {
+        let s = parse(
+            "select l_extendedprice from lineitem \
+             where l_shipdate between date '1994-01-01' and date '1994-12-31'",
+        )
+        .unwrap();
+        match s.where_clause.unwrap() {
+            Pred::Between { lo, hi, .. } => {
+                assert!(matches!(lo, Expr::Date(_)));
+                assert!(matches!(hi, Expr::Date(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn joins_fold_into_where() {
+        let s = parse(
+            "select o_orderdate from orders join customer on o_custkey = c_custkey \
+             where c_mktsegment = 'BUILDING'",
+        )
+        .unwrap();
+        assert_eq!(s.from.len(), 2);
+        let w = s.where_clause.unwrap();
+        assert_eq!(w.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn comma_join_and_qualified_columns() {
+        let s = parse("select o.o_orderkey from orders o, lineitem l where o.o_orderkey = l.l_orderkey").unwrap();
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.from[0].effective_name(), "o");
+        match &s.items[0].expr {
+            Expr::Column { table, name } => {
+                assert_eq!(table.as_deref(), Some("o"));
+                assert_eq!(name, "o_orderkey");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let s = parse("select a from t order by a desc, b limit 10").unwrap();
+        assert_eq!(s.order_by.len(), 2);
+        assert!(s.order_by[0].desc);
+        assert!(!s.order_by[1].desc);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn or_and_not_predicates() {
+        let s = parse("select a from t where not (a = 1 or b = 2) and c = 3").unwrap();
+        let w = s.where_clause.unwrap();
+        let cs = w.conjuncts();
+        assert_eq!(cs.len(), 2);
+        assert!(matches!(cs[0], Pred::Not(_)));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("select a from t garbage garbage garbage").is_err());
+        assert!(parse("select from t").is_err());
+        assert!(parse("select a").is_err());
+    }
+
+    #[test]
+    fn unary_minus() {
+        let s = parse("select a from t where b = -5").unwrap();
+        match s.where_clause.unwrap() {
+            Pred::Cmp { right: Expr::Int(-5), .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

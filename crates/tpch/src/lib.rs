@@ -1,0 +1,18 @@
+//! # stetho-tpch — a deterministic, scaled-down TPC-H data generator
+//!
+//! The paper demos Stethoscope "while analyzing long running TPC-H
+//! queries" (§5), and its Figure-1 example query runs over the TPC-H
+//! `lineitem` table. This crate is our `dbgen` substitute: it fills a
+//! [`stetho_engine::Catalog`] with the TPC-H schema at a fractional scale
+//! factor, using a fixed-seed RNG so every run (and every benchmark) sees
+//! identical data.
+//!
+//! Cardinalities follow the TPC-H ratios: at scale factor `sf`,
+//! `lineitem` has ≈ 6,000,000 × sf rows, `orders` 1,500,000 × sf, and so
+//! on. The [`queries`] module provides the SQL texts used by examples,
+//! tests and benchmarks (Q1/Q3/Q6-style plus the paper's Figure-1 query).
+
+pub mod gen;
+pub mod queries;
+
+pub use gen::{generate_catalog, TpchConfig};

@@ -1,0 +1,223 @@
+//! Deterministic animation engine.
+//!
+//! The paper demos "animation effects such as change of zoom level,
+//! color, and transition time between highlights of nodes" (§5). This
+//! module provides those as time-parameterised animations driven by an
+//! explicit clock — `step(dt)` advances everything — so animation
+//! behaviour is reproducible in tests and benchmarks.
+
+use crate::camera::Camera;
+use crate::glyph::{Color, GlyphId};
+use crate::space::VirtualSpace;
+
+/// Easing functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Easing {
+    /// Constant-velocity.
+    Linear,
+    /// Slow-in / slow-out (smoothstep).
+    EaseInOut,
+}
+
+impl Easing {
+    /// Map linear progress `t ∈ [0,1]` to eased progress.
+    pub fn apply(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        match self {
+            Easing::Linear => t,
+            Easing::EaseInOut => t * t * (3.0 - 2.0 * t),
+        }
+    }
+}
+
+/// A camera slide (pan + zoom transition).
+#[derive(Debug, Clone)]
+pub struct CameraSlide {
+    from: (f64, f64, f64),
+    to: (f64, f64, f64),
+    duration_ms: f64,
+    elapsed_ms: f64,
+    easing: Easing,
+}
+
+impl CameraSlide {
+    /// Slide `camera`'s current pose to `(cx, cy, altitude)` over
+    /// `duration_ms`.
+    pub fn new(camera: &Camera, to: (f64, f64, f64), duration_ms: f64, easing: Easing) -> Self {
+        CameraSlide {
+            from: (camera.cx, camera.cy, camera.altitude),
+            to,
+            duration_ms: duration_ms.max(1e-9),
+            elapsed_ms: 0.0,
+            easing,
+        }
+    }
+
+    /// Advance by `dt_ms`, writing the interpolated pose into `camera`.
+    /// Returns true while still running.
+    pub fn step(&mut self, dt_ms: f64, camera: &mut Camera) -> bool {
+        self.elapsed_ms += dt_ms;
+        let t = self.easing.apply(self.elapsed_ms / self.duration_ms);
+        camera.cx = self.from.0 + (self.to.0 - self.from.0) * t;
+        camera.cy = self.from.1 + (self.to.1 - self.from.1) * t;
+        camera.altitude = self.from.2 + (self.to.2 - self.from.2) * t;
+        self.elapsed_ms < self.duration_ms
+    }
+}
+
+/// A glyph color fade (used for highlight transitions and the §6
+/// gradient-coloring extension).
+#[derive(Debug, Clone)]
+pub struct ColorFade {
+    /// Target glyph.
+    pub glyph: GlyphId,
+    from: Color,
+    to: Color,
+    duration_ms: f64,
+    elapsed_ms: f64,
+}
+
+impl ColorFade {
+    /// Fade `glyph` from its current color to `to` over `duration_ms`.
+    pub fn new(space: &VirtualSpace, glyph: GlyphId, to: Color, duration_ms: f64) -> Self {
+        ColorFade {
+            glyph,
+            from: space.glyph(glyph).color,
+            to,
+            duration_ms: duration_ms.max(1e-9),
+            elapsed_ms: 0.0,
+        }
+    }
+
+    /// Advance; writes the interpolated color. Returns true while
+    /// running.
+    pub fn step(&mut self, dt_ms: f64, space: &mut VirtualSpace) -> bool {
+        self.elapsed_ms += dt_ms;
+        let t = (self.elapsed_ms / self.duration_ms).clamp(0.0, 1.0);
+        space.glyph_mut(self.glyph).color = Color::lerp(self.from, self.to, t);
+        self.elapsed_ms < self.duration_ms
+    }
+}
+
+/// Drives a set of animations against one camera and one space.
+#[derive(Default)]
+pub struct Animator {
+    slides: Vec<CameraSlide>,
+    fades: Vec<ColorFade>,
+    /// Total animation steps performed (for stats).
+    pub steps: u64,
+}
+
+impl Animator {
+    /// Empty animator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a camera slide.
+    pub fn add_slide(&mut self, s: CameraSlide) {
+        self.slides.push(s);
+    }
+
+    /// Queue a color fade; an existing fade on the same glyph is
+    /// replaced (latest state change wins).
+    pub fn add_fade(&mut self, f: ColorFade) {
+        self.fades.retain(|x| x.glyph != f.glyph);
+        self.fades.push(f);
+    }
+
+    /// True while any animation is live.
+    pub fn busy(&self) -> bool {
+        !self.slides.is_empty() || !self.fades.is_empty()
+    }
+
+    /// Advance all animations by `dt_ms`.
+    pub fn step(&mut self, dt_ms: f64, camera: &mut Camera, space: &mut VirtualSpace) {
+        self.steps += 1;
+        self.slides.retain_mut(|s| s.step(dt_ms, camera));
+        self.fades.retain_mut(|f| f.step(dt_ms, space));
+    }
+
+    /// Run everything to completion with a fixed tick.
+    pub fn run_to_idle(&mut self, tick_ms: f64, camera: &mut Camera, space: &mut VirtualSpace) {
+        while self.busy() {
+            self.step(tick_ms, camera, space);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glyph::GlyphKind;
+
+    fn space_with_one_shape() -> (VirtualSpace, GlyphId) {
+        let mut s = VirtualSpace::new();
+        let id = s.add(GlyphKind::Shape { w: 10.0, h: 10.0 }, 0.0, 0.0, Color::DEFAULT_FILL);
+        (s, id)
+    }
+
+    #[test]
+    fn easing_endpoints() {
+        for e in [Easing::Linear, Easing::EaseInOut] {
+            assert_eq!(e.apply(0.0), 0.0);
+            assert_eq!(e.apply(1.0), 1.0);
+        }
+        assert_eq!(Easing::EaseInOut.apply(0.5), 0.5);
+        assert!(Easing::EaseInOut.apply(0.25) < 0.25, "slow start");
+    }
+
+    #[test]
+    fn camera_slide_reaches_target() {
+        let mut cam = Camera::at(0.0, 0.0, 100.0);
+        let mut slide = CameraSlide::new(&cam, (50.0, 20.0, 0.0), 100.0, Easing::Linear);
+        let mut running = true;
+        while running {
+            running = slide.step(10.0, &mut cam);
+        }
+        assert!((cam.cx - 50.0).abs() < 1e-9);
+        assert!((cam.cy - 20.0).abs() < 1e-9);
+        assert!(cam.altitude.abs() < 1e-9);
+    }
+
+    #[test]
+    fn slide_midpoint_linear() {
+        let mut cam = Camera::at(0.0, 0.0, 0.0);
+        let mut slide = CameraSlide::new(&cam, (100.0, 0.0, 0.0), 100.0, Easing::Linear);
+        slide.step(50.0, &mut cam);
+        assert!((cam.cx - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn color_fade_reaches_target() {
+        let (mut space, id) = space_with_one_shape();
+        let mut fade = ColorFade::new(&space, id, Color::RED, 150.0);
+        while fade.step(25.0, &mut space) {}
+        assert_eq!(space.glyph(id).color, Color::RED);
+    }
+
+    #[test]
+    fn animator_drains() {
+        let (mut space, id) = space_with_one_shape();
+        let mut cam = Camera::default();
+        let mut a = Animator::new();
+        a.add_slide(CameraSlide::new(&cam, (10.0, 10.0, 50.0), 80.0, Easing::EaseInOut));
+        a.add_fade(ColorFade::new(&space, id, Color::GREEN, 40.0));
+        assert!(a.busy());
+        a.run_to_idle(16.0, &mut cam, &mut space);
+        assert!(!a.busy());
+        assert_eq!(space.glyph(id).color, Color::GREEN);
+        assert!((cam.cx - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newer_fade_replaces_older_on_same_glyph() {
+        let (mut space, id) = space_with_one_shape();
+        let mut cam = Camera::default();
+        let mut a = Animator::new();
+        a.add_fade(ColorFade::new(&space, id, Color::RED, 1000.0));
+        a.add_fade(ColorFade::new(&space, id, Color::GREEN, 20.0));
+        a.run_to_idle(10.0, &mut cam, &mut space);
+        assert_eq!(space.glyph(id).color, Color::GREEN);
+    }
+}

@@ -1,0 +1,197 @@
+//! Cameras — "a camera object, which shows different views at different
+//! zoom levels, in a virtual space" (§3.1).
+//!
+//! ZVTM cameras use an *altitude* model: the camera hovers over the
+//! virtual space; higher altitude = more of the space visible at smaller
+//! scale. `scale = focal / (focal + altitude)`.
+
+/// A camera over a virtual space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Camera {
+    /// World x the camera is centred on.
+    pub cx: f64,
+    /// World y the camera is centred on.
+    pub cy: f64,
+    /// Height above the canvas; 0 = 1:1 scale.
+    pub altitude: f64,
+    /// Focal length (fixed per camera).
+    pub focal: f64,
+}
+
+impl Default for Camera {
+    fn default() -> Self {
+        Camera {
+            cx: 0.0,
+            cy: 0.0,
+            altitude: 0.0,
+            focal: 100.0,
+        }
+    }
+}
+
+impl Camera {
+    /// Camera centred on a point at an altitude.
+    pub fn at(cx: f64, cy: f64, altitude: f64) -> Self {
+        Camera {
+            cx,
+            cy,
+            altitude,
+            ..Default::default()
+        }
+    }
+
+    /// Current projection scale.
+    pub fn scale(&self) -> f64 {
+        self.focal / (self.focal + self.altitude.max(0.0))
+    }
+
+    /// World → screen, given the viewport size.
+    pub fn project(&self, wx: f64, wy: f64, vw: f64, vh: f64) -> (f64, f64) {
+        let s = self.scale();
+        ((wx - self.cx) * s + vw / 2.0, (wy - self.cy) * s + vh / 2.0)
+    }
+
+    /// Screen → world (inverse of [`Self::project`]).
+    pub fn unproject(&self, sx: f64, sy: f64, vw: f64, vh: f64) -> (f64, f64) {
+        let s = self.scale();
+        ((sx - vw / 2.0) / s + self.cx, (sy - vh / 2.0) / s + self.cy)
+    }
+
+    /// World rectangle visible in the viewport: `(x0, y0, x1, y1)`.
+    pub fn visible_region(&self, vw: f64, vh: f64) -> (f64, f64, f64, f64) {
+        let (x0, y0) = self.unproject(0.0, 0.0, vw, vh);
+        let (x1, y1) = self.unproject(vw, vh, vw, vh);
+        (x0, y0, x1, y1)
+    }
+
+    /// Pan by a world-space delta.
+    pub fn pan(&mut self, dx: f64, dy: f64) {
+        self.cx += dx;
+        self.cy += dy;
+    }
+
+    /// Multiply altitude (mouse-wheel zoom); factor < 1 zooms in. The
+    /// floor of 1.0 lets repeated zoom-outs escape altitude 0.
+    pub fn zoom(&mut self, factor: f64) {
+        self.altitude = (self.altitude.max(1.0) * factor).max(0.0);
+        if self.altitude < 0.01 {
+            self.altitude = 0.0;
+        }
+    }
+
+    /// Zoom keeping the world point under the given screen position fixed
+    /// (scroll-wheel-at-cursor behaviour).
+    pub fn zoom_at(&mut self, factor: f64, sx: f64, sy: f64, vw: f64, vh: f64) {
+        let (wx, wy) = self.unproject(sx, sy, vw, vh);
+        self.zoom(factor);
+        let (nx, ny) = self.unproject(sx, sy, vw, vh);
+        self.cx += wx - nx;
+        self.cy += wy - ny;
+    }
+
+    /// Position the camera so the world rect fits the viewport with a
+    /// margin factor (e.g. 1.05 = 5% slack).
+    pub fn fit(&mut self, bounds: (f64, f64, f64, f64), vw: f64, vh: f64, margin: f64) {
+        let (x0, y0, x1, y1) = bounds;
+        self.cx = (x0 + x1) / 2.0;
+        self.cy = (y0 + y1) / 2.0;
+        let w = (x1 - x0).max(1e-9) * margin;
+        let h = (y1 - y0).max(1e-9) * margin;
+        let need_scale = (vw / w).min(vh / h);
+        // scale = focal/(focal+alt)  ⇒  alt = focal (1/scale − 1).
+        self.altitude = if need_scale >= 1.0 {
+            0.0
+        } else {
+            self.focal * (1.0 / need_scale - 1.0)
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_at_zero_altitude_is_one() {
+        let c = Camera::default();
+        assert_eq!(c.scale(), 1.0);
+    }
+
+    #[test]
+    fn higher_altitude_shrinks() {
+        let mut c = Camera::at(0.0, 0.0, 100.0);
+        assert!((c.scale() - 0.5).abs() < 1e-12);
+        c.altitude = 300.0;
+        assert!((c.scale() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_unproject_inverse() {
+        let c = Camera::at(37.0, -12.0, 140.0);
+        for &(x, y) in &[(0.0, 0.0), (100.0, 50.0), (-30.0, 999.0)] {
+            let (sx, sy) = c.project(x, y, 800.0, 600.0);
+            let (bx, by) = c.unproject(sx, sy, 800.0, 600.0);
+            assert!((bx - x).abs() < 1e-9 && (by - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn centre_projects_to_viewport_centre() {
+        let c = Camera::at(10.0, 20.0, 50.0);
+        assert_eq!(c.project(10.0, 20.0, 640.0, 480.0), (320.0, 240.0));
+    }
+
+    #[test]
+    fn visible_region_grows_with_altitude() {
+        let low = Camera::at(0.0, 0.0, 0.0).visible_region(100.0, 100.0);
+        let high = Camera::at(0.0, 0.0, 300.0).visible_region(100.0, 100.0);
+        let area = |r: (f64, f64, f64, f64)| (r.2 - r.0) * (r.3 - r.1);
+        assert!(area(high) > area(low) * 10.0);
+    }
+
+    #[test]
+    fn fit_makes_bounds_visible() {
+        let mut c = Camera::default();
+        c.fit((0.0, 0.0, 2000.0, 1000.0), 800.0, 600.0, 1.05);
+        let r = c.visible_region(800.0, 600.0);
+        assert!(r.0 <= 0.0 && r.1 <= 0.0 && r.2 >= 2000.0 && r.3 >= 1000.0);
+    }
+
+    #[test]
+    fn fit_small_scene_keeps_scale_one() {
+        let mut c = Camera::default();
+        c.fit((0.0, 0.0, 100.0, 100.0), 800.0, 600.0, 1.0);
+        assert_eq!(c.altitude, 0.0);
+        assert_eq!((c.cx, c.cy), (50.0, 50.0));
+    }
+
+    #[test]
+    fn zoom_at_keeps_cursor_point_fixed() {
+        let mut c = Camera::at(0.0, 0.0, 200.0);
+        let (vw, vh) = (800.0, 600.0);
+        let (sx, sy) = (100.0, 450.0);
+        let before = c.unproject(sx, sy, vw, vh);
+        c.zoom_at(0.5, sx, sy, vw, vh);
+        let after = c.unproject(sx, sy, vw, vh);
+        assert!((before.0 - after.0).abs() < 1e-9);
+        assert!((before.1 - after.1).abs() < 1e-9);
+        assert!(c.altitude < 200.0);
+    }
+
+    #[test]
+    fn pan_moves_centre() {
+        let mut c = Camera::default();
+        c.pan(10.0, -5.0);
+        assert_eq!((c.cx, c.cy), (10.0, -5.0));
+    }
+
+    #[test]
+    fn altitude_never_negative() {
+        let mut c = Camera::at(0.0, 0.0, 1.0);
+        for _ in 0..100 {
+            c.zoom(0.5);
+        }
+        assert!(c.altitude >= 0.0);
+        assert!(c.scale() <= 1.0);
+    }
+}

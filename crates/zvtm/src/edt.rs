@@ -1,0 +1,261 @@
+//! The Event-Dispatch-Thread queue.
+//!
+//! "Coloring graph nodes in an online stream is a complex task due to
+//! rendering limitations from the Java system. The Stethoscope uses the
+//! Java Event Dispatch thread queuing framework for queuing up nodes to
+//! render. This introduces a delay of up-to 150ms between rendering of
+//! consecutive nodes." (§4.2.1)
+//!
+//! We reproduce this as an explicit queue with a configurable pacing
+//! interval (default 150 ms) driven by a virtual clock: recolor requests
+//! are enqueued as they arrive from the trace stream; [`advance`] hands
+//! back the operations the "render thread" is allowed to perform by the
+//! given time. Optional coalescing (replacing a queued recolor of the
+//! same glyph by the newest request) is the ablation knob the
+//! `ablate_edt_coalescing` bench measures.
+//!
+//! [`advance`]: EventDispatchThread::advance
+
+use std::collections::VecDeque;
+
+use crate::glyph::{Color, GlyphId};
+use crate::space::VirtualSpace;
+
+/// A queued recolor request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderOp {
+    /// Glyph to recolor.
+    pub glyph: GlyphId,
+    /// New color.
+    pub color: Color,
+    /// Virtual time (ms) the request was enqueued.
+    pub enqueued_at: u64,
+}
+
+/// A dispatched operation with its dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dispatched {
+    /// The operation.
+    pub op: RenderOp,
+    /// Virtual time (ms) it was rendered.
+    pub at: u64,
+}
+
+/// Queue statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdtStats {
+    /// Requests enqueued.
+    pub enqueued: u64,
+    /// Operations actually rendered.
+    pub dispatched: u64,
+    /// Requests absorbed by coalescing.
+    pub coalesced: u64,
+    /// Peak queue depth.
+    pub max_queue: usize,
+}
+
+/// The paced render queue.
+#[derive(Debug)]
+pub struct EventDispatchThread {
+    queue: VecDeque<RenderOp>,
+    /// Minimum ms between consecutive dispatches (paper: up to 150).
+    pub pacing_ms: u64,
+    /// Replace queued ops targeting the same glyph instead of appending.
+    pub coalesce: bool,
+    next_allowed: Option<u64>,
+    /// Counters.
+    pub stats: EdtStats,
+}
+
+/// The paper's reported pacing limit.
+pub const PAPER_PACING_MS: u64 = 150;
+
+impl EventDispatchThread {
+    /// Queue with the given pacing; coalescing off (faithful baseline).
+    pub fn new(pacing_ms: u64) -> Self {
+        EventDispatchThread {
+            queue: VecDeque::new(),
+            pacing_ms,
+            coalesce: false,
+            next_allowed: None,
+            stats: EdtStats::default(),
+        }
+    }
+
+    /// The paper's configuration: 150 ms pacing.
+    pub fn paper_default() -> Self {
+        Self::new(PAPER_PACING_MS)
+    }
+
+    /// Enqueue a recolor request at virtual time `now`.
+    pub fn enqueue(&mut self, glyph: GlyphId, color: Color, now: u64) {
+        self.stats.enqueued += 1;
+        if self.coalesce {
+            if let Some(slot) = self.queue.iter_mut().find(|op| op.glyph == glyph) {
+                slot.color = color;
+                slot.enqueued_at = now;
+                self.stats.coalesced += 1;
+                return;
+            }
+        }
+        self.queue.push_back(RenderOp {
+            glyph,
+            color,
+            enqueued_at: now,
+        });
+        self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
+    }
+
+    /// Pending request count.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Dispatch every operation the pacing allows by time `now`.
+    pub fn advance(&mut self, now: u64) -> Vec<Dispatched> {
+        let mut out = Vec::new();
+        while let Some(front) = self.queue.front() {
+            // An op cannot render before it was enqueued.
+            let earliest = self.next_allowed.unwrap_or(0).max(front.enqueued_at);
+            if earliest > now {
+                break;
+            }
+            let op = self.queue.pop_front().expect("front checked");
+            out.push(Dispatched { op, at: earliest });
+            self.stats.dispatched += 1;
+            self.next_allowed = Some(earliest + self.pacing_ms);
+        }
+        out
+    }
+
+    /// Advance and apply the dispatched colors to a virtual space.
+    pub fn advance_into(&mut self, now: u64, space: &mut VirtualSpace) -> Vec<Dispatched> {
+        let ops = self.advance(now);
+        for d in &ops {
+            space.glyph_mut(d.op.glyph).color = d.op.color;
+        }
+        ops
+    }
+
+    /// Drain everything regardless of time (used on session teardown);
+    /// pacing gaps are still recorded between ops.
+    pub fn flush(&mut self) -> Vec<Dispatched> {
+        self.advance(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: usize) -> GlyphId {
+        GlyphId(i)
+    }
+
+    #[test]
+    fn dispatches_respect_pacing() {
+        let mut edt = EventDispatchThread::new(150);
+        for i in 0..5 {
+            edt.enqueue(g(i), Color::RED, 0);
+        }
+        let ops = edt.advance(10_000);
+        assert_eq!(ops.len(), 5);
+        for pair in ops.windows(2) {
+            assert!(
+                pair[1].at - pair[0].at >= 150,
+                "dispatch gap {} < pacing",
+                pair[1].at - pair[0].at
+            );
+        }
+    }
+
+    #[test]
+    fn nothing_dispatches_before_time() {
+        let mut edt = EventDispatchThread::new(150);
+        edt.enqueue(g(0), Color::RED, 0);
+        edt.enqueue(g(1), Color::RED, 0);
+        let ops = edt.advance(0);
+        assert_eq!(ops.len(), 1, "first op renders immediately");
+        let ops = edt.advance(149);
+        assert!(ops.is_empty(), "second must wait out the pacing");
+        let ops = edt.advance(150);
+        assert_eq!(ops.len(), 1);
+    }
+
+    #[test]
+    fn op_never_renders_before_enqueue_time() {
+        let mut edt = EventDispatchThread::new(10);
+        edt.enqueue(g(0), Color::RED, 500);
+        let ops = edt.advance(400);
+        assert!(ops.is_empty());
+        let ops = edt.advance(500);
+        assert_eq!(ops[0].at, 500);
+    }
+
+    #[test]
+    fn zero_pacing_dispatches_all_at_once() {
+        let mut edt = EventDispatchThread::new(0);
+        for i in 0..100 {
+            edt.enqueue(g(i), Color::GREEN, 0);
+        }
+        assert_eq!(edt.advance(0).len(), 100);
+    }
+
+    #[test]
+    fn coalescing_merges_same_glyph() {
+        let mut edt = EventDispatchThread::new(150);
+        edt.coalesce = true;
+        edt.enqueue(g(7), Color::RED, 0);
+        edt.enqueue(g(7), Color::GREEN, 1);
+        edt.enqueue(g(8), Color::RED, 2);
+        assert_eq!(edt.backlog(), 2);
+        let ops = edt.advance(10_000);
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].op.color, Color::GREEN, "newest color wins");
+        assert_eq!(edt.stats.coalesced, 1);
+    }
+
+    #[test]
+    fn without_coalescing_all_ops_render() {
+        let mut edt = EventDispatchThread::new(150);
+        edt.enqueue(g(7), Color::RED, 0);
+        edt.enqueue(g(7), Color::GREEN, 1);
+        assert_eq!(edt.advance(10_000).len(), 2);
+    }
+
+    #[test]
+    fn stats_track_queue_behaviour() {
+        let mut edt = EventDispatchThread::new(150);
+        for i in 0..4 {
+            edt.enqueue(g(i), Color::RED, 0);
+        }
+        assert_eq!(edt.stats.enqueued, 4);
+        assert_eq!(edt.stats.max_queue, 4);
+        edt.advance(u64::MAX - 1000);
+        assert_eq!(edt.stats.dispatched, 4);
+    }
+
+    #[test]
+    fn advance_into_applies_colors() {
+        use crate::glyph::GlyphKind;
+        let mut space = VirtualSpace::new();
+        let id = space.add(GlyphKind::Shape { w: 1.0, h: 1.0 }, 0.0, 0.0, Color::DEFAULT_FILL);
+        let mut edt = EventDispatchThread::new(0);
+        edt.enqueue(id, Color::RED, 0);
+        edt.advance_into(0, &mut space);
+        assert_eq!(space.glyph(id).color, Color::RED);
+    }
+
+    #[test]
+    fn backlog_grows_when_stream_outruns_pacing() {
+        // The situation §4.2 describes: a fast trace stream against a
+        // 150ms render limit — the queue must absorb the burst.
+        let mut edt = EventDispatchThread::paper_default();
+        // 100 events arriving 1ms apart.
+        for i in 0..100u64 {
+            edt.enqueue(g(i as usize), Color::RED, i);
+            edt.advance(i);
+        }
+        assert!(edt.backlog() > 90, "backlog {}", edt.backlog());
+    }
+}

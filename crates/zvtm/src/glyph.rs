@@ -1,0 +1,185 @@
+//! Glyphs — ZVTM's fundamental graphical objects.
+//!
+//! "Glyph is a structure representing a fundamental graphical object in
+//! ZGrviewer. For example, consider a two node graph, with one undirected
+//! edge between them. ... ZGrviewer maintains following objects, shape
+//! (two objects), text (two objects), and edge (one object)." (§3.1)
+
+/// RGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Color {
+    /// Red.
+    pub r: u8,
+    /// Green.
+    pub g: u8,
+    /// Blue.
+    pub b: u8,
+}
+
+impl Color {
+    /// Construct from components.
+    pub const fn rgb(r: u8, g: u8, b: u8) -> Self {
+        Color { r, g, b }
+    }
+
+    /// The default node fill.
+    pub const DEFAULT_FILL: Color = Color::rgb(0xf0, 0xf0, 0xf0);
+    /// Executing (`start` seen): RED (§4.2.1).
+    pub const RED: Color = Color::rgb(0xd0, 0x20, 0x20);
+    /// Finished (`done` seen): GREEN (§4.2.1).
+    pub const GREEN: Color = Color::rgb(0x20, 0xa0, 0x20);
+    /// Edge stroke.
+    pub const EDGE: Color = Color::rgb(0x55, 0x55, 0x55);
+    /// White background.
+    pub const WHITE: Color = Color::rgb(0xff, 0xff, 0xff);
+    /// Black text.
+    pub const BLACK: Color = Color::rgb(0x00, 0x00, 0x00);
+
+    /// Linear interpolation between two colors (`t` in 0..=1).
+    pub fn lerp(a: Color, b: Color, t: f64) -> Color {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |x: u8, y: u8| (x as f64 + (y as f64 - x as f64) * t).round() as u8;
+        Color::rgb(mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b))
+    }
+
+    /// CSS hex rendering.
+    pub fn css(&self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+}
+
+/// Identifier of a glyph inside one virtual space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlyphId(pub usize);
+
+/// What kind of graphical object a glyph is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlyphKind {
+    /// Rectangular shape glyph (graph node box). `x`,`y` is the centre.
+    Shape {
+        /// Width.
+        w: f64,
+        /// Height.
+        h: f64,
+    },
+    /// Text glyph anchored at the centre.
+    Text {
+        /// The string.
+        content: String,
+    },
+    /// Edge glyph: polyline through the points (world coordinates).
+    Edge {
+        /// Bend points.
+        points: Vec<(f64, f64)>,
+    },
+}
+
+/// One glyph in a virtual space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Glyph {
+    /// Identity within the owning space.
+    pub id: GlyphId,
+    /// Kind and geometry.
+    pub kind: GlyphKind,
+    /// Anchor x (centre) — unused for edges.
+    pub x: f64,
+    /// Anchor y (centre) — unused for edges.
+    pub y: f64,
+    /// Fill/stroke color.
+    pub color: Color,
+    /// Hidden glyphs are skipped by rendering and hit testing.
+    pub visible: bool,
+}
+
+impl Glyph {
+    /// World-space bounding box `(min_x, min_y, max_x, max_y)`.
+    pub fn bounds(&self) -> (f64, f64, f64, f64) {
+        match &self.kind {
+            GlyphKind::Shape { w, h } => (
+                self.x - w / 2.0,
+                self.y - h / 2.0,
+                self.x + w / 2.0,
+                self.y + h / 2.0,
+            ),
+            GlyphKind::Text { content } => {
+                let w = content.len() as f64 * 7.0;
+                (self.x - w / 2.0, self.y - 6.0, self.x + w / 2.0, self.y + 6.0)
+            }
+            GlyphKind::Edge { points } => {
+                let mut b = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+                for &(x, y) in points {
+                    b.0 = b.0.min(x);
+                    b.1 = b.1.min(y);
+                    b.2 = b.2.max(x);
+                    b.3 = b.3.max(y);
+                }
+                b
+            }
+        }
+    }
+
+    /// Hit test in world coordinates (shapes only; text/edges don't
+    /// intercept clicks in ZGrviewer either).
+    pub fn contains(&self, px: f64, py: f64) -> bool {
+        match &self.kind {
+            GlyphKind::Shape { .. } => {
+                let (x0, y0, x1, y1) = self.bounds();
+                px >= x0 && px <= x1 && py >= y0 && py <= y1
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_lerp_endpoints_and_midpoint() {
+        assert_eq!(Color::lerp(Color::RED, Color::GREEN, 0.0), Color::RED);
+        assert_eq!(Color::lerp(Color::RED, Color::GREEN, 1.0), Color::GREEN);
+        let mid = Color::lerp(Color::rgb(0, 0, 0), Color::rgb(100, 200, 50), 0.5);
+        assert_eq!(mid, Color::rgb(50, 100, 25));
+        // Clamped outside the range.
+        assert_eq!(Color::lerp(Color::RED, Color::GREEN, 2.0), Color::GREEN);
+    }
+
+    #[test]
+    fn css_format() {
+        assert_eq!(Color::rgb(0xd0, 0x20, 0x20).css(), "#d02020");
+        assert_eq!(Color::WHITE.css(), "#ffffff");
+    }
+
+    #[test]
+    fn shape_bounds_and_hit() {
+        let g = Glyph {
+            id: GlyphId(0),
+            kind: GlyphKind::Shape { w: 40.0, h: 20.0 },
+            x: 100.0,
+            y: 50.0,
+            color: Color::DEFAULT_FILL,
+            visible: true,
+        };
+        assert_eq!(g.bounds(), (80.0, 40.0, 120.0, 60.0));
+        assert!(g.contains(100.0, 50.0));
+        assert!(g.contains(80.0, 40.0));
+        assert!(!g.contains(79.0, 50.0));
+    }
+
+    #[test]
+    fn edge_bounds() {
+        let g = Glyph {
+            id: GlyphId(1),
+            kind: GlyphKind::Edge {
+                points: vec![(0.0, 0.0), (10.0, 30.0), (-5.0, 15.0)],
+            },
+            x: 0.0,
+            y: 0.0,
+            color: Color::EDGE,
+            visible: true,
+        };
+        assert_eq!(g.bounds(), (-5.0, 0.0, 10.0, 30.0));
+        assert!(!g.contains(0.0, 0.0), "edges don't intercept clicks");
+    }
+}

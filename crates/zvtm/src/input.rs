@@ -1,0 +1,237 @@
+//! Keyboard/mouse navigation — "the zoom-able interface which allows
+//! keyboard and mouse scroll based navigation with zooming ability on
+//! individual nodes and edges in a graph" (§3.1).
+//!
+//! [`Navigator`] maps abstract input events onto camera operations using
+//! ZGrviewer-like bindings: arrow keys pan by a fraction of the visible
+//! region, Page-Up/Down zoom, Home fits the whole space, the mouse wheel
+//! zooms at the cursor, and dragging pans.
+
+use crate::camera::Camera;
+use crate::space::VirtualSpace;
+
+/// Keys the navigator understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Key {
+    /// Pan left.
+    Left,
+    /// Pan right.
+    Right,
+    /// Pan up.
+    Up,
+    /// Pan down.
+    Down,
+    /// Zoom in.
+    PageUp,
+    /// Zoom out.
+    PageDown,
+    /// Fit the whole virtual space.
+    Home,
+}
+
+/// One input event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InputEvent {
+    /// Key press.
+    Key(Key),
+    /// Mouse wheel at a screen position; positive delta zooms in.
+    Wheel {
+        /// Scroll steps (positive = towards the user = zoom in).
+        delta: f64,
+        /// Cursor screen x.
+        x: f64,
+        /// Cursor screen y.
+        y: f64,
+    },
+    /// Mouse drag by a screen-space delta (pans the canvas).
+    Drag {
+        /// Screen dx.
+        dx: f64,
+        /// Screen dy.
+        dy: f64,
+    },
+}
+
+/// Stateful input→camera mapper.
+#[derive(Debug, Clone)]
+pub struct Navigator {
+    /// Viewport width (pixels).
+    pub viewport_w: f64,
+    /// Viewport height (pixels).
+    pub viewport_h: f64,
+    /// Pan step as a fraction of the visible region (arrow keys).
+    pub pan_fraction: f64,
+    /// Zoom factor per wheel step / page key (applied to altitude).
+    pub zoom_step: f64,
+}
+
+impl Navigator {
+    /// Navigator for a viewport.
+    pub fn new(viewport_w: f64, viewport_h: f64) -> Self {
+        Navigator {
+            viewport_w,
+            viewport_h,
+            pan_fraction: 0.2,
+            zoom_step: 0.8,
+        }
+    }
+
+    /// Apply one event to the camera (and space, for Home/fit).
+    pub fn apply(&self, event: InputEvent, camera: &mut Camera, space: &VirtualSpace) {
+        match event {
+            InputEvent::Key(key) => {
+                let (x0, y0, x1, y1) = camera.visible_region(self.viewport_w, self.viewport_h);
+                let (dx, dy) = ((x1 - x0) * self.pan_fraction, (y1 - y0) * self.pan_fraction);
+                match key {
+                    Key::Left => camera.pan(-dx, 0.0),
+                    Key::Right => camera.pan(dx, 0.0),
+                    Key::Up => camera.pan(0.0, -dy),
+                    Key::Down => camera.pan(0.0, dy),
+                    Key::PageUp => camera.zoom(self.zoom_step),
+                    Key::PageDown => camera.zoom(1.0 / self.zoom_step),
+                    Key::Home => {
+                        if !space.is_empty() {
+                            camera.fit(space.bounds(), self.viewport_w, self.viewport_h, 1.05);
+                        }
+                    }
+                }
+            }
+            InputEvent::Wheel { delta, x, y } => {
+                if delta == 0.0 {
+                    return;
+                }
+                let factor = if delta > 0.0 {
+                    self.zoom_step.powf(delta)
+                } else {
+                    (1.0 / self.zoom_step).powf(-delta)
+                };
+                camera.zoom_at(factor, x, y, self.viewport_w, self.viewport_h);
+            }
+            InputEvent::Drag { dx, dy } => {
+                // Screen-space drag moves the world the opposite way.
+                let s = camera.scale();
+                camera.pan(-dx / s, -dy / s);
+            }
+        }
+    }
+
+    /// Apply a sequence of events.
+    pub fn apply_all(
+        &self,
+        events: impl IntoIterator<Item = InputEvent>,
+        camera: &mut Camera,
+        space: &VirtualSpace,
+    ) {
+        for e in events {
+            self.apply(e, camera, space);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glyph::{Color, GlyphKind};
+
+    fn space() -> VirtualSpace {
+        let mut s = VirtualSpace::new();
+        s.add(GlyphKind::Shape { w: 40.0, h: 20.0 }, 0.0, 0.0, Color::DEFAULT_FILL);
+        s.add(GlyphKind::Shape { w: 40.0, h: 20.0 }, 1000.0, 500.0, Color::DEFAULT_FILL);
+        s
+    }
+
+    #[test]
+    fn arrows_pan_proportionally() {
+        let nav = Navigator::new(800.0, 600.0);
+        let mut cam = Camera::at(0.0, 0.0, 100.0);
+        let space = space();
+        let cx0 = cam.cx;
+        nav.apply(InputEvent::Key(Key::Right), &mut cam, &space);
+        assert!(cam.cx > cx0);
+        let dx_zoomed_out = cam.cx - cx0;
+        // Zoomed out further, the same key pans a larger world distance.
+        let mut far = Camera::at(0.0, 0.0, 500.0);
+        nav.apply(InputEvent::Key(Key::Right), &mut far, &space);
+        assert!(far.cx > dx_zoomed_out);
+        // Opposite directions cancel.
+        nav.apply(InputEvent::Key(Key::Left), &mut cam, &space);
+        assert!((cam.cx - cx0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn page_keys_zoom() {
+        let nav = Navigator::new(800.0, 600.0);
+        let mut cam = Camera::at(0.0, 0.0, 100.0);
+        let space = space();
+        nav.apply(InputEvent::Key(Key::PageUp), &mut cam, &space);
+        assert!(cam.altitude < 100.0, "PageUp zooms in");
+        nav.apply(InputEvent::Key(Key::PageDown), &mut cam, &space);
+        nav.apply(InputEvent::Key(Key::PageDown), &mut cam, &space);
+        assert!(cam.altitude > 100.0, "PageDown zooms out");
+    }
+
+    #[test]
+    fn home_fits_everything() {
+        let nav = Navigator::new(800.0, 600.0);
+        let mut cam = Camera::at(-999.0, -999.0, 3.0);
+        let space = space();
+        nav.apply(InputEvent::Key(Key::Home), &mut cam, &space);
+        let r = cam.visible_region(800.0, 600.0);
+        let (x0, y0, x1, y1) = space.bounds();
+        assert!(r.0 <= x0 && r.1 <= y0 && r.2 >= x1 && r.3 >= y1);
+    }
+
+    #[test]
+    fn wheel_zooms_at_cursor() {
+        let nav = Navigator::new(800.0, 600.0);
+        let mut cam = Camera::at(0.0, 0.0, 200.0);
+        let space = space();
+        let before = cam.unproject(100.0, 100.0, 800.0, 600.0);
+        nav.apply(
+            InputEvent::Wheel {
+                delta: 2.0,
+                x: 100.0,
+                y: 100.0,
+            },
+            &mut cam,
+            &space,
+        );
+        let after = cam.unproject(100.0, 100.0, 800.0, 600.0);
+        assert!((before.0 - after.0).abs() < 1e-6, "cursor point pinned");
+        assert!(cam.altitude < 200.0);
+        // Zero delta is a no-op.
+        let alt = cam.altitude;
+        nav.apply(InputEvent::Wheel { delta: 0.0, x: 0.0, y: 0.0 }, &mut cam, &space);
+        assert_eq!(cam.altitude, alt);
+    }
+
+    #[test]
+    fn drag_pans_against_screen_motion() {
+        let nav = Navigator::new(800.0, 600.0);
+        let mut cam = Camera::at(0.0, 0.0, 0.0);
+        let space = space();
+        nav.apply(InputEvent::Drag { dx: 50.0, dy: -20.0 }, &mut cam, &space);
+        assert_eq!((cam.cx, cam.cy), (-50.0, 20.0));
+        // At half scale the same drag moves twice the world distance.
+        let mut far = Camera::at(0.0, 0.0, 100.0); // scale 0.5
+        nav.apply(InputEvent::Drag { dx: 50.0, dy: 0.0 }, &mut far, &space);
+        assert!((far.cx + 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_all_sequences() {
+        let nav = Navigator::new(800.0, 600.0);
+        let mut cam = Camera::at(0.0, 0.0, 100.0);
+        let space = space();
+        nav.apply_all(
+            [
+                InputEvent::Key(Key::Home),
+                InputEvent::Key(Key::PageUp),
+                InputEvent::Drag { dx: 10.0, dy: 10.0 },
+            ],
+            &mut cam,
+            &space,
+        );
+        assert!(cam.altitude > 0.0);
+    }
+}

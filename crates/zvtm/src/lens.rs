@@ -1,0 +1,118 @@
+//! Fisheye lens — one of ZGrviewer's "plethora of features such as set
+//! of lenses viz. fish eye lens, etc. for visual interaction with graph
+//! nodes" (§3.1).
+//!
+//! Implements the Sarkar–Brown graphical fisheye: points within the lens
+//! radius are pushed outward from the focus, magnifying the centre;
+//! points outside are untouched, and the mapping is continuous at the
+//! boundary.
+
+/// A graphical fisheye lens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FisheyeLens {
+    /// Focus x (world coordinates).
+    pub fx: f64,
+    /// Focus y.
+    pub fy: f64,
+    /// Lens radius.
+    pub radius: f64,
+    /// Distortion factor `d ≥ 0`; magnification at the focus is `d + 1`.
+    pub distortion: f64,
+}
+
+impl FisheyeLens {
+    /// Lens at a focus point.
+    pub fn new(fx: f64, fy: f64, radius: f64, distortion: f64) -> Self {
+        FisheyeLens {
+            fx,
+            fy,
+            radius: radius.max(1e-9),
+            distortion: distortion.max(0.0),
+        }
+    }
+
+    /// Transform a world point through the lens.
+    pub fn transform(&self, x: f64, y: f64) -> (f64, f64) {
+        let dx = x - self.fx;
+        let dy = y - self.fy;
+        let r = (dx * dx + dy * dy).sqrt();
+        if r >= self.radius || r == 0.0 {
+            return (x, y);
+        }
+        let norm = r / self.radius;
+        let g = ((self.distortion + 1.0) * norm) / (self.distortion * norm + 1.0);
+        let scale = g * self.radius / r;
+        (self.fx + dx * scale, self.fy + dy * scale)
+    }
+
+    /// Local magnification at the focus.
+    pub fn focus_magnification(&self) -> f64 {
+        self.distortion + 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn focus_is_fixed_point() {
+        let l = FisheyeLens::new(10.0, 20.0, 50.0, 3.0);
+        assert_eq!(l.transform(10.0, 20.0), (10.0, 20.0));
+    }
+
+    #[test]
+    fn outside_radius_unchanged() {
+        let l = FisheyeLens::new(0.0, 0.0, 10.0, 3.0);
+        assert_eq!(l.transform(20.0, 0.0), (20.0, 0.0));
+        assert_eq!(l.transform(0.0, -10.0), (0.0, -10.0));
+    }
+
+    #[test]
+    fn boundary_is_continuous() {
+        let l = FisheyeLens::new(0.0, 0.0, 10.0, 4.0);
+        let just_in = l.transform(9.999, 0.0);
+        assert!((just_in.0 - 9.999).abs() < 0.01, "continuous at boundary");
+    }
+
+    #[test]
+    fn interior_points_pushed_outward() {
+        let l = FisheyeLens::new(0.0, 0.0, 10.0, 3.0);
+        let (x, _) = l.transform(2.0, 0.0);
+        assert!(x > 2.0, "magnified outward, got {x}");
+        let (x2, _) = l.transform(5.0, 0.0);
+        assert!(x2 > 5.0 && x2 < 10.0);
+    }
+
+    #[test]
+    fn monotone_along_ray() {
+        let l = FisheyeLens::new(0.0, 0.0, 10.0, 5.0);
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let r = i as f64 * 0.1;
+            let (x, _) = l.transform(r, 0.0);
+            assert!(x > prev, "ordering must be preserved");
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn zero_distortion_is_identity() {
+        let l = FisheyeLens::new(0.0, 0.0, 10.0, 0.0);
+        for &(x, y) in &[(1.0, 1.0), (3.0, -2.0), (0.5, 0.1)] {
+            let (tx, ty) = l.transform(x, y);
+            assert!((tx - x).abs() < 1e-9 && (ty - y).abs() < 1e-9);
+        }
+        assert_eq!(l.focus_magnification(), 1.0);
+    }
+
+    #[test]
+    fn magnification_scales_with_distortion() {
+        let l = FisheyeLens::new(0.0, 0.0, 10.0, 3.0);
+        assert_eq!(l.focus_magnification(), 4.0);
+        // Near the focus the gradient approaches d+1.
+        let eps = 0.01;
+        let (x, _) = l.transform(eps, 0.0);
+        assert!((x / eps - 4.0).abs() < 0.05, "gradient {}", x / eps);
+    }
+}

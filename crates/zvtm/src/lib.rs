@@ -1,0 +1,42 @@
+//! # stetho-zvtm — a headless ZVTM/ZGrviewer substrate
+//!
+//! The original Stethoscope is built on ZGrviewer, "an open source tool
+//! from the ZVTM tool set which provides interactive navigation
+//! functionality in a graph structure ... the zoom-able interface which
+//! allows keyboard and mouse scroll based navigation with zooming ability
+//! on individual nodes and edges" (§3.1). ZVTM's model — *glyphs* in a
+//! *virtual space* viewed through *cameras* — is reproduced here exactly,
+//! minus Swing: rendering is headless (PPM pixel frames and SVG frames),
+//! which makes every visual behaviour testable and benchmarkable.
+//!
+//! * [`glyph`] — Glyph objects: shape, text and edge glyphs, one each per
+//!   graph element, exactly as §3.1 describes ZGrviewer's bookkeeping;
+//! * [`space`] — the VirtualSpace canvas holding glyphs;
+//! * [`camera`] — altitude-based zoom/pan cameras with projection math;
+//! * [`anim`] — deterministic animation engine (camera slides, color
+//!   fades, zoom transitions) driven by an explicit clock;
+//! * [`lens`] — the fisheye lens ZGrviewer ships;
+//! * [`edt`] — the Event-Dispatch-Thread queue: node recolor requests are
+//!   queued and dispatched with a configurable pacing delay, reproducing
+//!   the "delay of up-to 150ms between rendering of consecutive nodes"
+//!   limitation the paper reports (§4.2.1);
+//! * [`render`] — rasteriser (PPM) and SVG frame writer;
+//! * [`overview`] — the birds-eye view of plan and trace (§5).
+
+pub mod anim;
+pub mod camera;
+pub mod edt;
+pub mod glyph;
+pub mod input;
+pub mod lens;
+pub mod overview;
+pub mod render;
+pub mod space;
+
+pub use anim::{Animator, CameraSlide, ColorFade};
+pub use camera::Camera;
+pub use edt::{EventDispatchThread, RenderOp};
+pub use glyph::{Color, Glyph, GlyphId, GlyphKind};
+pub use input::{InputEvent, Key, Navigator};
+pub use lens::FisheyeLens;
+pub use space::VirtualSpace;

@@ -1,0 +1,316 @@
+//! Headless rendering: rasterise a virtual space through a camera into a
+//! pixel framebuffer (PPM), or emit an SVG frame. These are the
+//! "display window" outputs — Figure 4 of the paper rendered without a
+//! GUI toolkit.
+
+use std::fmt::Write as _;
+
+use crate::camera::Camera;
+use crate::glyph::{Color, GlyphKind};
+use crate::lens::FisheyeLens;
+use crate::space::VirtualSpace;
+
+/// An RGB framebuffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Framebuffer {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    pixels: Vec<Color>,
+}
+
+impl Framebuffer {
+    /// White canvas.
+    pub fn new(width: usize, height: usize) -> Self {
+        Framebuffer {
+            width,
+            height,
+            pixels: vec![Color::WHITE; width * height],
+        }
+    }
+
+    /// Pixel read.
+    pub fn get(&self, x: usize, y: usize) -> Color {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Pixel write (out-of-bounds writes are clipped).
+    pub fn set(&mut self, x: i64, y: i64, c: Color) {
+        if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+            self.pixels[y as usize * self.width + x as usize] = c;
+        }
+    }
+
+    /// Filled rectangle (clipped).
+    pub fn fill_rect(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, c: Color) {
+        for y in y0.max(0)..=y1.min(self.height as i64 - 1) {
+            for x in x0.max(0)..=x1.min(self.width as i64 - 1) {
+                self.set(x, y, c);
+            }
+        }
+    }
+
+    /// Bresenham line (clipped per pixel).
+    pub fn line(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, c: Color) {
+        let (mut x, mut y) = (x0, y0);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            self.set(x, y, c);
+            if x == x1 && y == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y += sy;
+            }
+        }
+    }
+
+    /// Count pixels of an exact color (test/analysis helper).
+    pub fn count_color(&self, c: Color) -> usize {
+        self.pixels.iter().filter(|&&p| p == c).count()
+    }
+
+    /// Encode as a plain-text PPM (P3).
+    pub fn to_ppm(&self) -> String {
+        let mut out = String::with_capacity(self.pixels.len() * 12 + 32);
+        let _ = writeln!(out, "P3\n{} {}\n255", self.width, self.height);
+        for (i, p) in self.pixels.iter().enumerate() {
+            let _ = write!(out, "{} {} {}", p.r, p.g, p.b);
+            out.push(if (i + 1) % self.width == 0 { '\n' } else { ' ' });
+        }
+        out
+    }
+}
+
+/// Renderer options.
+#[derive(Debug, Clone, Default)]
+pub struct RenderOptions {
+    /// Optional fisheye lens applied to world coordinates.
+    pub lens: Option<FisheyeLens>,
+    /// Skip text glyphs (they render as underlines in pixel output).
+    pub skip_text: bool,
+}
+
+/// Rasterise the space through the camera into a `width`×`height` frame.
+pub fn render(
+    space: &VirtualSpace,
+    camera: &Camera,
+    width: usize,
+    height: usize,
+    opts: &RenderOptions,
+) -> Framebuffer {
+    let mut fb = Framebuffer::new(width, height);
+    let (vw, vh) = (width as f64, height as f64);
+    let world_to_screen = |x: f64, y: f64| -> (i64, i64) {
+        let (lx, ly) = match &opts.lens {
+            Some(lens) => lens.transform(x, y),
+            None => (x, y),
+        };
+        let (sx, sy) = camera.project(lx, ly, vw, vh);
+        (sx.round() as i64, sy.round() as i64)
+    };
+    for g in space.glyphs() {
+        if !g.visible {
+            continue;
+        }
+        match &g.kind {
+            GlyphKind::Edge { points } => {
+                for w in points.windows(2) {
+                    let (x0, y0) = world_to_screen(w[0].0, w[0].1);
+                    let (x1, y1) = world_to_screen(w[1].0, w[1].1);
+                    fb.line(x0, y0, x1, y1, g.color);
+                }
+            }
+            GlyphKind::Shape { .. } => {
+                let (bx0, by0, bx1, by1) = g.bounds();
+                let (x0, y0) = world_to_screen(bx0, by0);
+                let (x1, y1) = world_to_screen(bx1, by1);
+                fb.fill_rect(x0, y0, x1, y1, g.color);
+                // Border — skipped when the box is so small (birds-eye
+                // zoom levels) that it would overdraw the fill entirely.
+                if x1 - x0 >= 3 && y1 - y0 >= 3 {
+                    fb.line(x0, y0, x1, y0, Color::BLACK);
+                    fb.line(x0, y1, x1, y1, Color::BLACK);
+                    fb.line(x0, y0, x0, y1, Color::BLACK);
+                    fb.line(x1, y0, x1, y1, Color::BLACK);
+                }
+            }
+            GlyphKind::Text { content } => {
+                if opts.skip_text {
+                    continue;
+                }
+                // Text renders as a baseline mark (headless stand-in).
+                let w = content.len() as f64 * 7.0;
+                let (x0, y) = world_to_screen(g.x - w / 2.0, g.y + 6.0);
+                let (x1, _) = world_to_screen(g.x + w / 2.0, g.y + 6.0);
+                fb.line(x0, y, x1, y, g.color);
+            }
+        }
+    }
+    fb
+}
+
+/// Emit an SVG frame of the whole space (camera-independent; the SVG
+/// viewer's viewBox does the zooming).
+pub fn render_svg_frame(space: &VirtualSpace) -> String {
+    let (x0, y0, x1, y1) = space.bounds();
+    let (w, h) = ((x1 - x0).max(1.0), (y1 - y0).max(1.0));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="{x0:.1} {y0:.1} {w:.1} {h:.1}">"#
+    );
+    for g in space.glyphs() {
+        if !g.visible {
+            continue;
+        }
+        match &g.kind {
+            GlyphKind::Edge { points } => {
+                let pts: Vec<String> = points
+                    .iter()
+                    .map(|(x, y)| format!("{x:.1},{y:.1}"))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    r#"  <polyline points="{}" fill="none" stroke="{}"/>"#,
+                    pts.join(" "),
+                    g.color.css()
+                );
+            }
+            GlyphKind::Shape { w, h } => {
+                let _ = writeln!(
+                    out,
+                    r#"  <rect x="{:.1}" y="{:.1}" width="{w:.1}" height="{h:.1}" fill="{}" stroke="black"/>"#,
+                    g.x - w / 2.0,
+                    g.y - h / 2.0,
+                    g.color.css()
+                );
+            }
+            GlyphKind::Text { content } => {
+                let body = content
+                    .replace('&', "&amp;")
+                    .replace('<', "&lt;")
+                    .replace('>', "&gt;");
+                let _ = writeln!(
+                    out,
+                    r#"  <text x="{:.1}" y="{:.1}" text-anchor="middle" font-size="11">{}</text>"#,
+                    g.x,
+                    g.y + 4.0,
+                    body
+                );
+            }
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glyph::GlyphKind;
+
+    fn demo_space() -> VirtualSpace {
+        let mut s = VirtualSpace::new();
+        s.add(
+            GlyphKind::Edge {
+                points: vec![(50.0, 20.0), (50.0, 80.0)],
+            },
+            0.0,
+            0.0,
+            Color::EDGE,
+        );
+        s.add(GlyphKind::Shape { w: 40.0, h: 20.0 }, 50.0, 20.0, Color::RED);
+        s.add(GlyphKind::Shape { w: 40.0, h: 20.0 }, 50.0, 80.0, Color::GREEN);
+        s
+    }
+
+    #[test]
+    fn shapes_rasterise_with_their_colors() {
+        let space = demo_space();
+        let mut cam = Camera::default();
+        cam.fit(space.bounds(), 100.0, 100.0, 1.0);
+        let fb = render(&space, &cam, 100, 100, &RenderOptions::default());
+        assert!(fb.count_color(Color::RED) > 100);
+        assert!(fb.count_color(Color::GREEN) > 100);
+        assert!(fb.count_color(Color::WHITE) > 1000);
+    }
+
+    #[test]
+    fn zooming_out_shrinks_coverage() {
+        let space = demo_space();
+        let mut near = Camera::default();
+        near.fit(space.bounds(), 100.0, 100.0, 1.0);
+        let mut far = near.clone();
+        far.altitude = (far.altitude + 1.0) * 8.0;
+        let fb_near = render(&space, &near, 100, 100, &RenderOptions::default());
+        let fb_far = render(&space, &far, 100, 100, &RenderOptions::default());
+        assert!(fb_far.count_color(Color::RED) < fb_near.count_color(Color::RED));
+    }
+
+    #[test]
+    fn invisible_glyphs_not_drawn() {
+        let mut space = demo_space();
+        let id = space.glyphs()[1].id;
+        space.glyph_mut(id).visible = false;
+        let mut cam = Camera::default();
+        cam.fit(space.bounds(), 100.0, 100.0, 1.0);
+        let fb = render(&space, &cam, 100, 100, &RenderOptions::default());
+        assert_eq!(fb.count_color(Color::RED), 0);
+    }
+
+    #[test]
+    fn ppm_encoding_wellformed() {
+        let fb = Framebuffer::new(4, 2);
+        let ppm = fb.to_ppm();
+        assert!(ppm.starts_with("P3\n4 2\n255\n"));
+        assert_eq!(ppm.lines().count(), 3 + 2);
+    }
+
+    #[test]
+    fn line_clipping_is_safe() {
+        let mut fb = Framebuffer::new(10, 10);
+        fb.line(-100, -100, 100, 100, Color::BLACK);
+        fb.fill_rect(-5, -5, 20, 20, Color::RED);
+        assert_eq!(fb.count_color(Color::RED), 100);
+    }
+
+    #[test]
+    fn svg_frame_contains_colors() {
+        let space = demo_space();
+        let svg = render_svg_frame(&space);
+        assert!(svg.contains("#d02020"));
+        assert!(svg.contains("#20a020"));
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn lens_distorts_rendering() {
+        let space = demo_space();
+        let mut cam = Camera::default();
+        cam.fit(space.bounds(), 200.0, 200.0, 1.0);
+        let plain = render(&space, &cam, 200, 200, &RenderOptions::default());
+        let lensed = render(
+            &space,
+            &cam,
+            200,
+            200,
+            &RenderOptions {
+                lens: Some(FisheyeLens::new(50.0, 20.0, 60.0, 3.0)),
+                skip_text: false,
+            },
+        );
+        assert_ne!(plain, lensed, "lens must change the rendered frame");
+    }
+}

@@ -1,0 +1,242 @@
+//! The virtual space — "a canvas on which graphs are drawn" (§3.1).
+
+use stetho_layout::SceneGraph;
+
+use crate::glyph::{Color, Glyph, GlyphId, GlyphKind};
+
+/// A canvas of glyphs.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualSpace {
+    glyphs: Vec<Glyph>,
+}
+
+/// How a scene-graph node maps onto its glyphs, kept so the Stethoscope
+/// core can recolor node `n<pc>` without searching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeGlyphs {
+    /// Dot node name (`n3`).
+    pub name: String,
+    /// The box shape glyph.
+    pub shape: GlyphId,
+    /// The label text glyph.
+    pub text: GlyphId,
+}
+
+impl VirtualSpace {
+    /// Empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a glyph; returns its id.
+    pub fn add(&mut self, kind: GlyphKind, x: f64, y: f64, color: Color) -> GlyphId {
+        let id = GlyphId(self.glyphs.len());
+        self.glyphs.push(Glyph {
+            id,
+            kind,
+            x,
+            y,
+            color,
+            visible: true,
+        });
+        id
+    }
+
+    /// Glyph access.
+    pub fn glyph(&self, id: GlyphId) -> &Glyph {
+        &self.glyphs[id.0]
+    }
+
+    /// Mutable glyph access.
+    pub fn glyph_mut(&mut self, id: GlyphId) -> &mut Glyph {
+        &mut self.glyphs[id.0]
+    }
+
+    /// All glyphs in z-order (insertion order).
+    pub fn glyphs(&self) -> &[Glyph] {
+        &self.glyphs
+    }
+
+    /// Number of glyphs.
+    pub fn len(&self) -> usize {
+        self.glyphs.len()
+    }
+
+    /// True when no glyphs exist.
+    pub fn is_empty(&self) -> bool {
+        self.glyphs.is_empty()
+    }
+
+    /// World bounding box over visible glyphs.
+    pub fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut b = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let mut first = true;
+        for g in &self.glyphs {
+            if !g.visible {
+                continue;
+            }
+            let gb = g.bounds();
+            if first {
+                b = gb;
+                first = false;
+            } else {
+                b.0 = b.0.min(gb.0);
+                b.1 = b.1.min(gb.1);
+                b.2 = b.2.max(gb.2);
+                b.3 = b.3.max(gb.3);
+            }
+        }
+        b
+    }
+
+    /// Topmost visible shape glyph containing the world point.
+    pub fn pick(&self, x: f64, y: f64) -> Option<GlyphId> {
+        self.glyphs
+            .iter()
+            .rev()
+            .find(|g| g.visible && g.contains(x, y))
+            .map(|g| g.id)
+    }
+
+    /// Build a virtual space from a laid-out scene graph: one edge glyph
+    /// per edge (drawn first, under the nodes), then per node one shape
+    /// glyph and one text glyph — the exact object bookkeeping §3.1
+    /// attributes to ZGrviewer.
+    pub fn from_scene(scene: &SceneGraph) -> (VirtualSpace, Vec<NodeGlyphs>) {
+        let mut space = VirtualSpace::new();
+        for e in &scene.edges {
+            space.add(
+                GlyphKind::Edge {
+                    points: e.points.clone(),
+                },
+                0.0,
+                0.0,
+                Color::EDGE,
+            );
+        }
+        let mut map = Vec::with_capacity(scene.nodes.len());
+        for n in &scene.nodes {
+            let shape = space.add(
+                GlyphKind::Shape { w: n.w, h: n.h },
+                n.x,
+                n.y,
+                Color::DEFAULT_FILL,
+            );
+            let text = space.add(
+                GlyphKind::Text {
+                    content: n.label.clone(),
+                },
+                n.x,
+                n.y,
+                Color::BLACK,
+            );
+            map.push(NodeGlyphs {
+                name: n.name.clone(),
+                shape,
+                text,
+            });
+        }
+        (space, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stetho_layout::{SceneEdge, SceneNode};
+
+    fn scene() -> SceneGraph {
+        SceneGraph {
+            nodes: vec![
+                SceneNode {
+                    name: "n0".into(),
+                    label: "sql.mvc()".into(),
+                    x: 50.0,
+                    y: 20.0,
+                    w: 60.0,
+                    h: 20.0,
+                },
+                SceneNode {
+                    name: "n1".into(),
+                    label: "sql.tid()".into(),
+                    x: 50.0,
+                    y: 80.0,
+                    w: 60.0,
+                    h: 20.0,
+                },
+            ],
+            edges: vec![SceneEdge {
+                from: 0,
+                to: 1,
+                points: vec![(50.0, 20.0), (50.0, 80.0)],
+                label: None,
+            }],
+            width: 100.0,
+            height: 100.0,
+        }
+    }
+
+    #[test]
+    fn from_scene_object_counts_match_paper_example() {
+        // "two node graph with one edge" → 2 shapes, 2 texts, 1 edge.
+        let (space, map) = VirtualSpace::from_scene(&scene());
+        assert_eq!(space.len(), 5);
+        let shapes = space
+            .glyphs()
+            .iter()
+            .filter(|g| matches!(g.kind, GlyphKind::Shape { .. }))
+            .count();
+        let texts = space
+            .glyphs()
+            .iter()
+            .filter(|g| matches!(g.kind, GlyphKind::Text { .. }))
+            .count();
+        let edges = space
+            .glyphs()
+            .iter()
+            .filter(|g| matches!(g.kind, GlyphKind::Edge { .. }))
+            .count();
+        assert_eq!((shapes, texts, edges), (2, 2, 1));
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[0].name, "n0");
+    }
+
+    #[test]
+    fn edges_render_under_nodes() {
+        let (space, map) = VirtualSpace::from_scene(&scene());
+        // Edge glyphs come first in z-order.
+        assert!(matches!(space.glyphs()[0].kind, GlyphKind::Edge { .. }));
+        assert!(map[0].shape.0 > 0);
+    }
+
+    #[test]
+    fn pick_finds_topmost_shape() {
+        let (space, map) = VirtualSpace::from_scene(&scene());
+        assert_eq!(space.pick(50.0, 20.0), Some(map[0].shape));
+        assert_eq!(space.pick(50.0, 80.0), Some(map[1].shape));
+        assert_eq!(space.pick(5.0, 50.0), None);
+    }
+
+    #[test]
+    fn invisible_glyphs_skipped() {
+        let (mut space, map) = VirtualSpace::from_scene(&scene());
+        space.glyph_mut(map[0].shape).visible = false;
+        assert_eq!(space.pick(50.0, 20.0), None);
+    }
+
+    #[test]
+    fn bounds_cover_everything() {
+        let (space, _) = VirtualSpace::from_scene(&scene());
+        let (x0, y0, x1, y1) = space.bounds();
+        assert!(x0 <= 20.0 && y0 <= 10.0);
+        assert!(x1 >= 80.0 && y1 >= 90.0);
+    }
+
+    #[test]
+    fn recolor_via_glyph_mut() {
+        let (mut space, map) = VirtualSpace::from_scene(&scene());
+        space.glyph_mut(map[1].shape).color = Color::RED;
+        assert_eq!(space.glyph(map[1].shape).color, Color::RED);
+        assert_eq!(space.glyph(map[0].shape).color, Color::DEFAULT_FILL);
+    }
+}

@@ -1,0 +1,102 @@
+//! Online analysis demo (§4.2 / §5) — the full multi-threaded workflow
+//! over real UDP: the textual Stethoscope listens in its own thread, the
+//! query runs in another, the monitor splits dot from trace content,
+//! samples the stream, and colors long-running instructions with both
+//! §4.2.1 algorithms while the query executes.
+//!
+//! Run with: `cargo run --release --example online_monitor`
+
+use std::sync::Arc;
+
+use stethoscope::core::{OnlineConfig, OnlineSession};
+use stethoscope::tpch::{generate_catalog, queries, TpchConfig};
+use stethoscope::zvtm::render::render_svg_frame;
+
+fn main() {
+    let catalog = Arc::new(generate_catalog(&TpchConfig::sf(0.005)));
+    println!(
+        "catalog: {} lineitem rows",
+        catalog.table("lineitem").unwrap().rows()
+    );
+
+    // The §5 "long running query": a 3-way join + aggregation, compiled
+    // with mitosis and executed on the multi-core dataflow scheduler.
+    let cfg = OnlineConfig {
+        partitions: 4,
+        workers: 4,
+        pacing_ms: 150, // the paper's render pacing
+        sample_capacity: 512,
+        threshold_usec: Some(500),
+        ..Default::default()
+    };
+    println!("running online session over UDP (pacing {} ms)...", cfg.pacing_ms);
+    let out = OnlineSession::run(Arc::clone(&catalog), queries::LONG_RUNNING, &cfg)
+        .expect("online session");
+
+    println!("\n--- session summary ---");
+    println!("plan           : {} instructions", out.plan.len());
+    println!("trace events   : {}", out.events.len());
+    println!("result rows    : {}", out.result_rows);
+    println!("elapsed        : {:?}", out.elapsed);
+    println!(
+        "edt            : {} enqueued, {} dispatched, peak backlog {}",
+        out.edt_stats.enqueued, out.edt_stats.dispatched, out.edt_stats.max_queue
+    );
+    println!("samples dropped: {}", out.samples_dropped);
+    println!(
+        "progress       : {}/{} instructions done ({} levels deep)",
+        out.progress.done, out.progress.total, out.progress.depth_levels
+    );
+
+    // Progress/coloring outcome of the pair-elision algorithm.
+    let red = out
+        .final_states
+        .values()
+        .filter(|s| matches!(s, stethoscope::core::ColorState::Red))
+        .count();
+    let green = out
+        .final_states
+        .values()
+        .filter(|s| matches!(s, stethoscope::core::ColorState::Green))
+        .count();
+    println!("\npair-elision final states: {red} red, {green} green");
+
+    // Threshold algorithm: instructions over 500 µs.
+    let mut costly: Vec<usize> = out
+        .threshold_states
+        .iter()
+        .filter(|(_, s)| matches!(s, stethoscope::core::ColorState::Red))
+        .map(|(&pc, _)| pc)
+        .collect();
+    costly.sort_unstable();
+    println!("threshold (>500µs) flagged pcs: {costly:?}");
+    for pc in costly.iter().take(5) {
+        if let Some(stmt) = out.map.label_of_pc(*pc) {
+            println!("  pc {pc:>3}: {stmt}");
+        }
+    }
+
+    // Multi-core utilisation of the run (§5 online demo).
+    use stethoscope::core::analysis::{thread_utilisation, threads::observed_concurrency};
+    println!("\n--- multi-core utilisation ---");
+    for t in thread_utilisation(&out.events) {
+        println!(
+            "  thread {:>2}: {:>4} instructions, {:>10} µs busy ({:5.1}%)",
+            t.thread,
+            t.instructions,
+            t.busy_usec,
+            t.utilisation * 100.0
+        );
+    }
+    println!(
+        "observed concurrency: {}",
+        observed_concurrency(&out.events)
+    );
+
+    // Final frame of the colored plan.
+    let out_dir = std::path::PathBuf::from("target/stethoscope-demo");
+    std::fs::create_dir_all(&out_dir).unwrap();
+    let frame = out_dir.join("online_final.svg");
+    std::fs::write(&frame, render_svg_frame(&out.space)).unwrap();
+    println!("\nwrote {}", frame.display());
+}

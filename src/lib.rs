@@ -1,0 +1,62 @@
+//! # stethoscope — interactive visual analysis of query execution plans
+//!
+//! A full-system Rust reproduction of *Stethoscope: A platform for
+//! interactive visual analysis of query execution plans* (Gawade &
+//! Kersten, VLDB 2012), including every substrate the original leaned
+//! on: a MonetDB-like columnar engine with a MAL interpreter and
+//! multi-core dataflow scheduler, a SQL front end with a mitosis
+//! optimizer, the MAL profiler with its UDP textual-Stethoscope client,
+//! a dot writer/parser, a Sugiyama layout engine with an SVG round-trip,
+//! and a headless ZVTM-style scene graph with paced rendering.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use stethoscope::engine::{ExecOptions, Interpreter, ProfilerConfig, VecSink};
+//! use stethoscope::sql::compile;
+//! use stethoscope::tpch::{generate_catalog, TpchConfig};
+//! use stethoscope::core::OfflineSession;
+//! use stethoscope::dot::{plan_to_dot, LabelStyle};
+//! use stethoscope::profiler::format_event;
+//!
+//! // 1. a database and the paper's Figure-1 query
+//! let catalog = Arc::new(generate_catalog(&TpchConfig::sf(0.0002)));
+//! let q = compile(&catalog, "select l_tax from lineitem where l_partkey = 1").unwrap();
+//!
+//! // 2. execute with profiling
+//! let sink = VecSink::new();
+//! let interp = Interpreter::new(Arc::clone(&catalog));
+//! interp.execute(&q.plan, &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone()))).unwrap();
+//!
+//! // 3. analyse the trace against the plan's dot graph
+//! let dot = plan_to_dot(&q.plan, LabelStyle::FullStatement);
+//! let trace: Vec<String> = sink.take().iter().map(stethoscope::profiler::format_event).collect();
+//! let mut session = OfflineSession::load_text(&dot, &trace.join("\n")).unwrap();
+//! session.run_to_end();
+//! assert!(session.replay.at_end());
+//! # let _ = format_event;
+//! ```
+//!
+//! Each subsystem is re-exported under a short module name below; see
+//! `DESIGN.md` for the crate inventory and `EXPERIMENTS.md` for the
+//! figure-by-figure reproduction record.
+
+/// The Stethoscope platform: sessions, coloring, replay, analyses.
+pub use stetho_core as core;
+/// The dot graph language and MAL-plan conversion.
+pub use stetho_dot as dot;
+/// The columnar execution engine (BATs, interpreter, scheduler).
+pub use stetho_engine as engine;
+/// Layered graph layout and the SVG pipeline.
+pub use stetho_layout as layout;
+/// The MAL language model.
+pub use stetho_mal as mal;
+/// Profiler events, trace files, filters, UDP streaming.
+pub use stetho_profiler as profiler;
+/// SQL front end: parser, algebra, codegen, optimizers.
+pub use stetho_sql as sql;
+/// TPC-H data generation and query texts.
+pub use stetho_tpch as tpch;
+/// The headless ZVTM substrate (glyphs, cameras, EDT, rendering).
+pub use stetho_zvtm as zvtm;

@@ -1,0 +1,225 @@
+//! End-to-end integration: SQL → algebra → MAL → optimizers → execution
+//! → trace → dot → layout → SVG → session → replay, across crates.
+
+use std::sync::Arc;
+
+use stethoscope::core::{OfflineSession, OnlineConfig, OnlineSession};
+use stethoscope::dot::{parse_dot, plan_to_dot, LabelStyle};
+use stethoscope::engine::{ExecOptions, Interpreter, ProfilerConfig, QueryResult, VecSink};
+use stethoscope::profiler::{format_event, EventStatus};
+use stethoscope::sql::{compile_with, CompileOptions};
+use stethoscope::tpch::{generate_catalog, queries, TpchConfig};
+
+fn catalog() -> Arc<stethoscope::engine::Catalog> {
+    Arc::new(generate_catalog(&TpchConfig::sf(0.001)))
+}
+
+fn run_query(
+    cat: &Arc<stethoscope::engine::Catalog>,
+    sql: &str,
+    partitions: usize,
+    workers: usize,
+) -> (stethoscope::mal::Plan, QueryResult, Vec<stethoscope::profiler::TraceEvent>) {
+    let q = compile_with(cat, sql, &CompileOptions::with_partitions(partitions)).unwrap();
+    let sink = VecSink::new();
+    let opts = if workers > 1 {
+        ExecOptions::parallel(workers, ProfilerConfig::to_sink(sink.clone()))
+    } else {
+        ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone()))
+    };
+    let out = Interpreter::new(Arc::clone(cat)).execute(&q.plan, &opts).unwrap();
+    (q.plan, out.result.expect("result"), sink.take())
+}
+
+fn same_result(a: &QueryResult, b: &QueryResult) {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.columns.len(), b.columns.len());
+    for ((na, ca), (nb, cb)) in a.columns.iter().zip(&b.columns) {
+        assert_eq!(na, nb);
+        assert_eq!(ca.len(), cb.len());
+        for i in 0..ca.len() {
+            let (va, vb) = (ca.get(i).unwrap(), cb.get(i).unwrap());
+            match (va, vb) {
+                (stethoscope::mal::Value::Dbl(x), stethoscope::mal::Value::Dbl(y)) => {
+                    assert!((x - y).abs() < 1e-6, "{na}[{i}]: {x} vs {y}");
+                }
+                (x, y) => assert_eq!(x, y, "{na}[{i}]"),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_tpch_query_consistent_across_execution_modes() {
+    let cat = catalog();
+    for (name, sql) in queries::all() {
+        let (_, serial, _) = run_query(&cat, sql, 1, 1);
+        let (_, parallel, _) = run_query(&cat, sql, 1, 4);
+        let (_, mitosis, _) = run_query(&cat, sql, 4, 4);
+        same_result(&serial, &parallel);
+        same_result(&serial, &mitosis);
+        assert!(serial.rows() > 0, "{name} returned no rows");
+    }
+}
+
+#[test]
+fn trace_pairs_complete_and_clocks_monotone_per_thread() {
+    let cat = catalog();
+    for partitions in [1usize, 4] {
+        let (plan, _, events) = run_query(&cat, queries::Q6, partitions, 4);
+        assert_eq!(events.len(), plan.len() * 2);
+        // Per pc: exactly one start and one done, start before done.
+        for pc in 0..plan.len() {
+            let s: Vec<_> = events
+                .iter()
+                .filter(|e| e.pc == pc && e.status == EventStatus::Start)
+                .collect();
+            let d: Vec<_> = events
+                .iter()
+                .filter(|e| e.pc == pc && e.status == EventStatus::Done)
+                .collect();
+            assert_eq!((s.len(), d.len()), (1, 1), "pc {pc}");
+            assert!(s[0].clk <= d[0].clk);
+        }
+    }
+}
+
+#[test]
+fn dot_trace_contract_holds_for_generated_plans() {
+    let cat = catalog();
+    let (plan, _, events) = run_query(&cat, queries::Q3, 1, 1);
+    let dot = plan_to_dot(&plan, LabelStyle::FullStatement);
+    let graph = parse_dot(&dot).unwrap();
+    assert_eq!(graph.node_count(), plan.len());
+    // Every trace stmt matches its dot node label (the §3.3 contract).
+    let map = stethoscope::core::TraceDotMap::from_graph(&graph);
+    for e in &events {
+        assert!(map.stmt_matches(e.pc, &e.stmt), "pc {}: {}", e.pc, e.stmt);
+    }
+}
+
+#[test]
+fn offline_session_over_real_query_artifacts() {
+    let cat = catalog();
+    let (plan, _, events) = run_query(&cat, queries::Q1, 2, 2);
+    let dot = plan_to_dot(&plan, LabelStyle::FullStatement);
+    let trace: Vec<String> = events.iter().map(format_event).collect();
+    let mut s = OfflineSession::load_text(&dot, &trace.join("\n")).unwrap();
+    assert_eq!(s.scene.nodes.len(), plan.len());
+
+    // Walk the whole trace step by step, then verify every instruction
+    // completed.
+    while s.step() {}
+    for pc in 0..plan.len() {
+        assert_eq!(s.replay.node(pc).dones, 1, "pc {pc}");
+    }
+    // The rendered frame mentions real operators.
+    let svg = s.render_frame_svg();
+    assert!(svg.contains("aggr.subsum"));
+}
+
+#[test]
+fn offline_replay_rewind_matches_fresh_session() {
+    let cat = catalog();
+    let (plan, _, events) = run_query(&cat, queries::Q6, 2, 1);
+    let dot = plan_to_dot(&plan, LabelStyle::FullStatement);
+    let trace: Vec<String> = events.iter().map(format_event).collect();
+    let text = trace.join("\n");
+
+    let mut a = OfflineSession::load_text(&dot, &text).unwrap();
+    a.run_to_end();
+    a.seek(7);
+    let mut b = OfflineSession::load_text(&dot, &text).unwrap();
+    b.seek(7);
+    for pc in 0..plan.len() {
+        assert_eq!(a.replay.node(pc), b.replay.node(pc), "pc {pc}");
+    }
+}
+
+#[test]
+fn online_session_matches_offline_analysis() {
+    let cat = catalog();
+    let cfg = OnlineConfig {
+        pacing_ms: 0,
+        partitions: 2,
+        workers: 2,
+        ..Default::default()
+    };
+    let out = OnlineSession::run(Arc::clone(&cat), queries::Q6, &cfg).unwrap();
+    // The trace file the monitor wrote can be replayed offline and gives
+    // the same event sequence.
+    let offline =
+        OfflineSession::load_files(&cfg.dot_path, &cfg.trace_path).unwrap();
+    assert_eq!(offline.replay.len(), out.events.len());
+    for (a, b) in offline.replay.events().iter().zip(&out.events) {
+        assert_eq!(a, b);
+    }
+    std::fs::remove_file(&cfg.dot_path).ok();
+    std::fs::remove_file(&cfg.trace_path).ok();
+}
+
+#[test]
+fn pruning_shrinks_graph_but_preserves_plan_nodes() {
+    // Build a plan, decorate it with administrative instructions via the
+    // textual form, and prune.
+    let text = r#"
+function user.p();
+    X_0:int := sql.mvc();
+    X_1:bat[:oid] := sql.tid(X_0, "sys", "lineitem");
+    language.pass(X_1);
+    querylog.define("q");
+end user.p;
+"#;
+    let plan = stethoscope::mal::parse_plan(text).unwrap();
+    let dot = plan_to_dot(&plan, LabelStyle::FullStatement);
+    let graph = parse_dot(&dot).unwrap();
+    let (pruned, removed) = stethoscope::core::prune::prune_administrative(&graph);
+    assert_eq!(removed.len(), 2);
+    assert_eq!(pruned.node_count(), 2);
+}
+
+#[test]
+fn every_generated_plan_passes_registry_validation() {
+    // The ModuleRegistry documents everything the engine implements;
+    // the code generator must never emit a call outside it, for any
+    // query, with or without mitosis.
+    let cat = catalog();
+    let registry = stethoscope::mal::ModuleRegistry::standard();
+    for (name, sql) in queries::all() {
+        for partitions in [1usize, 4] {
+            let q = compile_with(&cat, sql, &CompileOptions::with_partitions(partitions))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            registry
+                .check_plan(&q.plan)
+                .unwrap_or_else(|e| panic!("{name} (partitions={partitions}): {e}"));
+            registry
+                .check_plan(&q.unoptimized)
+                .unwrap_or_else(|e| panic!("{name} unoptimized: {e}"));
+        }
+    }
+}
+
+#[test]
+fn figure1_plan_is_paper_shaped() {
+    let cat = catalog();
+    let (plan, result, _) = run_query(&cat, queries::FIGURE1, 1, 1);
+    let ops: Vec<String> = plan
+        .instructions
+        .iter()
+        .map(|i| i.qualified_name())
+        .collect();
+    assert_eq!(
+        ops,
+        vec![
+            "sql.mvc",
+            "sql.tid",
+            "sql.bind",
+            "algebra.select",
+            "sql.bind",
+            "algebra.projection",
+            "sql.resultSet"
+        ],
+        "Figure-1 canonical instruction sequence"
+    );
+    assert!(result.column("l_tax").is_some());
+}

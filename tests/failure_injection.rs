@@ -1,0 +1,162 @@
+//! Failure injection: corrupted inputs, mismatched artifacts, runtime
+//! errors under profiling, and hostile SQL — the tool must fail loudly
+//! and precisely, never panic.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use stethoscope::core::OfflineSession;
+use stethoscope::dot::{plan_to_dot, LabelStyle};
+use stethoscope::engine::{
+    Bat, Catalog, ExecOptions, Interpreter, ProfilerConfig, TableDef, VecSink,
+};
+use stethoscope::mal::{parse_plan, MalType};
+use stethoscope::profiler::{format_event, EventStatus, TraceEvent, TraceFile};
+use stethoscope::sql::compile;
+
+fn tiny_catalog() -> Arc<Catalog> {
+    let mut c = Catalog::new();
+    c.add_table(
+        TableDef::new(
+            "t",
+            vec![
+                ("k".into(), MalType::Int, Bat::ints(vec![1, 2, 3, 0])),
+                ("v".into(), MalType::Int, Bat::ints(vec![10, 20, 30, 40])),
+            ],
+        )
+        .unwrap(),
+    );
+    Arc::new(c)
+}
+
+#[test]
+fn mismatched_dot_and_trace_detected() {
+    let cat = tiny_catalog();
+    let qa = compile(&cat, "select v from t where k = 1").unwrap();
+    let qb = compile(&cat, "select sum(v) as s from t").unwrap();
+    let sink = VecSink::new();
+    Interpreter::new(Arc::clone(&cat))
+        .execute(&qb.plan, &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())))
+        .unwrap();
+    // Load plan A's dot with plan B's trace.
+    let dot = plan_to_dot(&qa.plan, LabelStyle::FullStatement);
+    let trace: Vec<String> = sink.take().iter().map(format_event).collect();
+    let session = OfflineSession::load_text(&dot, &trace.join("\n")).unwrap();
+    let bad = session.verify_contract();
+    assert!(!bad.is_empty(), "mismatched pair must be reported");
+
+    // The matched pair verifies clean.
+    let sink = VecSink::new();
+    Interpreter::new(Arc::clone(&cat))
+        .execute(&qa.plan, &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())))
+        .unwrap();
+    let trace: Vec<String> = sink.take().iter().map(format_event).collect();
+    let session = OfflineSession::load_text(&dot, &trace.join("\n")).unwrap();
+    assert!(session.verify_contract().is_empty());
+}
+
+#[test]
+fn truncated_trace_file_reports_line() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("stetho_trunc_{}.trace", std::process::id()));
+    let good = format_event(&TraceEvent::start(0, 0, 0, 0, 0, "a.b();"));
+    // A record chopped mid-string.
+    let bad = &good[..good.len() / 2];
+    std::fs::write(&path, format!("{good}\n{bad}\n")).unwrap();
+    let err = TraceFile::new(&path).read().unwrap_err();
+    assert!(err.to_string().contains("line 2"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn division_by_zero_mid_plan_with_profiler() {
+    // k contains 0 → v / k fails at runtime; the error must surface from
+    // both execution modes, and the profiler must have recorded the
+    // instructions executed before the failure.
+    let cat = tiny_catalog();
+    let q = compile(&cat, "select v / k as r from t").unwrap();
+    for parallel in [false, true] {
+        let sink = VecSink::new();
+        let opts = if parallel {
+            ExecOptions::parallel(4, ProfilerConfig::to_sink(sink.clone()))
+        } else {
+            ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone()))
+        };
+        let r = Interpreter::new(Arc::clone(&cat)).execute(&q.plan, &opts);
+        assert!(r.is_err(), "parallel={parallel}");
+        let events = sink.take();
+        assert!(!events.is_empty(), "prefix trace must exist");
+        // The failing instruction has a start but no done.
+        let starts: Vec<usize> = events
+            .iter()
+            .filter(|e| e.status == EventStatus::Start)
+            .map(|e| e.pc)
+            .collect();
+        let dones: Vec<usize> = events
+            .iter()
+            .filter(|e| e.status == EventStatus::Done)
+            .map(|e| e.pc)
+            .collect();
+        assert!(starts.len() > dones.len(), "some start never completed");
+    }
+}
+
+#[test]
+fn offline_session_rejects_broken_inputs() {
+    assert!(OfflineSession::load_text("digraph {", "").is_err());
+    assert!(OfflineSession::load_text("digraph { n0; }", "[ bogus ]").is_err());
+    assert!(OfflineSession::load_files("/nonexistent/x.dot", "/nonexistent/x.trace").is_err());
+}
+
+#[test]
+fn plan_validation_rejects_corrupted_plans() {
+    // Use-before-def spliced into a textual plan.
+    let r = parse_plan("X_1:int := calc.identity(X_0);\nX_0:int := sql.mvc();\n");
+    assert!(r.is_err());
+    // Engine refuses a structurally invalid plan too.
+    let cat = tiny_catalog();
+    let good = parse_plan("X_0:int := sql.mvc();\n").unwrap();
+    assert!(Interpreter::new(cat)
+        .execute(&good, &ExecOptions::default())
+        .is_ok());
+}
+
+#[test]
+fn unknown_operator_fails_cleanly() {
+    let cat = tiny_catalog();
+    let plan = parse_plan("X_0:int := wibble.wobble();\n").unwrap();
+    let err = Interpreter::new(cat)
+        .execute(&plan, &ExecOptions::default())
+        .unwrap_err();
+    assert!(err.to_string().contains("wibble.wobble"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The SQL front end never panics on arbitrary input — it parses or
+    /// returns an error.
+    #[test]
+    fn sql_compiler_never_panics(input in "[ -~]{0,120}") {
+        let cat = tiny_catalog();
+        let _ = compile(&cat, &input);
+    }
+
+    /// The dot parser never panics on arbitrary input.
+    #[test]
+    fn dot_parser_never_panics(input in "[ -~\n]{0,200}") {
+        let _ = stethoscope::dot::parse_dot(&input);
+    }
+
+    /// The trace-line parser never panics on arbitrary input.
+    #[test]
+    fn trace_parser_never_panics(input in "[ -~]{0,200}") {
+        let _ = stethoscope::profiler::parse_event(&input);
+    }
+
+    /// The MAL plan parser never panics on arbitrary input.
+    #[test]
+    fn mal_parser_never_panics(input in "[ -~\n]{0,200}") {
+        let _ = parse_plan(&input);
+    }
+}

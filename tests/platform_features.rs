@@ -1,0 +1,148 @@
+//! Integration tests for the platform extensions: scripted interaction,
+//! session snapshots, progress tracking, trace diffs, and multi-server
+//! monitoring — all over real queries on the real engine.
+
+use std::sync::Arc;
+
+use stethoscope::core::analysis::diff_traces;
+use stethoscope::core::{
+    Action, InteractionScript, MultiServerSession, OfflineSession, ProgressModel, ServerSpec,
+    SessionSnapshot,
+};
+use stethoscope::dot::{plan_to_dot, LabelStyle};
+use stethoscope::engine::{ExecOptions, Interpreter, ProfilerConfig, VecSink};
+use stethoscope::profiler::format_event;
+use stethoscope::sql::compile;
+use stethoscope::tpch::{generate_catalog, queries, TpchConfig};
+
+fn artifacts(sql: &str) -> (stethoscope::mal::Plan, Vec<stethoscope::profiler::TraceEvent>) {
+    let cat = Arc::new(generate_catalog(&TpchConfig::sf(0.0005)));
+    let q = compile(&cat, sql).unwrap();
+    let sink = VecSink::new();
+    Interpreter::new(cat)
+        .execute(&q.plan, &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())))
+        .unwrap();
+    (q.plan, sink.take())
+}
+
+fn session_for(sql: &str) -> OfflineSession {
+    let (plan, events) = artifacts(sql);
+    let dot = plan_to_dot(&plan, LabelStyle::FullStatement);
+    let trace: Vec<String> = events.iter().map(format_event).collect();
+    OfflineSession::load_text(&dot, &trace.join("\n")).unwrap()
+}
+
+#[test]
+fn scripted_demo_over_real_query() {
+    let mut s = session_for(queries::Q6);
+    let total = s.replay.len();
+    let log = InteractionScript::new()
+        .then(Action::Seek(total / 2))
+        .then(Action::Snapshot)
+        .then(Action::FocusAnimated { pc: 1, ms: 120 })
+        .then(Action::Seek(total))
+        .then(Action::Wait(60_000))
+        .then(Action::Snapshot)
+        .run(&mut s, 16);
+    assert_eq!(log.snapshots.len(), 2);
+    assert!(s.replay.at_end());
+    // The final frame shows finished state; a snapshot mid-way differs.
+    assert_ne!(log.snapshots[0], log.snapshots[1]);
+    assert_eq!(log.focus_poses.len(), 1);
+}
+
+#[test]
+fn snapshot_bookmark_round_trips_through_json() {
+    // Both sessions must load the *same* artifacts (re-running the query
+    // would produce different timings).
+    let (plan, events) = artifacts(queries::FIGURE1);
+    let dot = plan_to_dot(&plan, LabelStyle::FullStatement);
+    let trace = events
+        .iter()
+        .map(format_event)
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let mut s = OfflineSession::load_text(&dot, &trace).unwrap();
+    s.seek(5);
+    s.camera.cx = 42.0;
+    let snap = SessionSnapshot::capture(&s, "bookmark");
+    let json = snap.to_json();
+
+    let mut fresh = OfflineSession::load_text(&dot, &trace).unwrap();
+    let restored = SessionSnapshot::from_json(&json).unwrap();
+    restored.restore(&mut fresh).unwrap();
+    assert_eq!(fresh.replay.position(), 5);
+    assert_eq!(fresh.camera.cx, 42.0);
+    for pc in 0..3 {
+        assert_eq!(fresh.replay.node(pc), s.replay.node(pc));
+    }
+}
+
+#[test]
+fn progress_model_tracks_real_execution() {
+    let (plan, events) = artifacts(queries::Q1);
+    let mut m = ProgressModel::new(&plan);
+    let mut fractions = Vec::new();
+    for e in &events {
+        m.on_event(e);
+        fractions.push(m.snapshot().fraction);
+    }
+    let final_snap = m.snapshot();
+    assert_eq!(final_snap.done, plan.len());
+    assert_eq!(final_snap.fraction, 1.0);
+    assert_eq!(final_snap.running, 0);
+    assert_eq!(final_snap.completed_depth, final_snap.depth_levels);
+    // Fractions are monotone non-decreasing.
+    assert!(fractions.windows(2).all(|w| w[0] <= w[1]));
+    assert!(m.bar(10).contains(&format!("{}/{}", plan.len(), plan.len())));
+}
+
+#[test]
+fn trace_diff_between_runs_of_same_plan() {
+    let cat = Arc::new(generate_catalog(&TpchConfig::sf(0.0005)));
+    let q = compile(&cat, queries::Q6).unwrap();
+    let interp = Interpreter::new(Arc::clone(&cat));
+    let run = || {
+        let sink = VecSink::new();
+        interp
+            .execute(&q.plan, &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())))
+            .unwrap();
+        sink.take()
+    };
+    let a = run();
+    let b = run();
+    let d = diff_traces(&a, &b);
+    // Same plan → same instruction set; every pc present on both sides.
+    assert!(d.only_in_base.is_empty());
+    assert!(d.only_in_new.is_empty());
+    assert_eq!(d.rows.len(), q.plan.len());
+    assert!(d.rows.iter().all(|r| r.delta_usec.is_some()));
+}
+
+#[test]
+fn multi_server_over_tpch() {
+    let small = Arc::new(generate_catalog(&TpchConfig::sf(0.0003)));
+    let outcomes = MultiServerSession::run(vec![
+        ServerSpec {
+            name: "s1".into(),
+            catalog: Arc::clone(&small),
+            sql: queries::FIGURE1.into(),
+            filter: None,
+        },
+        ServerSpec {
+            name: "s2".into(),
+            catalog: small,
+            sql: queries::Q6.into(),
+            filter: None,
+        },
+    ])
+    .unwrap();
+    assert_eq!(outcomes.len(), 2);
+    for o in &outcomes {
+        assert!(!o.events.is_empty(), "{} produced no events", o.name);
+        assert!(o.report.summary().contains(&o.report.plan_name));
+    }
+    // The two traces are genuinely different plans.
+    assert_ne!(outcomes[0].events.len(), outcomes[1].events.len());
+}

@@ -1,0 +1,184 @@
+//! Property-based round-trip tests over the textual formats: MAL plan
+//! listings, trace records, dot files, and SVG scenes.
+
+use proptest::prelude::*;
+
+use stethoscope::dot::{parse_dot, write_dot, Graph};
+use stethoscope::layout::{layout, parse_svg, write_svg, LayoutOptions};
+use stethoscope::mal::{parse_plan, Arg, MalType, PlanBuilder, Value};
+use stethoscope::profiler::{format_event, parse_event, EventStatus, TraceEvent};
+
+// ---- generators -----------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        (-1e9f64..1e9).prop_map(|x| Value::Dbl((x * 100.0).round() / 100.0)),
+        "[a-zA-Z0-9 ,.;()]{0,20}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bit),
+        (0u64..1_000_000).prop_map(Value::Oid),
+        (-100_000i32..100_000).prop_map(Value::Date),
+    ]
+}
+
+fn arb_stmt_text() -> impl Strategy<Value = String> {
+    // Statement bodies exercise quoting/escaping in trace + dot labels.
+    "[ -~]{0,60}"
+}
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        any::<u64>(),
+        any::<bool>(),
+        0usize..10_000,
+        0usize..64,
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        arb_stmt_text(),
+    )
+        .prop_map(|(event, start, pc, thread, clk, usec, rss, stmt)| TraceEvent {
+            event,
+            status: if start { EventStatus::Start } else { EventStatus::Done },
+            pc,
+            thread,
+            clk,
+            usec,
+            rss,
+            stmt,
+        })
+}
+
+/// Random well-formed MAL plan: a chain of calls over prior variables.
+fn arb_plan() -> impl Strategy<Value = stethoscope::mal::Plan> {
+    // Per instruction: function selector, literal, and "use var" flags.
+    proptest::collection::vec((0usize..6, arb_value(), any::<bool>()), 1..30).prop_map(
+        |instrs| {
+            let mut b = PlanBuilder::new("user.prop");
+            let mut vars = Vec::new();
+            let seed = b.call("sql", "mvc", MalType::Int, vec![]);
+            vars.push(seed);
+            for (f, lit, use_var) in instrs {
+                let mut args: Vec<Arg> = Vec::new();
+                if use_var {
+                    args.push(Arg::Var(vars[vars.len() / 2]));
+                }
+                args.push(Arg::Lit(lit));
+                let (module, function, ty) = match f {
+                    0 => ("calc", "identity", MalType::Int),
+                    1 => ("bat", "new", MalType::bat(MalType::Int)),
+                    2 => ("calc", "+", MalType::Int),
+                    3 => ("io", "print", MalType::Void),
+                    4 => ("language", "pass", MalType::Void),
+                    _ => ("calc", "*", MalType::Int),
+                };
+                if module == "io" || module == "language" {
+                    b.push(module, function, vec![], args);
+                } else {
+                    // calc.+/* need exactly two args.
+                    if function == "+" || function == "*" {
+                        while args.len() < 2 {
+                            args.push(Arg::Lit(Value::Int(1)));
+                        }
+                        args.truncate(2);
+                    }
+                    if function == "new" {
+                        args.clear();
+                    }
+                    if function == "identity" {
+                        args.truncate(1);
+                    }
+                    let v = b.call(module, function, ty, args);
+                    vars.push(v);
+                }
+            }
+            b.finish()
+        },
+    )
+}
+
+// ---- properties -----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn trace_record_round_trips(e in arb_event()) {
+        let line = format_event(&e);
+        let back = parse_event(&line).unwrap();
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn mal_plan_listing_round_trips(plan in arb_plan()) {
+        let text = plan.listing();
+        let back = parse_plan(&text).unwrap();
+        prop_assert_eq!(back.len(), plan.len());
+        // The re-rendered listing is a fixed point.
+        let text2 = back.listing();
+        prop_assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn dot_graph_round_trips(
+        n in 1usize..25,
+        edges in proptest::collection::vec((0usize..25, 0usize..25), 0..40),
+        labels in proptest::collection::vec("[ -~]{0,30}", 25),
+    ) {
+        let mut g = Graph::new("prop");
+        for (i, label) in labels.iter().enumerate().take(n) {
+            let mut attrs = std::collections::HashMap::new();
+            attrs.insert("label".to_string(), label.clone());
+            g.add_node(format!("n{i}"), attrs).unwrap();
+        }
+        for (f, t) in edges {
+            if f < n && t < n {
+                g.add_edge(
+                    stethoscope::dot::NodeId(f),
+                    stethoscope::dot::NodeId(t),
+                    std::collections::HashMap::new(),
+                )
+                .unwrap();
+            }
+        }
+        let text = write_dot(&g);
+        let back = parse_dot(&text).unwrap();
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        for (i, label) in labels.iter().enumerate().take(n) {
+            let a = back.node_by_name(&format!("n{i}")).unwrap();
+            prop_assert_eq!(back.node(a).attrs.get("label"), Some(label));
+        }
+    }
+
+    #[test]
+    fn svg_scene_round_trips(
+        n in 1usize..20,
+        edges in proptest::collection::vec((0usize..20, 0usize..20), 0..30),
+    ) {
+        let mut g = Graph::new("prop");
+        for i in 0..n {
+            g.add_node(format!("n{i}"), std::collections::HashMap::new()).unwrap();
+        }
+        for (f, t) in edges {
+            if f < n && t < n && f != t {
+                g.add_edge(
+                    stethoscope::dot::NodeId(f),
+                    stethoscope::dot::NodeId(t),
+                    std::collections::HashMap::new(),
+                )
+                .unwrap();
+            }
+        }
+        let scene = layout(&g, &LayoutOptions::default());
+        let svg = write_svg(&scene);
+        let back = parse_svg(&svg).unwrap();
+        prop_assert_eq!(back.nodes.len(), scene.nodes.len());
+        prop_assert_eq!(back.edges.len(), scene.edges.len());
+        for (a, b) in back.nodes.iter().zip(&scene.nodes) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert!((a.x - b.x).abs() < 0.11);
+            prop_assert!((a.y - b.y).abs() < 0.11);
+        }
+    }
+}
