@@ -82,8 +82,17 @@ fn bench_render_frames(c: &mut Criterion) {
     for (name, w, h) in [("320x200", 320usize, 200usize), ("640x400", 640, 400)] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &(w, h), |b, &(w, h)| {
             b.iter(|| {
-                render(&space, &cam, w, h, &RenderOptions { lens: None, skip_text: true })
-                    .count_color(stetho_zvtm::Color::WHITE)
+                render(
+                    &space,
+                    &cam,
+                    w,
+                    h,
+                    &RenderOptions {
+                        lens: None,
+                        skip_text: true,
+                    },
+                )
+                .count_color(stetho_zvtm::Color::WHITE)
             })
         });
     }

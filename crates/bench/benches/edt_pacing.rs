@@ -21,9 +21,7 @@ fn bench_pacing_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("edt/pacing_drain");
     for pacing in [0u64, 50, 150] {
         let virtual_ms = drain_time_ms(pacing, 100, false, 100);
-        eprintln!(
-            "[edt_pacing] pacing {pacing}ms: 100 recolors drain in {virtual_ms} virtual ms"
-        );
+        eprintln!("[edt_pacing] pacing {pacing}ms: 100 recolors drain in {virtual_ms} virtual ms");
         group.bench_with_input(BenchmarkId::from_parameter(pacing), &pacing, |b, &p| {
             b.iter(|| drain_time_ms(p, 100, false, 100))
         });

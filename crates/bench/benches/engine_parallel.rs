@@ -34,20 +34,16 @@ fn bench_parallel_speedup(c: &mut Criterion) {
         })
     });
     for workers in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("parallel", workers),
-            &workers,
-            |b, &w| {
-                b.iter(|| {
-                    interp
-                        .execute(&plan, &ExecOptions::parallel(w, ProfilerConfig::off()))
-                        .unwrap()
-                        .result
-                        .unwrap()
-                        .rows()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("parallel", workers), &workers, |b, &w| {
+            b.iter(|| {
+                interp
+                    .execute(&plan, &ExecOptions::parallel(w, ProfilerConfig::off()))
+                    .unwrap()
+                    .result
+                    .unwrap()
+                    .rows()
+            })
+        });
     }
     group.finish();
 }
@@ -61,7 +57,12 @@ fn bench_profiling_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/profiling_overhead");
     group.sample_size(10);
     group.bench_function("off", |b| {
-        b.iter(|| interp.execute(&plan, &ExecOptions::default()).unwrap().events)
+        b.iter(|| {
+            interp
+                .execute(&plan, &ExecOptions::default())
+                .unwrap()
+                .events
+        })
     });
     group.bench_function("vec_sink", |b| {
         b.iter(|| {

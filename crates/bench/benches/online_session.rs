@@ -23,12 +23,8 @@ fn bench_online(c: &mut Criterion) {
                         workers: 2,
                         ..Default::default()
                     };
-                    let out = OnlineSession::run(
-                        std::sync::Arc::clone(&cat),
-                        queries::Q6,
-                        &cfg,
-                    )
-                    .unwrap();
+                    let out =
+                        OnlineSession::run(std::sync::Arc::clone(&cat), queries::Q6, &cfg).unwrap();
                     std::fs::remove_file(&cfg.dot_path).ok();
                     std::fs::remove_file(&cfg.trace_path).ok();
                     out.events.len()
@@ -50,8 +46,7 @@ fn bench_online_queries(c: &mut Criterion) {
                     pacing_ms: 0,
                     ..Default::default()
                 };
-                let out =
-                    OnlineSession::run(std::sync::Arc::clone(&cat), sql, &cfg).unwrap();
+                let out = OnlineSession::run(std::sync::Arc::clone(&cat), sql, &cfg).unwrap();
                 std::fs::remove_file(&cfg.dot_path).ok();
                 std::fs::remove_file(&cfg.trace_path).ok();
                 out.result_rows

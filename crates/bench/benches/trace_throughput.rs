@@ -15,12 +15,7 @@ fn bench_format_parse(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace/codec");
     group.throughput(Throughput::Elements(events.len() as u64));
     group.bench_function("format", |b| {
-        b.iter(|| {
-            events
-                .iter()
-                .map(|e| format_event(e).len())
-                .sum::<usize>()
-        })
+        b.iter(|| events.iter().map(|e| format_event(e).len()).sum::<usize>())
     });
     group.bench_function("parse", |b| {
         b.iter(|| {

@@ -51,7 +51,14 @@ pub fn synthetic_trace(n: usize, threads: usize, costly_every: usize) -> Vec<Tra
             8
         };
         let stmt = format!("X_{pc} := algebra.select(X_0, {pc}:int);");
-        out.push(TraceEvent::start(seq, pc, pc % threads.max(1), clk, 1024, stmt.clone()));
+        out.push(TraceEvent::start(
+            seq,
+            pc,
+            pc % threads.max(1),
+            clk,
+            1024,
+            stmt.clone(),
+        ));
         seq += 1;
         out.push(TraceEvent::done(
             seq,

@@ -1,0 +1,182 @@
+//! Offline stand-in for the `rand` crate (see `crates/compat/`).
+//!
+//! Provides the slice of the rand 0.8 API this workspace uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and `Rng::gen_range` /
+//! `Rng::gen_bool` over integer and float ranges. The generator is
+//! xoshiro256** seeded via splitmix64 — high-quality, deterministic,
+//! and stable across platforms, which is what the TPC-H data generator
+//! needs for reproducible fixtures.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, rand-style.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// High-level sampling interface.
+pub trait Rng: RngCore {
+    /// Uniform sample from a `lo..hi` or `lo..=hi` range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        sample_unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn sample_unit_f64(word: u64) -> f64 {
+    // 53 high bits → [0, 1).
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Standard generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256** — the default deterministic generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let unit = sample_unit_f64(rng.next_u64()) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same = (0..100).filter(|_| a.gen_range(0..100i64) == c.gen_range(0..100i64)).count();
+        assert!(same < 30, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(10..20i64);
+            assert!((10..20).contains(&v));
+            let v = rng.gen_range(1..=7usize);
+            assert!((1..=7).contains(&v));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let n = rng.gen_range(-50..50i32);
+            assert!((-50..50).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads={heads}");
+    }
+
+    #[test]
+    fn bounds_cover_full_span() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(rng.gen_range(0..5u8));
+        }
+        assert_eq!(seen.len(), 5);
+    }
+}

@@ -1,0 +1,315 @@
+//! Offline stand-in for `serde_derive` (see `crates/compat/`).
+//!
+//! Real serde_derive builds on `syn`/`quote`; neither is available
+//! offline, so this macro parses the item's token stream by hand and
+//! emits the impl source as a string. It supports exactly the shapes
+//! this workspace derives on — non-generic structs with named fields,
+//! and enums whose variants are unit or struct-like — and panics with a
+//! clear message on anything else rather than mis-compiling it.
+//!
+//! Representation matches serde's externally-tagged default:
+//! - struct          → `{"field": value, ...}`
+//! - unit variant    → `"Variant"`
+//! - struct variant  → `{"Variant": {"field": value, ...}}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Derive `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    src.parse().expect("serde compat derive generated invalid Rust")
+}
+
+/// Derive `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    src.parse().expect("serde compat derive generated invalid Rust")
+}
+
+// ---- item model ------------------------------------------------------
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        /// `(variant, None)` = unit, `(variant, Some(fields))` = struct-like.
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+// ---- token-stream parsing -------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip leading `#[...]` attributes (incl. doc comments) and `pub` /
+/// `pub(...)` visibility.
+fn skip_attrs_and_vis(iter: &mut Tokens) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde compat derive: malformed attribute near {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde compat derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde compat derive: expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde compat derive does not support generic type `{name}`");
+        }
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde compat derive supports only brace-bodied items; `{name}` has {other:?}"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        k => panic!("serde compat derive: expected `struct` or `enum`, found `{k}`"),
+    }
+}
+
+/// Parse `name: Type, ...` field lists, returning the field names.
+/// Commas inside angle brackets (`BTreeMap<String, u64>`) are part of
+/// the type; delimited groups hide their own commas from us already.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let field = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde compat derive: expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde compat derive: expected `:` after `{field}`, found {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == ',' && angle_depth == 0 {
+                        iter.next();
+                        break;
+                    }
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    }
+                    iter.next();
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Option<Vec<String>>)> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let variant = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde compat derive: expected variant name, found {other:?}"),
+        };
+        match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                variants.push((variant, Some(fields)));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde compat derive: tuple variant `{variant}` is not supported");
+            }
+            _ => variants.push((variant, None)),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!("serde compat derive: expected `,` after a variant, found {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---- code generation -------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let mut pairs = String::new();
+    for f in fields {
+        pairs.push_str(&format!(
+            "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{pairs}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(\
+                 value.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                 .map_err(|e| ::serde::DeError(format!(\"{name}.{f}: {{e}}\")))?,"
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if value.as_object().is_none() {{\n\
+                     return ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"object for {name}\", value));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Option<Vec<String>>)]) -> String {
+    let mut arms = String::new();
+    for (variant, fields) in variants {
+        match fields {
+            None => arms.push_str(&format!(
+                "{name}::{variant} => ::serde::Value::String(\"{variant}\".to_string()),"
+            )),
+            Some(fields) => {
+                let bindings = fields.join(", ");
+                let mut pairs = String::new();
+                for f in fields {
+                    pairs.push_str(&format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{variant} {{ {bindings} }} => ::serde::Value::Object(vec![(\
+                         \"{variant}\".to_string(), \
+                         ::serde::Value::Object(vec![{pairs}]))]),"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Option<Vec<String>>)]) -> String {
+    let mut unit_arms = String::new();
+    let mut struct_arms = String::new();
+    for (variant, fields) in variants {
+        match fields {
+            None => unit_arms.push_str(&format!(
+                "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),"
+            )),
+            Some(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             inner.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                             .map_err(|e| ::serde::DeError(\
+                                 format!(\"{name}::{variant}.{f}: {{e}}\")))?,"
+                    ));
+                }
+                struct_arms.push_str(&format!(
+                    "\"{variant}\" => ::std::result::Result::Ok(\
+                         {name}::{variant} {{ {inits} }}),"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match value {{\n\
+                     ::serde::Value::String(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::DeError(\
+                             format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, inner) = &pairs[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {struct_arms}\n\
+                             other => ::std::result::Result::Err(::serde::DeError(\
+                                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"{name} variant\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -88,10 +88,7 @@ mod tests {
     fn wide_plan(k: usize) -> Plan {
         let mut text = String::from("X_0:int := sql.mvc();\n");
         for i in 0..k {
-            text.push_str(&format!(
-                "X_{}:int := calc.+(X_0, {i}:int);\n",
-                i + 1
-            ));
+            text.push_str(&format!("X_{}:int := calc.+(X_0, {i}:int);\n", i + 1));
         }
         parse_plan(&text).unwrap()
     }

@@ -101,7 +101,11 @@ pub fn cluster_durations(events: &[TraceEvent], k: usize) -> Vec<Cluster> {
             })
         })
         .collect();
-    clusters.sort_by(|a, b| a.mean_usec.partial_cmp(&b.mean_usec).unwrap_or(std::cmp::Ordering::Equal));
+    clusters.sort_by(|a, b| {
+        a.mean_usec
+            .partial_cmp(&b.mean_usec)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     clusters
 }
 
@@ -159,10 +163,7 @@ mod tests {
 
     #[test]
     fn starts_are_ignored() {
-        let t = vec![
-            TraceEvent::start(0, 0, 0, 0, 0, "f.g();"),
-            done(1, 10),
-        ];
+        let t = vec![TraceEvent::start(0, 0, 0, 0, 0, "f.g();"), done(1, 10)];
         let c = cluster_durations(&t, 2);
         let total: usize = c.iter().map(|c| c.members.len()).sum();
         assert_eq!(total, 1);

@@ -72,7 +72,11 @@ pub fn memory_by_operator(events: &[TraceEvent]) -> Vec<OperatorMemory> {
             },
         })
         .collect();
-    out.sort_by(|a, b| b.peak_rss.cmp(&a.peak_rss).then(a.operator.cmp(&b.operator)));
+    out.sort_by(|a, b| {
+        b.peak_rss
+            .cmp(&a.peak_rss)
+            .then(a.operator.cmp(&b.operator))
+    });
     out
 }
 

@@ -33,7 +33,9 @@ pub fn micro_stats(events: &[TraceEvent]) -> Vec<MicroStats> {
     let mut per: HashMap<String, Vec<u64>> = HashMap::new();
     for e in events {
         if e.status == EventStatus::Done {
-            per.entry(e.operator().to_string()).or_default().push(e.usec);
+            per.entry(e.operator().to_string())
+                .or_default()
+                .push(e.usec);
         }
     }
     let mut out: Vec<MicroStats> = per
@@ -54,7 +56,11 @@ pub fn micro_stats(events: &[TraceEvent]) -> Vec<MicroStats> {
             }
         })
         .collect();
-    out.sort_by(|a, b| b.total_usec.cmp(&a.total_usec).then(a.operator.cmp(&b.operator)));
+    out.sort_by(|a, b| {
+        b.total_usec
+            .cmp(&a.total_usec)
+            .then(a.operator.cmp(&b.operator))
+    });
     out
 }
 
@@ -74,7 +80,9 @@ mod tests {
 
     #[test]
     fn percentiles_computed() {
-        let t: Vec<TraceEvent> = (1..=100).map(|i| done(i, "algebra.select", i as u64)).collect();
+        let t: Vec<TraceEvent> = (1..=100)
+            .map(|i| done(i, "algebra.select", i as u64))
+            .collect();
         let stats = micro_stats(&t);
         assert_eq!(stats.len(), 1);
         let s = &stats[0];

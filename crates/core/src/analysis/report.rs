@@ -109,7 +109,14 @@ mod tests {
         let mut v = Vec::new();
         for pc in 0..6 {
             let clk = pc as u64 * 100;
-            v.push(TraceEvent::start(0, pc, pc % 2, clk, 50 + pc as u64, "X := calc.+(a);"));
+            v.push(TraceEvent::start(
+                0,
+                pc,
+                pc % 2,
+                clk,
+                50 + pc as u64,
+                "X := calc.+(a);",
+            ));
             v.push(TraceEvent::done(
                 1,
                 pc,

@@ -207,7 +207,10 @@ impl ThresholdColoring {
 
     /// Current state of a node.
     pub fn state(&self, pc: usize) -> ColorState {
-        self.states.get(&pc).copied().unwrap_or(ColorState::Uncolored)
+        self.states
+            .get(&pc)
+            .copied()
+            .unwrap_or(ColorState::Uncolored)
     }
 }
 
@@ -358,7 +361,10 @@ mod tests {
         assert_eq!(c.state, ColorState::Red);
         let mut fast = done(5);
         fast.usec = 10;
-        assert!(t.on_event(&fast).is_none(), "uncolored → uncolored is no change");
+        assert!(
+            t.on_event(&fast).is_none(),
+            "uncolored → uncolored is no change"
+        );
         assert_eq!(t.state(5), ColorState::Uncolored);
     }
 
@@ -383,7 +389,11 @@ mod tests {
         let mut e1 = done(1);
         e1.usec = 10;
         let c1 = g.on_event(&e1).unwrap();
-        assert_eq!(c1.state, ColorState::Gradient { t: 1.0 }, "first is the max");
+        assert_eq!(
+            c1.state,
+            ColorState::Gradient { t: 1.0 },
+            "first is the max"
+        );
         let mut e2 = done(2);
         e2.usec = 100;
         g.on_event(&e2).unwrap();

@@ -44,5 +44,5 @@ pub use replay::{NodeRuntime, ReplayController};
 pub use script::{Action, InteractionScript};
 pub use session::multi::{MultiServerSession, ServerOutcome, ServerSpec};
 pub use session::offline::OfflineSession;
-pub use session::online::{OnlineSession, OnlineConfig};
+pub use session::online::{OnlineConfig, OnlineSession};
 pub use session::snapshot::SessionSnapshot;

@@ -109,9 +109,7 @@ impl ProgressModel {
         let mut completed_depth = 0;
         'levels: for level in 0..=self.max_depth {
             for pc in 0..self.total {
-                if self.depths.get(pc) == Some(&level)
-                    && self.state_of(pc) != InstrState::Done
-                {
+                if self.depths.get(pc) == Some(&level) && self.state_of(pc) != InstrState::Done {
                     break 'levels;
                 }
             }

@@ -17,9 +17,15 @@ pub fn is_administrative_label(label: &str) -> bool {
         Some(i) => label[i + 2..].trim_start(),
         None => label.trim_start(),
     };
-    ["language.pass", "language.dataflow", "querylog.define", "mal.end", "mal.function"]
-        .iter()
-        .any(|p| body.starts_with(p))
+    [
+        "language.pass",
+        "language.dataflow",
+        "querylog.define",
+        "mal.end",
+        "mal.function",
+    ]
+    .iter()
+    .any(|p| body.starts_with(p))
 }
 
 /// Remove administrative nodes from a plan graph, bypassing their edges.
@@ -95,12 +101,7 @@ pub fn prune_administrative(graph: &Graph) -> (Graph, Vec<String>) {
     (pruned, removed)
 }
 
-fn replace_edge_attrs(
-    g: &mut Graph,
-    from: NodeId,
-    to: NodeId,
-    attrs: HashMap<String, String>,
-) {
+fn replace_edge_attrs(g: &mut Graph, from: NodeId, to: NodeId, attrs: HashMap<String, String>) {
     // Graph has no direct edge-attr mutation; rebuild the edge list via a
     // copy-on-write pass only when attributes are non-empty.
     if attrs.is_empty() {
@@ -204,6 +205,9 @@ mod tests {
         )
         .unwrap();
         let (pruned, _) = prune_administrative(&g);
-        assert_eq!(pruned.edges()[0].attrs.get("label").map(String::as_str), Some("X_0"));
+        assert_eq!(
+            pruned.edges()[0].attrs.get("label").map(String::as_str),
+            Some("X_0")
+        );
     }
 }

@@ -185,7 +185,9 @@ impl ReplayController {
 
     /// Start playing at `rate`× (1.0 = real trace time, >1 fast-forward).
     pub fn play(&mut self, rate: f64) {
-        self.play = PlayState::Playing { rate: rate.max(0.0) };
+        self.play = PlayState::Playing {
+            rate: rate.max(0.0),
+        };
     }
 
     /// Pause playback.
@@ -203,8 +205,7 @@ impl ReplayController {
         };
         self.clock += dt_usec * rate;
         let mut applied = Vec::new();
-        while self.cursor < self.events.len()
-            && (self.events[self.cursor].clk as f64) <= self.clock
+        while self.cursor < self.events.len() && (self.events[self.cursor].clk as f64) <= self.clock
         {
             applied.push(self.cursor);
             let e = self.events[self.cursor].clone();
@@ -334,8 +335,8 @@ mod tests {
     fn ffwd_and_pause() {
         let mut rc = ReplayController::new(trace(10));
         rc.play(2.0); // 2× trace speed
-        // events span clk 0..190; at 2× rate, 50usec of wall time covers
-        // 100usec of trace.
+                      // events span clk 0..190; at 2× rate, 50usec of wall time covers
+                      // 100usec of trace.
         let applied = rc.tick(50.0);
         assert!(!applied.is_empty());
         assert!(rc.position() >= 10, "position {}", rc.position());

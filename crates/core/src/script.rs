@@ -174,7 +174,9 @@ mod tests {
         let mut seq = 0;
         for (pc, stmt) in stmts.iter().enumerate() {
             let base = pc as u64 * 1000;
-            lines.push(format_event(&TraceEvent::start(seq, pc, 0, base, 64, *stmt)));
+            lines.push(format_event(&TraceEvent::start(
+                seq, pc, 0, base, 64, *stmt,
+            )));
             seq += 1;
             lines.push(format_event(&TraceEvent::done(
                 seq,

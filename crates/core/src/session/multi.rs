@@ -126,11 +126,8 @@ impl MultiServerSession {
         steth.stop();
 
         let mut outcomes = Vec::with_capacity(specs.len());
-        for (((spec, source), handle), plan) in specs
-            .into_iter()
-            .zip(sources)
-            .zip(handles)
-            .zip(plans)
+        for (((spec, source), handle), plan) in
+            specs.into_iter().zip(sources).zip(handles).zip(plans)
         {
             let result_rows = handle
                 .join()
@@ -162,7 +159,11 @@ mod tests {
             TableDef::new(
                 "t",
                 vec![
-                    ("k".into(), MalType::Int, Bat::ints((0..rows).map(|i| i % 5).collect())),
+                    (
+                        "k".into(),
+                        MalType::Int,
+                        Bat::ints((0..rows).map(|i| i % 5).collect()),
+                    ),
                     (
                         "v".into(),
                         MalType::Dbl,

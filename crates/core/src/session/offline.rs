@@ -58,8 +58,7 @@ impl OfflineSession {
         trace_text: &str,
         filter: &FilterOptions,
     ) -> Result<Self, SessionError> {
-        let graph =
-            parse_dot(dot_text).map_err(|e| SessionError::new(format!("dot: {e}")))?;
+        let graph = parse_dot(dot_text).map_err(|e| SessionError::new(format!("dot: {e}")))?;
         let mut events = Vec::new();
         for (i, line) in trace_text.lines().enumerate() {
             if line.trim().is_empty() {
@@ -80,8 +79,7 @@ impl OfflineSession {
         trace_path: impl AsRef<Path>,
     ) -> Result<Self, SessionError> {
         let dot_text = std::fs::read_to_string(dot_path)?;
-        let graph =
-            parse_dot(&dot_text).map_err(|e| SessionError::new(format!("dot: {e}")))?;
+        let graph = parse_dot(&dot_text).map_err(|e| SessionError::new(format!("dot: {e}")))?;
         let events = TraceFile::new(trace_path.as_ref()).read()?;
         Self::from_parts(graph, events)
     }
@@ -91,8 +89,7 @@ impl OfflineSession {
         // The shared pipeline: graph → layout → svg → parse → scene.
         let laid_out = layout(&graph, &LayoutOptions::default());
         let svg = write_svg(&laid_out);
-        let scene =
-            parse_svg(&svg).map_err(|e| SessionError::new(format!("svg: {e}")))?;
+        let scene = parse_svg(&svg).map_err(|e| SessionError::new(format!("svg: {e}")))?;
         let (space, node_glyphs) = VirtualSpace::from_scene(&scene);
         let mut map = TraceDotMap::from_scene(&scene);
         map.attach_glyphs(&node_glyphs);
@@ -369,7 +366,11 @@ mod tests {
     fn filter_drops_events_at_load() {
         let filter = FilterOptions::all().with_module("algebra");
         let s = OfflineSession::load_filtered(&dot_text(), &trace_text(), &filter).unwrap();
-        assert_eq!(s.replay.len(), 4, "only the two algebra instructions remain");
+        assert_eq!(
+            s.replay.len(),
+            4,
+            "only the two algebra instructions remain"
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use stetho_dot::plan_to_dot;
 use stetho_engine::{Catalog, ExecOptions, Interpreter, ProfilerConfig, UdpSink};
 use stetho_layout::{layout, parse_svg, write_svg, LayoutOptions, SceneGraph};
-use stetho_mal::Plan;
+use stetho_mal::{Plan, VerifyReport};
 use stetho_profiler::tracefile::TraceWriter;
 use stetho_profiler::udp::StreamItem;
 use stetho_profiler::{
@@ -79,6 +79,9 @@ impl Default for OnlineConfig {
 pub struct OnlineOutcome {
     /// The executed plan.
     pub plan: Plan,
+    /// Static-verifier report for the compiled plan (diagnostics are
+    /// surfaced to the session; a clean report means no errors).
+    pub verify: VerifyReport,
     /// Dot text as received over the stream.
     pub dot_text: String,
     /// Scene built when the dot stream completed.
@@ -131,11 +134,14 @@ impl OnlineSession {
         )
         .map_err(|e| SessionError::new(format!("compile: {e}")))?;
         let plan = compiled.plan;
+        // Surface the static-verifier diagnostics for the session. The
+        // pipeline already guarantees cleanliness in debug builds; here
+        // the report rides along so tools can show the lint findings.
+        let verify = plan.verify();
         let dot_text = plan_to_dot(&plan, stetho_dot::LabelStyle::FullStatement);
 
         // Textual Stethoscope thread (the listener runs inside).
-        let mut steth =
-            TextualStethoscope::bind().map_err(SessionError::from)?;
+        let mut steth = TextualStethoscope::bind().map_err(SessionError::from)?;
         steth.set_default_filter(cfg.filter.clone());
         let rx = steth.start();
         let addr = steth.local_addr().map_err(SessionError::from)?;
@@ -162,7 +168,9 @@ impl OnlineSession {
                 let out = interp
                     .execute(&plan_for_query, &opts)
                     .map_err(|e| e.to_string())?;
-                sink.emitter().send_end_of_trace().map_err(|e| e.to_string())?;
+                sink.emitter()
+                    .send_end_of_trace()
+                    .map_err(|e| e.to_string())?;
                 Ok(out.result.map(|r| r.rows()).unwrap_or(0))
             })
             .map_err(SessionError::from)?;
@@ -174,8 +182,7 @@ impl OnlineSession {
         let mut scene: Option<SceneGraph> = None;
         let mut space: Option<VirtualSpace> = None;
         let mut map = TraceDotMap::default();
-        let mut trace_writer =
-            TraceWriter::create(&cfg.trace_path).map_err(SessionError::from)?;
+        let mut trace_writer = TraceWriter::create(&cfg.trace_path).map_err(SessionError::from)?;
         let mut events: Vec<TraceEvent> = Vec::new();
         let mut sample = SampleBuffer::new(cfg.sample_capacity);
         let mut edt = EventDispatchThread::new(cfg.pacing_ms);
@@ -208,8 +215,7 @@ impl OnlineSession {
                         .map_err(|e| SessionError::new(format!("received dot: {e}")))?;
                     let laid = layout(&graph, &LayoutOptions::default());
                     let svg = write_svg(&laid);
-                    let sc = parse_svg(&svg)
-                        .map_err(|e| SessionError::new(format!("svg: {e}")))?;
+                    let sc = parse_svg(&svg).map_err(|e| SessionError::new(format!("svg: {e}")))?;
                     let (sp, node_glyphs) = VirtualSpace::from_scene(&sc);
                     map = TraceDotMap::from_scene(&sc);
                     map.attach_glyphs(&node_glyphs);
@@ -275,6 +281,7 @@ impl OnlineSession {
 
         Ok(OnlineOutcome {
             plan,
+            verify,
             dot_text: received_dot.unwrap_or(dot_text),
             scene,
             space,
@@ -341,6 +348,7 @@ mod tests {
         assert_eq!(out.progress.done, out.plan.len(), "progress reads 100%");
         assert_eq!(out.progress.fraction, 1.0);
         assert!(!out.dot_text.is_empty());
+        assert!(out.verify.is_clean(), "compiled plan verifies clean");
         assert_eq!(out.scene.nodes.len(), out.plan.len());
         assert!(out.edt_stats.dispatched > 0);
         // Trace and dot files were written by the monitor.
@@ -382,12 +390,8 @@ mod tests {
             pacing_ms: 0,
             ..Default::default()
         };
-        let out = OnlineSession::run(
-            catalog(),
-            "select sum(l_tax) as s from lineitem",
-            &cfg,
-        )
-        .unwrap();
+        let out =
+            OnlineSession::run(catalog(), "select sum(l_tax) as s from lineitem", &cfg).unwrap();
         assert!(!out.threshold_states.is_empty());
         std::fs::remove_file(&cfg.trace_path).ok();
         std::fs::remove_file(&cfg.dot_path).ok();

@@ -92,7 +92,11 @@ mod tests {
                 0,
                 pc as u64 * 10,
                 0,
-                if pc == 0 { "X_0 := sql.mvc();" } else { "X_1 := sql.tid(X_0);" },
+                if pc == 0 {
+                    "X_0 := sql.mvc();"
+                } else {
+                    "X_1 := sql.tid(X_0);"
+                },
             )));
             lines.push(format_event(&TraceEvent::done(
                 1,
@@ -101,7 +105,11 @@ mod tests {
                 pc as u64 * 10 + 5,
                 5,
                 0,
-                if pc == 0 { "X_0 := sql.mvc();" } else { "X_1 := sql.tid(X_0);" },
+                if pc == 0 {
+                    "X_0 := sql.mvc();"
+                } else {
+                    "X_1 := sql.tid(X_0);"
+                },
             )));
         }
         OfflineSession::load_text(dot, &lines.join("\n")).unwrap()

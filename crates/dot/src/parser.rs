@@ -55,8 +55,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
             // // and # line comments, /* */ block comments.
-            if self.peek() == Some('/') && self.peek_at(1) == Some('/')
-                || self.peek() == Some('#')
+            if self.peek() == Some('/') && self.peek_at(1) == Some('/') || self.peek() == Some('#')
             {
                 while self.pos < self.chars.len() && self.chars[self.pos] != '\n' {
                     self.pos += 1;
@@ -425,10 +424,7 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let g = parse_dot(
-            "digraph { // line\n # hash\n /* block\n comment */ a -> b; }",
-        )
-        .unwrap();
+        let g = parse_dot("digraph { // line\n # hash\n /* block\n comment */ a -> b; }").unwrap();
         assert_eq!(g.node_count(), 2);
     }
 

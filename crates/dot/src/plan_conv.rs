@@ -141,7 +141,10 @@ mod tests {
         let plan = sample_plan();
         let g = plan_to_graph(&plan, LabelStyle::FullStatement);
         let n1 = g.node_by_name("n1").unwrap();
-        assert_eq!(g.node(n1).attrs["label"], plan.instructions[1].render(&plan));
+        assert_eq!(
+            g.node(n1).attrs["label"],
+            plan.instructions[1].render(&plan)
+        );
     }
 
     #[test]

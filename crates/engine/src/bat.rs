@@ -411,7 +411,14 @@ mod tests {
 
     #[test]
     fn empty_of_scalar_types() {
-        for t in [MalType::Bit, MalType::Int, MalType::Dbl, MalType::Str, MalType::Oid, MalType::Date] {
+        for t in [
+            MalType::Bit,
+            MalType::Int,
+            MalType::Dbl,
+            MalType::Str,
+            MalType::Oid,
+            MalType::Date,
+        ] {
             let c = ColumnData::empty_of(&t).unwrap();
             assert_eq!(c.tail_type(), t);
             assert!(c.is_empty());

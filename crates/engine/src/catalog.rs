@@ -167,10 +167,7 @@ mod tests {
 
     #[test]
     fn mismatched_types_rejected() {
-        let r = TableDef::new(
-            "t",
-            vec![("a".into(), MalType::Dbl, Bat::ints(vec![1]))],
-        );
+        let r = TableDef::new("t", vec![("a".into(), MalType::Dbl, Bat::ints(vec![1]))]);
         assert!(matches!(r, Err(EngineError::TypeMismatch { .. })));
     }
 

@@ -32,6 +32,9 @@ pub struct ExecOptions {
     pub workers: usize,
     /// Profiler configuration.
     pub profiler: ProfilerConfig,
+    /// Run the static verifier on admission and reject plans with
+    /// verifier errors before executing a single instruction.
+    pub verify_on_admit: bool,
 }
 
 impl Default for ExecOptions {
@@ -40,6 +43,7 @@ impl Default for ExecOptions {
             parallel: false,
             workers: 0,
             profiler: ProfilerConfig::off(),
+            verify_on_admit: false,
         }
     }
 }
@@ -59,7 +63,14 @@ impl ExecOptions {
             parallel: true,
             workers,
             profiler,
+            ..Default::default()
         }
+    }
+
+    /// Enable admission-time static verification.
+    pub fn with_verify_on_admit(mut self) -> Self {
+        self.verify_on_admit = true;
+        self
     }
 
     /// Effective worker count.
@@ -204,7 +215,17 @@ impl Interpreter {
 
     /// Execute a plan with the given options.
     pub fn execute(&self, plan: &Plan, opts: &ExecOptions) -> Result<ExecOutcome> {
-        plan.validate().map_err(|e| EngineError::Other(e.to_string()))?;
+        plan.validate()
+            .map_err(|e| EngineError::Other(e.to_string()))?;
+        if opts.verify_on_admit {
+            let report = plan.verify();
+            if !report.is_clean() {
+                return Err(EngineError::VerifyRejected {
+                    errors: report.errors().count(),
+                    report: report.render(plan),
+                });
+            }
+        }
         let run = QueryRun::new(Arc::clone(&self.catalog), opts.profiler.clone());
         let started = Instant::now();
         if opts.parallel {
@@ -229,9 +250,9 @@ impl Interpreter {
             let values = run.run_instruction(
                 ins,
                 |v| {
-                    env[v]
-                        .clone()
-                        .ok_or_else(|| EngineError::Uninitialised(plan.var(stetho_mal::VarId(v)).name.clone()))
+                    env[v].clone().ok_or_else(|| {
+                        EngineError::Uninitialised(plan.var(stetho_mal::VarId(v)).name.clone())
+                    })
                 },
                 &stmts[ins.pc],
                 0,
@@ -298,7 +319,9 @@ end user.s1_1;
     #[test]
     fn figure1_query_executes() {
         let interp = Interpreter::new(catalog());
-        let out = interp.execute(&figure1_plan(), &ExecOptions::default()).unwrap();
+        let out = interp
+            .execute(&figure1_plan(), &ExecOptions::default())
+            .unwrap();
         let r = out.result.unwrap();
         assert_eq!(r.rows(), 3);
         assert_eq!(
@@ -340,7 +363,10 @@ end user.s1_1;
         let interp = Interpreter::new(catalog());
         let plan = figure1_plan();
         interp
-            .execute(&plan, &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())))
+            .execute(
+                &plan,
+                &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())),
+            )
             .unwrap();
         let events = sink.take();
         let stmts = plan.stmt_texts();
@@ -411,7 +437,10 @@ end user.s1_1;
         let interp = Interpreter::new(catalog());
         let plan = figure1_plan();
         interp
-            .execute(&plan, &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())))
+            .execute(
+                &plan,
+                &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())),
+            )
             .unwrap();
         let events = sink.take();
         let first = events.first().unwrap().rss;

@@ -13,10 +13,7 @@ use crate::rt::RuntimeValue;
 use crate::Result;
 
 /// Resolve the optional candidate list of a plain aggregate.
-fn plain_args<'a>(
-    op: &str,
-    args: &'a [RuntimeValue],
-) -> Result<(&'a Bat, Option<&'a [u64]>)> {
+fn plain_args<'a>(op: &str, args: &'a [RuntimeValue]) -> Result<(&'a Bat, Option<&'a [u64]>)> {
     if args.is_empty() || args.len() > 2 {
         return Err(EngineError::Arity {
             op: op.into(),
@@ -175,14 +172,14 @@ fn compare_values(a: &Value, b: &Value) -> Result<std::cmp::Ordering> {
 }
 
 /// Validate grouped-aggregate arguments and return (values, groups, ngroups).
-fn grouped_args<'a>(
-    op: &str,
-    args: &'a [RuntimeValue],
-) -> Result<(&'a Bat, &'a [u64], usize)> {
+fn grouped_args<'a>(op: &str, args: &'a [RuntimeValue]) -> Result<(&'a Bat, &'a [u64], usize)> {
     if args.len() != 3 {
         return Err(EngineError::Arity {
             op: op.into(),
-            msg: format!("expected 3 args (values, groups, extents), got {}", args.len()),
+            msg: format!(
+                "expected 3 args (values, groups, extents), got {}",
+                args.len()
+            ),
         });
     }
     let vals = args[0].as_bat(op)?;
@@ -336,8 +333,14 @@ mod tests {
     #[test]
     fn plain_sum_count_avg() {
         let b = rb(Bat::ints(vec![1, 2, 3, 4]));
-        assert_eq!(scalar(&sum(std::slice::from_ref(&b)).unwrap()), Value::Int(10));
-        assert_eq!(scalar(&count(std::slice::from_ref(&b)).unwrap()), Value::Int(4));
+        assert_eq!(
+            scalar(&sum(std::slice::from_ref(&b)).unwrap()),
+            Value::Int(10)
+        );
+        assert_eq!(
+            scalar(&count(std::slice::from_ref(&b)).unwrap()),
+            Value::Int(4)
+        );
         assert_eq!(scalar(&avg(&[b]).unwrap()), Value::Dbl(2.5));
     }
 
@@ -345,7 +348,10 @@ mod tests {
     fn plain_with_candidates() {
         let b = rb(Bat::ints(vec![10, 20, 30]));
         let cand = rb(Bat::oids(vec![0, 2]));
-        assert_eq!(scalar(&sum(&[b.clone(), cand.clone()]).unwrap()), Value::Int(40));
+        assert_eq!(
+            scalar(&sum(&[b.clone(), cand.clone()]).unwrap()),
+            Value::Int(40)
+        );
         assert_eq!(scalar(&count(&[b, cand]).unwrap()), Value::Int(2));
     }
 
@@ -358,7 +364,10 @@ mod tests {
     #[test]
     fn min_max_types() {
         let b = rb(Bat::ints(vec![3, 1, 2]));
-        assert_eq!(scalar(&minmax(std::slice::from_ref(&b), true).unwrap()), Value::Int(1));
+        assert_eq!(
+            scalar(&minmax(std::slice::from_ref(&b), true).unwrap()),
+            Value::Int(1)
+        );
         assert_eq!(scalar(&minmax(&[b], false).unwrap()), Value::Int(3));
         let s = rb(Bat::strs(vec!["b".into(), "a".into()]));
         assert_eq!(scalar(&minmax(&[s], true).unwrap()), Value::Str("a".into()));
@@ -367,8 +376,14 @@ mod tests {
     #[test]
     fn empty_aggregates() {
         let b = rb(Bat::ints(vec![]));
-        assert_eq!(scalar(&sum(std::slice::from_ref(&b)).unwrap()), Value::Int(0));
-        assert_eq!(scalar(&count(std::slice::from_ref(&b)).unwrap()), Value::Int(0));
+        assert_eq!(
+            scalar(&sum(std::slice::from_ref(&b)).unwrap()),
+            Value::Int(0)
+        );
+        assert_eq!(
+            scalar(&count(std::slice::from_ref(&b)).unwrap()),
+            Value::Int(0)
+        );
         assert!(scalar(&avg(std::slice::from_ref(&b)).unwrap()).is_nil());
         assert!(scalar(&minmax(&[b], true).unwrap()).is_nil());
     }
@@ -390,7 +405,10 @@ mod tests {
         let c = subcount(&[vals.clone(), groups.clone(), extents.clone()]).unwrap();
         assert_eq!(c[0].as_bat("t").unwrap().as_ints().unwrap(), &[2, 2, 1]);
         let a = subavg(&[vals, groups, extents]).unwrap();
-        assert_eq!(a[0].as_bat("t").unwrap().as_dbls().unwrap(), &[2.0, 3.0, 5.0]);
+        assert_eq!(
+            a[0].as_bat("t").unwrap().as_dbls().unwrap(),
+            &[2.0, 3.0, 5.0]
+        );
     }
 
     #[test]

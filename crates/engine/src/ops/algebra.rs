@@ -137,7 +137,9 @@ pub fn select(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
             }
         }
     }
-    Ok(vec![RuntimeValue::bat(Bat::new_sorted(ColumnData::Oid(out)))])
+    Ok(vec![RuntimeValue::bat(Bat::new_sorted(ColumnData::Oid(
+        out,
+    )))])
 }
 
 /// `algebra.thetaselect(col, cand, val, op:str)` — select by comparison.
@@ -179,7 +181,9 @@ pub fn thetaselect(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
             out.push(o);
         }
     }
-    Ok(vec![RuntimeValue::bat(Bat::new_sorted(ColumnData::Oid(out)))])
+    Ok(vec![RuntimeValue::bat(Bat::new_sorted(ColumnData::Oid(
+        out,
+    )))])
 }
 
 /// `algebra.projection(cand, col)` — fetch tail values at candidates.
@@ -259,7 +263,10 @@ pub fn join(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     };
     let mut table: HashMap<Key<'_>, Vec<u64>> = HashMap::with_capacity(build.len());
     for i in 0..build.len() {
-        table.entry(key_at(&build.data, i)).or_default().push(i as u64);
+        table
+            .entry(key_at(&build.data, i))
+            .or_default()
+            .push(i as u64);
     }
     let mut probe_out = Vec::new();
     let mut build_out = Vec::new();
@@ -449,13 +456,15 @@ mod tests {
         let col = Bat::ints(vec![1, 2, 3]);
         let cand = Bat::dense_oids(3);
         let run = |theta: &str| {
-            oids(&thetaselect(&[
-                rb(col.clone()),
-                rb(cand.clone()),
-                ri(2),
-                RuntimeValue::Scalar(Value::Str(theta.into())),
-            ])
-            .unwrap()[0])
+            oids(
+                &thetaselect(&[
+                    rb(col.clone()),
+                    rb(cand.clone()),
+                    ri(2),
+                    RuntimeValue::Scalar(Value::Str(theta.into())),
+                ])
+                .unwrap()[0],
+            )
         };
         assert_eq!(run("=="), vec![1]);
         assert_eq!(run("!="), vec![0, 2]);
@@ -478,7 +487,10 @@ mod tests {
         let oids_bat = Bat::oids(vec![1, 1, 0]);
         let col = Bat::ints(vec![10, 20]);
         let out = leftjoin(&[rb(oids_bat), rb(col)]).unwrap();
-        assert_eq!(out[0].as_bat("t").unwrap().as_ints().unwrap(), &[20, 20, 10]);
+        assert_eq!(
+            out[0].as_bat("t").unwrap().as_ints().unwrap(),
+            &[20, 20, 10]
+        );
     }
 
     #[test]

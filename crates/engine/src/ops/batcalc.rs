@@ -434,9 +434,18 @@ mod tests {
     fn vector_vector_all_ops() {
         let a = rb(Bat::ints(vec![10, 20]));
         let b = rb(Bat::ints(vec![3, 4]));
-        assert_eq!(ints(&arith("+", &[a.clone(), b.clone()]).unwrap()[0]), vec![13, 24]);
-        assert_eq!(ints(&arith("-", &[a.clone(), b.clone()]).unwrap()[0]), vec![7, 16]);
-        assert_eq!(ints(&arith("*", &[a.clone(), b.clone()]).unwrap()[0]), vec![30, 80]);
+        assert_eq!(
+            ints(&arith("+", &[a.clone(), b.clone()]).unwrap()[0]),
+            vec![13, 24]
+        );
+        assert_eq!(
+            ints(&arith("-", &[a.clone(), b.clone()]).unwrap()[0]),
+            vec![7, 16]
+        );
+        assert_eq!(
+            ints(&arith("*", &[a.clone(), b.clone()]).unwrap()[0]),
+            vec![30, 80]
+        );
         assert_eq!(ints(&arith("/", &[a, b]).unwrap()[0]), vec![3, 5]);
     }
 
@@ -488,9 +497,18 @@ mod tests {
     #[test]
     fn comparisons_numeric() {
         let a = rb(Bat::ints(vec![1, 2, 3]));
-        assert_eq!(bits(&compare("<", &[a.clone(), ri(2)]).unwrap()[0]), vec![true, false, false]);
-        assert_eq!(bits(&compare("==", &[a.clone(), ri(2)]).unwrap()[0]), vec![false, true, false]);
-        assert_eq!(bits(&compare(">=", &[a, ri(2)]).unwrap()[0]), vec![false, true, true]);
+        assert_eq!(
+            bits(&compare("<", &[a.clone(), ri(2)]).unwrap()[0]),
+            vec![true, false, false]
+        );
+        assert_eq!(
+            bits(&compare("==", &[a.clone(), ri(2)]).unwrap()[0]),
+            vec![false, true, false]
+        );
+        assert_eq!(
+            bits(&compare(">=", &[a, ri(2)]).unwrap()[0]),
+            vec![false, true, true]
+        );
     }
 
     #[test]
@@ -511,8 +529,14 @@ mod tests {
     fn boolean_ops() {
         let a = rb(Bat::new(ColumnData::Bit(vec![true, true, false])));
         let b = rb(Bat::new(ColumnData::Bit(vec![true, false, false])));
-        assert_eq!(bits(&boolean("and", &[a.clone(), b.clone()]).unwrap()[0]), vec![true, false, false]);
-        assert_eq!(bits(&boolean("or", &[a.clone(), b]).unwrap()[0]), vec![true, true, false]);
+        assert_eq!(
+            bits(&boolean("and", &[a.clone(), b.clone()]).unwrap()[0]),
+            vec![true, false, false]
+        );
+        assert_eq!(
+            bits(&boolean("or", &[a.clone(), b]).unwrap()[0]),
+            vec![true, true, false]
+        );
         assert_eq!(bits(&not(&[a]).unwrap()[0]), vec![false, false, true]);
     }
 

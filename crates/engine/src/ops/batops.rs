@@ -14,9 +14,9 @@ pub fn new_bat(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     let ty = match args {
         [] => MalType::Int,
         [t] => match t.as_scalar(op)? {
-            Value::Str(name) => name.parse::<MalType>().map_err(|_| EngineError::Other(
-                format!("{op}: unknown tail type `{name}`"),
-            ))?,
+            Value::Str(name) => name
+                .parse::<MalType>()
+                .map_err(|_| EngineError::Other(format!("{op}: unknown tail type `{name}`")))?,
             other => {
                 return Err(EngineError::TypeMismatch {
                     op: op.into(),
@@ -32,7 +32,9 @@ pub fn new_bat(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
             })
         }
     };
-    Ok(vec![RuntimeValue::bat(Bat::new(ColumnData::empty_of(&ty)?))])
+    Ok(vec![RuntimeValue::bat(Bat::new(ColumnData::empty_of(
+        &ty,
+    )?))])
 }
 
 /// `bat.append(a, b)` — concatenation (functional: returns a new BAT).
@@ -111,7 +113,10 @@ mod tests {
             rb(Bat::ints(vec![3, 4])),
         ])
         .unwrap();
-        assert_eq!(out[0].as_bat("t").unwrap().as_ints().unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(
+            out[0].as_bat("t").unwrap().as_ints().unwrap(),
+            &[1, 2, 3, 4]
+        );
     }
 
     #[test]

@@ -77,7 +77,9 @@ pub fn likeselect(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
             out.push(o);
         }
     }
-    Ok(vec![RuntimeValue::bat(Bat::new_sorted(ColumnData::Oid(out)))])
+    Ok(vec![RuntimeValue::bat(Bat::new_sorted(ColumnData::Oid(
+        out,
+    )))])
 }
 
 /// `batcalc.like(col, pattern:str)` — bit mask of LIKE matches.
@@ -130,7 +132,9 @@ pub fn intersect(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
             }
         }
     }
-    Ok(vec![RuntimeValue::bat(Bat::new_sorted(ColumnData::Oid(out)))])
+    Ok(vec![RuntimeValue::bat(Bat::new_sorted(ColumnData::Oid(
+        out,
+    )))])
 }
 
 /// `algebra.union(a, b)` — merged candidate lists, deduplicated
@@ -175,7 +179,9 @@ pub fn union(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
             out.push(next);
         }
     }
-    Ok(vec![RuntimeValue::bat(Bat::new_sorted(ColumnData::Oid(out)))])
+    Ok(vec![RuntimeValue::bat(Bat::new_sorted(ColumnData::Oid(
+        out,
+    )))])
 }
 
 /// `algebra.unique(col)` — positions of each value's first occurrence,
@@ -198,7 +204,9 @@ pub fn unique(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
             out.push(i as u64);
         }
     }
-    Ok(vec![RuntimeValue::bat(Bat::new_sorted(ColumnData::Oid(out)))])
+    Ok(vec![RuntimeValue::bat(Bat::new_sorted(ColumnData::Oid(
+        out,
+    )))])
 }
 
 #[cfg(test)]
@@ -248,7 +256,8 @@ mod tests {
             "PROMO BRASS".into(),
         ]);
         let cand = Bat::dense_oids(3);
-        let out = likeselect(&[rb(col.clone()), rb(cand.clone()), rs("PROMO%"), rbit(false)]).unwrap();
+        let out =
+            likeselect(&[rb(col.clone()), rb(cand.clone()), rs("PROMO%"), rbit(false)]).unwrap();
         assert_eq!(oids(&out[0]), vec![0, 2]);
         // anti = NOT LIKE.
         let out = likeselect(&[rb(col), rb(cand), rs("PROMO%"), rbit(true)]).unwrap();
@@ -259,7 +268,10 @@ mod tests {
     fn batcalc_like_mask() {
         let col = Bat::strs(vec!["MAIL".into(), "SHIP".into(), "RAIL".into()]);
         let out = batcalc_like(&[rb(col), rs("%AIL")]).unwrap();
-        assert_eq!(out[0].as_bat("t").unwrap().as_bits().unwrap(), &[true, false, true]);
+        assert_eq!(
+            out[0].as_bat("t").unwrap().as_bits().unwrap(),
+            &[true, false, true]
+        );
     }
 
     #[test]
@@ -276,13 +288,22 @@ mod tests {
     fn set_ops_with_empty() {
         let a = Bat::oids(vec![]);
         let b = Bat::oids(vec![1, 2]);
-        assert_eq!(oids(&intersect(&[rb(a.clone()), rb(b.clone())]).unwrap()[0]), Vec::<u64>::new());
+        assert_eq!(
+            oids(&intersect(&[rb(a.clone()), rb(b.clone())]).unwrap()[0]),
+            Vec::<u64>::new()
+        );
         assert_eq!(oids(&union(&[rb(a), rb(b)]).unwrap()[0]), vec![1, 2]);
     }
 
     #[test]
     fn unique_first_occurrences() {
-        let col = Bat::strs(vec!["a".into(), "b".into(), "a".into(), "c".into(), "b".into()]);
+        let col = Bat::strs(vec![
+            "a".into(),
+            "b".into(),
+            "a".into(),
+            "c".into(),
+            "b".into(),
+        ]);
         let out = unique(&[rb(col)]).unwrap();
         assert_eq!(oids(&out[0]), vec![0, 1, 3]);
         let ints = Bat::ints(vec![5, 5, 5]);

@@ -129,7 +129,13 @@ mod tests {
 
     #[test]
     fn group_assigns_first_occurrence_ids() {
-        let col = Bat::strs(vec!["a".into(), "b".into(), "a".into(), "c".into(), "b".into()]);
+        let col = Bat::strs(vec![
+            "a".into(),
+            "b".into(),
+            "a".into(),
+            "c".into(),
+            "b".into(),
+        ]);
         let out = group(&[rb(col)]).unwrap();
         assert_eq!(oids(&out[0]), vec![0, 1, 0, 2, 1]);
         assert_eq!(oids(&out[1]), vec![0, 1, 3]);

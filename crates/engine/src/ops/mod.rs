@@ -56,9 +56,7 @@ pub fn execute(
         ("batcalc", "like") => extra::batcalc_like(args),
 
         ("calc", f @ ("+" | "-" | "*" | "/")) => batcalc::scalar_arith(f, args),
-        ("calc", "identity") => {
-            one_arg("calc.identity", args).map(|v| vec![v.clone()])
-        }
+        ("calc", "identity") => one_arg("calc.identity", args).map(|v| vec![v.clone()]),
 
         ("aggr", "sum") => aggr::sum(args),
         ("aggr", "count") => aggr::count(args),
@@ -124,11 +122,13 @@ pub(crate) fn one_arg<'a>(op: &str, args: &'a [RuntimeValue]) -> Result<&'a Runt
 }
 
 pub(crate) fn expect_int(op: &str, v: &RuntimeValue) -> Result<i64> {
-    v.as_scalar(op)?.as_int().ok_or_else(|| EngineError::TypeMismatch {
-        op: op.to_string(),
-        expected: "int".into(),
-        got: v.mal_type().to_string(),
-    })
+    v.as_scalar(op)?
+        .as_int()
+        .ok_or_else(|| EngineError::TypeMismatch {
+            op: op.to_string(),
+            expected: "int".into(),
+            got: v.mal_type().to_string(),
+        })
 }
 
 pub(crate) fn expect_str(op: &str, v: &RuntimeValue) -> Result<String> {
@@ -160,7 +160,11 @@ mod tests {
 
     #[test]
     fn administrative_ops_are_noops() {
-        for (m, f) in [("language", "pass"), ("language", "dataflow"), ("querylog", "define")] {
+        for (m, f) in [
+            ("language", "pass"),
+            ("language", "dataflow"),
+            ("querylog", "define"),
+        ] {
             assert!(execute(m, f, &[], &ctx()).unwrap().is_empty());
         }
     }
@@ -181,13 +185,7 @@ mod tests {
     #[test]
     fn io_print_collects() {
         let c = ctx();
-        execute(
-            "io",
-            "print",
-            &[RuntimeValue::Scalar(Value::Int(1))],
-            &c,
-        )
-        .unwrap();
+        execute("io", "print", &[RuntimeValue::Scalar(Value::Int(1))], &c).unwrap();
         assert_eq!(c.printed.lock().len(), 1);
     }
 

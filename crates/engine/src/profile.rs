@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use stetho_profiler::{FilterOptions, ProfilerEmitter, TraceEvent};
 use stetho_profiler::tracefile::TraceWriter;
+use stetho_profiler::{FilterOptions, ProfilerEmitter, TraceEvent};
 
 /// Destination for profiler events. Implementations must tolerate
 /// concurrent emission from scheduler workers.

@@ -82,10 +82,7 @@ impl QueryResult {
 
     /// Column by name.
     pub fn column(&self, name: &str) -> Option<&Arc<Bat>> {
-        self.columns
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, b)| b)
+        self.columns.iter().find(|(n, _)| n == name).map(|(_, b)| b)
     }
 
     /// Render as an aligned ASCII table (for examples and debugging).

@@ -39,9 +39,8 @@ pub(crate) fn run_dataflow(plan: &Plan, run: &QueryRun, workers: usize) -> Resul
         .map(|pc| AtomicUsize::new(graph.preds(pc).len()))
         .collect();
     let remaining = AtomicUsize::new(n);
-    let env: Vec<Mutex<Option<RuntimeValue>>> = (0..plan.var_count())
-        .map(|_| Mutex::new(None))
-        .collect();
+    let env: Vec<Mutex<Option<RuntimeValue>>> =
+        (0..plan.var_count()).map(|_| Mutex::new(None)).collect();
     let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
 
     let (tx, rx) = unbounded::<Job>();

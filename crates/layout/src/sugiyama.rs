@@ -222,7 +222,8 @@ pub fn layout(graph: &Graph, opts: &LayoutOptions) -> SceneGraph {
     }
 
     // --- emit scene graph ---
-    let y_of = |l: usize| opts.v_gap / 2.0 + opts.node_h / 2.0 + l as f64 * (opts.node_h + opts.v_gap);
+    let y_of =
+        |l: usize| opts.v_gap / 2.0 + opts.node_h / 2.0 + l as f64 * (opts.node_h + opts.v_gap);
     let mut scene = SceneGraph {
         width: max_width + opts.h_gap * 2.0,
         height: y_of(n_layers - 1) + opts.node_h / 2.0 + opts.v_gap / 2.0,
@@ -376,7 +377,19 @@ mod tests {
 
     #[test]
     fn no_nans_and_positive_extent() {
-        let g = mk_graph(10, &[(0, 5), (1, 5), (2, 6), (3, 6), (4, 7), (5, 8), (6, 8), (7, 9)]);
+        let g = mk_graph(
+            10,
+            &[
+                (0, 5),
+                (1, 5),
+                (2, 6),
+                (3, 6),
+                (4, 7),
+                (5, 8),
+                (6, 8),
+                (7, 9),
+            ],
+        );
         let s = layout(&g, &LayoutOptions::default());
         assert!(s.width > 0.0 && s.height > 0.0);
         for n in &s.nodes {
@@ -421,7 +434,10 @@ mod tests {
             some <= none,
             "barycenter sweeps must not increase crossings ({none} -> {some})"
         );
-        assert!(some < none, "expected strict improvement ({none} -> {some})");
+        assert!(
+            some < none,
+            "expected strict improvement ({none} -> {some})"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! This DAG is what the dot file describes, what Stethoscope draws, and
 //! what the engine's multi-core scheduler runs.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::instr::Arg;
 use crate::plan::Plan;
@@ -35,12 +35,14 @@ impl DataflowGraph {
         let mut def_site: HashMap<usize, usize> = HashMap::new(); // var -> pc
         let mut succs = vec![Vec::new(); n];
         let mut preds = vec![Vec::new(); n];
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
         for ins in &plan.instructions {
             for a in &ins.args {
                 if let Arg::Var(v) = a {
                     if let Some(&d) = def_site.get(&v.0) {
-                        // Deduplicate multi-use of the same producer.
-                        if !succs[d].iter().any(|(t, _)| *t == ins.pc) {
+                        // Deduplicate multi-use of the same producer in
+                        // O(1) per edge instead of scanning the succ list.
+                        if seen.insert((d, ins.pc)) {
                             succs[d].push((ins.pc, EdgeKind::Data));
                             preds[ins.pc].push((d, EdgeKind::Data));
                         }

@@ -154,7 +154,12 @@ mod tests {
         let mut b = PlanBuilder::new("user.s1_1");
         let x0 = b.new_var(MalType::bat(MalType::Int));
         let x1 = b.new_var(MalType::bat(MalType::Oid));
-        b.push("sql", "bind", vec![x0], vec![Arg::Lit(Value::Str("lineitem".into()))]);
+        b.push(
+            "sql",
+            "bind",
+            vec![x0],
+            vec![Arg::Lit(Value::Str("lineitem".into()))],
+        );
         b.push(
             "algebra",
             "select",

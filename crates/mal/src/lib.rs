@@ -29,6 +29,7 @@ pub mod parser;
 pub mod plan;
 pub mod types;
 pub mod value;
+pub mod verify;
 
 pub use dataflow::{DataflowGraph, EdgeKind};
 pub use error::MalError;
@@ -38,6 +39,7 @@ pub use parser::parse_plan;
 pub use plan::{Plan, PlanBuilder, VarId, VarInfo};
 pub use types::MalType;
 pub use value::Value;
+pub use verify::{Code, Diagnostic, Severity, VerifyReport};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, MalError>;

@@ -87,12 +87,12 @@ impl ModuleRegistry {
 
     /// Validate one instruction against the registry.
     pub fn check(&self, ins: &Instruction) -> Result<()> {
-        let sig = self.get(&ins.module, &ins.function).ok_or_else(|| {
-            MalError::UnknownFunction {
-                module: ins.module.clone(),
-                function: ins.function.clone(),
-            }
-        })?;
+        let sig =
+            self.get(&ins.module, &ins.function)
+                .ok_or_else(|| MalError::UnknownFunction {
+                    module: ins.module.clone(),
+                    function: ins.function.clone(),
+                })?;
         if ins.args.len() < sig.min_args || ins.args.len() > sig.max_args {
             return Err(MalError::SignatureMismatch {
                 module: ins.module.clone(),
@@ -222,6 +222,18 @@ impl ModuleRegistry {
     }
 }
 
+/// Is this operator free of side effects (safe to deduplicate, reorder,
+/// or drop when unused)? Shared by the optimizer passes and the
+/// verifier's dead-code analysis.
+pub fn is_pure(module: &str, function: &str) -> bool {
+    match module {
+        "algebra" | "batcalc" | "calc" | "aggr" | "group" | "bat" | "mat" => true,
+        // Catalog reads are pure within one query.
+        "sql" => matches!(function, "mvc" | "tid" | "bind"),
+        _ => false,
+    }
+}
+
 fn leak_cmp(f: &str) -> &'static str {
     match f {
         "==" => "==",
@@ -249,7 +261,9 @@ mod tests {
         assert!(r.get("batcalc", "<=").is_some());
         assert!(r.get("algebra", "frobnicate").is_none());
         let modules = r.modules();
-        for m in ["sql", "algebra", "batcalc", "calc", "aggr", "group", "bat", "mat", "language"] {
+        for m in [
+            "sql", "algebra", "batcalc", "calc", "aggr", "group", "bat", "mat", "language",
+        ] {
             assert!(modules.contains(&m), "missing module {m}");
         }
     }
@@ -296,7 +310,10 @@ mod tests {
             results: vec![],
             args: vec![],
         };
-        assert!(matches!(r.check(&ins), Err(MalError::UnknownFunction { .. })));
+        assert!(matches!(
+            r.check(&ins),
+            Err(MalError::UnknownFunction { .. })
+        ));
     }
 
     #[test]
@@ -340,7 +357,9 @@ mod tests {
     fn all_is_sorted_and_docs_nonempty() {
         let r = ModuleRegistry::standard();
         let all = r.all();
-        assert!(all.windows(2).all(|w| (w[0].module, w[0].function) <= (w[1].module, w[1].function)));
+        assert!(all
+            .windows(2)
+            .all(|w| (w[0].module, w[0].function) <= (w[1].module, w[1].function)));
         assert!(all.iter().all(|s| !s.doc.is_empty()));
     }
 }

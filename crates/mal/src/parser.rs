@@ -48,9 +48,7 @@ pub fn parse_plan(text: &str) -> Result<Plan> {
         parse_statement(line, lineno, b, &mut vars)?;
     }
 
-    let plan = builder
-        .unwrap_or_else(|| PlanBuilder::new(name))
-        .finish();
+    let plan = builder.unwrap_or_else(|| PlanBuilder::new(name)).finish();
     plan.validate()?;
     Ok(plan)
 }
@@ -138,9 +136,9 @@ fn parse_statement(
         } else if is_identifier(base) && !tok.starts_with('"') && !is_literal_like(base) {
             return Err(MalError::UndefinedVariable(base.to_string()));
         } else {
-            args.push(Arg::Lit(Value::parse_literal(tok).map_err(|_| {
-                err(&format!("bad argument `{tok}`"))
-            })?));
+            args.push(Arg::Lit(
+                Value::parse_literal(tok).map_err(|_| err(&format!("bad argument `{tok}`")))?,
+            ));
         }
     }
 
@@ -303,7 +301,10 @@ end user.s1_1;
                     (X_1:bat[:oid], X_2:bat[:oid], X_3:bat[:int]) := group.group(X_0);\n";
         let plan = parse_plan(text).unwrap();
         assert_eq!(plan.instructions[1].results.len(), 3);
-        assert_eq!(plan.var(plan.instructions[1].results[2]).ty, MalType::bat(MalType::Int));
+        assert_eq!(
+            plan.var(plan.instructions[1].results[2]).ty,
+            MalType::bat(MalType::Int)
+        );
     }
 
     #[test]

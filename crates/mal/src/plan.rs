@@ -72,10 +72,7 @@ impl Plan {
 
     /// Look up a variable id by display name.
     pub fn var_by_name(&self, name: &str) -> Option<VarId> {
-        self.vars
-            .iter()
-            .position(|v| v.name == name)
-            .map(VarId)
+        self.vars.iter().position(|v| v.name == name).map(VarId)
     }
 
     /// Validate structural invariants: dense pcs, single assignment,
@@ -95,9 +92,7 @@ impl Plan {
                         return Err(MalError::UndefinedVariable(format!("X_{}", v.0)));
                     }
                     if !defined[v.0] {
-                        return Err(MalError::UndefinedVariable(
-                            self.vars[v.0].name.clone(),
-                        ));
+                        return Err(MalError::UndefinedVariable(self.vars[v.0].name.clone()));
                     }
                 }
             }
@@ -146,6 +141,22 @@ impl Plan {
             *h.entry(i.qualified_name()).or_insert(0) += 1;
         }
         h
+    }
+
+    /// Statically verify this plan against the standard module registry:
+    /// SSA discipline, signature/type conformance, dataflow-graph
+    /// soundness, and the concurrency lints. See [`crate::verify`] for
+    /// the diagnostic-code table.
+    pub fn verify(&self) -> crate::verify::VerifyReport {
+        self.verify_with(&crate::modules::ModuleRegistry::standard())
+    }
+
+    /// Like [`Plan::verify`], against a caller-supplied registry.
+    pub fn verify_with(
+        &self,
+        registry: &crate::modules::ModuleRegistry,
+    ) -> crate::verify::VerifyReport {
+        crate::verify::verify_plan(self, registry)
     }
 }
 
@@ -304,10 +315,7 @@ mod tests {
         // v used but never defined by an instruction.
         b.push("calc", "identity", vec![], vec![Arg::Var(v)]);
         let p = b.finish();
-        assert!(matches!(
-            p.validate(),
-            Err(MalError::UndefinedVariable(_))
-        ));
+        assert!(matches!(p.validate(), Err(MalError::UndefinedVariable(_))));
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Concurrency lints (MC030, MC031).
+//!
+//! The dataflow scheduler runs instructions as soon as their inputs are
+//! ready, so the only ordering a plan guarantees is the edges of its
+//! dataflow graph. Two `bat.append` calls against the same BAT with no
+//! path between them race under parallel execution even though the
+//! sequential interpreter happens to run them in pc order (MC030).
+//!
+//! MC031 is the paper's §5 finding mechanised: the demo's analysis of a
+//! TPC-H trace revealed "sequential execution of a MAL plan where
+//! multithreaded execution was expected". A plan that carries mitosis
+//! artifacts — partition slices or a `mat.pack` — but whose dataflow
+//! graph has width 1 cannot run anything in parallel: the optimizer
+//! paid for partitioning and got a sequential chain back.
+
+use crate::dataflow::DataflowGraph;
+use crate::instr::Arg;
+use crate::plan::Plan;
+
+use super::{Code, Diagnostic};
+
+/// Run the concurrency lints, appending findings to `out`.
+pub fn check(plan: &Plan, out: &mut Vec<Diagnostic>) {
+    if plan.is_empty() {
+        return;
+    }
+    let g = DataflowGraph::from_plan(plan);
+
+    // MC030: unordered mutations of the same BAT.
+    let mutations: Vec<(usize, usize)> = plan
+        .instructions
+        .iter()
+        .filter(|i| i.module == "bat" && i.function == "append")
+        .filter_map(|i| match i.args.first() {
+            Some(Arg::Var(v)) => Some((i.pc, v.0)),
+            _ => None,
+        })
+        .collect();
+    for (i, &(pc_a, var_a)) in mutations.iter().enumerate() {
+        for &(pc_b, var_b) in &mutations[i + 1..] {
+            if var_a == var_b && !g.reaches(pc_a, pc_b) && !g.reaches(pc_b, pc_a) {
+                out.push(
+                    Diagnostic::new(
+                        Code::UnorderedMutation,
+                        format!(
+                            "instructions at pc {pc_a} and pc {pc_b} both mutate {} with no \
+                             ordering edge between them",
+                            plan.var(crate::plan::VarId(var_a)).name
+                        ),
+                    )
+                    .at_pc(pc_b)
+                    .on_var(crate::plan::VarId(var_a))
+                    .with_hint(
+                        "under the dataflow scheduler these run concurrently; chain the second \
+                         append on the first's result",
+                    ),
+                );
+            }
+        }
+    }
+
+    // MC031: mitosis artifacts but a sequential (width-1) graph.
+    let slices = plan
+        .instructions
+        .iter()
+        .filter(|i| i.module == "algebra" && i.function == "slice")
+        .count();
+    let has_pack = plan
+        .instructions
+        .iter()
+        .any(|i| i.module == "mat" && i.function == "pack");
+    if (slices >= 2 || has_pack) && g.width() == 1 {
+        out.push(
+            Diagnostic::new(
+                Code::SequentialMitosis,
+                format!(
+                    "plan carries mitosis artifacts ({slices} slice(s){}) but its dataflow \
+                     graph has width 1 — it will execute sequentially where multithreading \
+                     was expected",
+                    if has_pack { ", mat.pack" } else { "" }
+                ),
+            )
+            .with_hint(
+                "partition chains that feed one another serialise; partitions must be \
+                 independent up to the pack/aggregate boundary",
+            ),
+        );
+    }
+}

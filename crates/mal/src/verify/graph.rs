@@ -1,0 +1,133 @@
+//! Dataflow-graph soundness (MC020, MC021).
+//!
+//! [`crate::dataflow::DataflowGraph`] only records def-before-use edges,
+//! so it is acyclic by construction and useless for detecting broken
+//! plans. This pass rebuilds the producer→consumer graph from the *full*
+//! def map — including definitions that appear after their uses — and
+//! runs Kahn's algorithm over it: any instruction that never reaches
+//! in-degree zero sits on a cycle (MC020). Dead-code analysis then walks
+//! backwards from every effectful instruction; pure instructions nobody
+//! effectful consumes are reported as MC021 warnings (the `deadcode`
+//! optimizer pass will drop them, which is why this is not an error).
+
+use std::collections::VecDeque;
+
+use crate::instr::Arg;
+use crate::modules::is_pure;
+use crate::plan::Plan;
+
+use super::{Code, Diagnostic};
+
+/// Run the graph checks, appending findings to `out`.
+pub fn check(plan: &Plan, out: &mut Vec<Diagnostic>) {
+    let n = plan.len();
+    if n == 0 {
+        return;
+    }
+
+    // Full def map: var id -> defining pc (first definition wins).
+    let mut def: Vec<Option<usize>> = vec![None; plan.var_count()];
+    for ins in &plan.instructions {
+        for r in &ins.results {
+            def[r.0].get_or_insert(ins.pc);
+        }
+    }
+
+    // Producer adjacency, including backward (use-before-def) edges.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg: Vec<usize> = vec![0; n];
+    for (u, ins) in plan.instructions.iter().enumerate() {
+        for a in &ins.args {
+            if let Arg::Var(v) = a {
+                if let Some(d) = def[v.0] {
+                    if d != u {
+                        succs[d].push(u);
+                        indeg[u] += 1;
+                    } else {
+                        // Self-loop: an instruction consuming its own
+                        // result is the smallest possible cycle.
+                        out.push(cycle_diag(plan, &[u]));
+                    }
+                }
+            }
+        }
+    }
+
+    // Kahn's algorithm; whatever survives sits on a cycle.
+    let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut removed = 0usize;
+    let mut alive = indeg.clone();
+    while let Some(u) = queue.pop_front() {
+        removed += 1;
+        for &s in &succs[u] {
+            alive[s] -= 1;
+            if alive[s] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    if removed < n {
+        let cyclic: Vec<usize> = (0..n).filter(|&i| alive[i] > 0).collect();
+        out.push(cycle_diag(plan, &cyclic));
+    }
+
+    // MC021: backward liveness from effectful instructions.
+    let mut live = vec![false; n];
+    let mut stack: Vec<usize> = plan
+        .instructions
+        .iter()
+        .filter(|i| !is_pure(&i.module, &i.function))
+        .map(|i| i.pc)
+        .collect();
+    while let Some(pc) = stack.pop() {
+        if live[pc] {
+            continue;
+        }
+        live[pc] = true;
+        for a in &plan.instructions[pc].args {
+            if let Arg::Var(v) = a {
+                if let Some(d) = def[v.0] {
+                    if !live[d] {
+                        stack.push(d);
+                    }
+                }
+            }
+        }
+    }
+    for (pc, ins) in plan.instructions.iter().enumerate() {
+        if !live[pc] {
+            out.push(
+                Diagnostic::new(
+                    Code::DeadInstruction,
+                    format!(
+                        "`{}` at pc {pc} has no path to an effectful instruction",
+                        ins.qualified_name()
+                    ),
+                )
+                .at_pc(pc)
+                .with_hint("the deadcode optimizer pass would remove this instruction"),
+            );
+        }
+    }
+}
+
+fn cycle_diag(_plan: &Plan, pcs: &[usize]) -> Diagnostic {
+    let list = pcs
+        .iter()
+        .map(|pc| pc.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    Diagnostic::new(
+        Code::DataflowCycle,
+        format!("dataflow cycle through instruction(s) at pc {list}"),
+    )
+    .at_pc(pcs[0])
+    .with_hint(format!(
+        "{} cannot execute: each instruction waits on a value the others produce",
+        if pcs.len() == 1 {
+            "this instruction"
+        } else {
+            "these instructions"
+        }
+    ))
+}

@@ -1,0 +1,325 @@
+//! Static verification of MAL plans ("malcheck").
+//!
+//! A MAL plan is a single-assignment dataflow program, and most of what
+//! can go wrong in the compiler shows up as a structural defect in the
+//! plan itself: a variable defined twice, a use before its definition, a
+//! call whose argument types cannot match any signature, a cycle in the
+//! dataflow graph, or a plan that was supposed to be parallel but
+//! degenerated into a sequential chain (the §5 anomaly the paper's demo
+//! uncovers). This module runs a battery of passes over a [`Plan`] and
+//! reports every finding as a [`Diagnostic`] with a stable `MC0xx` code:
+//!
+//! | code  | severity | pass        | meaning                                   |
+//! |-------|----------|-------------|-------------------------------------------|
+//! | MC001 | error    | ssa         | `instructions[i].pc != i` (non-dense pcs) |
+//! | MC002 | error    | ssa         | variable defined more than once           |
+//! | MC003 | error    | ssa         | variable used before its definition       |
+//! | MC004 | error    | ssa         | variable used but never defined           |
+//! | MC005 | error    | ssa         | variable id out of range                  |
+//! | MC006 | error    | ssa         | variable table def-site metadata is stale |
+//! | MC010 | error    | typing      | unknown `module.function`                 |
+//! | MC011 | error    | typing      | argument count outside the signature      |
+//! | MC012 | error    | typing      | result count differs from the signature   |
+//! | MC013 | error    | typing      | argument type mismatch                    |
+//! | MC014 | error    | typing      | result type mismatch                      |
+//! | MC020 | error    | graph       | dataflow cycle                            |
+//! | MC021 | warning  | graph       | dead instruction (no path to an effect)   |
+//! | MC030 | warning  | concurrency | unordered mutations of the same BAT       |
+//! | MC031 | warning  | concurrency | dataflow width 1 despite mitosis markers  |
+//!
+//! Severity policy: structural and typing defects are errors — executing
+//! such a plan is meaningless — while the lints (dead code awaiting the
+//! `deadcode` pass, a sequential plan) describe legal-but-suspicious
+//! plans and are warnings. [`VerifyReport::is_clean`] considers errors
+//! only, so optimizer pipelines can demand cleanliness between passes
+//! without outlawing the intermediate states the passes exist to clean
+//! up.
+
+mod concurrency;
+mod graph;
+mod ssa;
+mod typing;
+
+use std::fmt;
+
+use crate::modules::ModuleRegistry;
+use crate::plan::{Plan, VarId};
+
+pub use typing::{TypePat, TypeRule};
+
+/// Stable identifier for one class of finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// Non-dense pc numbering.
+    NonDensePc,
+    /// Variable defined more than once.
+    Redefinition,
+    /// Variable used before its definition.
+    UseBeforeDef,
+    /// Variable used but never defined.
+    UndefinedVar,
+    /// Variable id out of range of the variable table.
+    VarOutOfRange,
+    /// Variable table `def` field disagrees with the instructions.
+    StaleDefSite,
+    /// Unknown `module.function`.
+    UnknownFunction,
+    /// Argument count outside the signature's range.
+    BadArity,
+    /// Result count differs from the signature.
+    BadResultCount,
+    /// Argument type mismatch.
+    ArgTypeMismatch,
+    /// Result type mismatch.
+    ResultTypeMismatch,
+    /// Dataflow cycle.
+    DataflowCycle,
+    /// Instruction with no path to an effectful consumer.
+    DeadInstruction,
+    /// Two mutations of the same BAT with no ordering between them.
+    UnorderedMutation,
+    /// Mitosis markers present but the dataflow graph has width 1.
+    SequentialMitosis,
+}
+
+impl Code {
+    /// The stable `MC0xx` string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::NonDensePc => "MC001",
+            Code::Redefinition => "MC002",
+            Code::UseBeforeDef => "MC003",
+            Code::UndefinedVar => "MC004",
+            Code::VarOutOfRange => "MC005",
+            Code::StaleDefSite => "MC006",
+            Code::UnknownFunction => "MC010",
+            Code::BadArity => "MC011",
+            Code::BadResultCount => "MC012",
+            Code::ArgTypeMismatch => "MC013",
+            Code::ResultTypeMismatch => "MC014",
+            Code::DataflowCycle => "MC020",
+            Code::DeadInstruction => "MC021",
+            Code::UnorderedMutation => "MC030",
+            Code::SequentialMitosis => "MC031",
+        }
+    }
+
+    /// The severity this code always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::DeadInstruction | Code::UnorderedMutation | Code::SequentialMitosis => {
+                Severity::Warning
+            }
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but legal; does not affect [`VerifyReport::is_clean`].
+    Warning,
+    /// The plan is structurally broken.
+    Error,
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Error or warning (always `code.severity()`).
+    pub severity: Severity,
+    /// Offending instruction, when the finding is anchored to one.
+    pub pc: Option<usize>,
+    /// Offending variable, when the finding is anchored to one.
+    pub var: Option<VarId>,
+    /// Human-readable description.
+    pub message: String,
+    /// Suggested fix, when one is obvious.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            pc: None,
+            var: None,
+            message: message.into(),
+            hint: None,
+        }
+    }
+
+    pub(crate) fn at_pc(mut self, pc: usize) -> Self {
+        self.pc = Some(pc);
+        self
+    }
+
+    pub(crate) fn on_var(mut self, var: VarId) -> Self {
+        self.var = Some(var);
+        self
+    }
+
+    pub(crate) fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = Some(hint.into());
+        self
+    }
+}
+
+/// The outcome of verifying one plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerifyReport {
+    /// Plan name, for rendering.
+    plan_name: String,
+    /// All findings, in pass order then pc order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    /// No errors (warnings allowed).
+    pub fn is_clean(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Is a particular code present?
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Findings carrying `code`.
+    pub fn with_code(&self, code: Code) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// Render all findings rustc-style against the plan's listing.
+    ///
+    /// ```text
+    /// error[MC002]: variable X_3 defined more than once
+    ///   --> user.s1_1:4
+    ///    |
+    ///  4 |     X_3:bat[:oid] := algebra.select(X_2, X_1, 1:int, 1:int, true:bit);
+    ///    |
+    ///    = help: every MAL variable must have exactly one defining statement
+    /// ```
+    pub fn render(&self, plan: &Plan) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let level = match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            let _ = writeln!(out, "{level}[{}]: {}", d.code, d.message);
+            if let Some(pc) = d.pc {
+                let _ = writeln!(out, "  --> {}:{pc}", self.plan_name);
+                if let Some(ins) = plan.instructions.get(pc) {
+                    let gutter = pc.to_string().len().max(2);
+                    let _ = writeln!(out, "{:gutter$} |", "");
+                    let _ = writeln!(out, "{pc:gutter$} |     {}", ins.render(plan));
+                    let _ = writeln!(out, "{:gutter$} |", "");
+                }
+            }
+            if let Some(hint) = &d.hint {
+                let _ = writeln!(out, "   = help: {hint}");
+            }
+        }
+        let errors = self.errors().count();
+        let warnings = self.warnings().count();
+        match (errors, warnings) {
+            (0, 0) => out.push_str("verify: plan is clean\n"),
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "verify: {errors} error(s), {warnings} warning(s) in {}",
+                    self.plan_name
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Run every verifier pass over `plan` against `registry`.
+pub fn verify_plan(plan: &Plan, registry: &ModuleRegistry) -> VerifyReport {
+    let mut diagnostics = Vec::new();
+    ssa::check(plan, &mut diagnostics);
+    // The deeper passes index instructions by pc and variables by id, so
+    // they only need dense pcs and in-range ids — a use-before-def plan
+    // is exactly what the cycle detector exists to dissect.
+    let indexable = !diagnostics
+        .iter()
+        .any(|d| matches!(d.code, Code::NonDensePc | Code::VarOutOfRange));
+    if indexable {
+        typing::check(plan, registry, &mut diagnostics);
+        graph::check(plan, &mut diagnostics);
+        concurrency::check(plan, &mut diagnostics);
+    }
+    VerifyReport {
+        plan_name: plan.name.clone(),
+        diagnostics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_plan;
+
+    #[test]
+    fn clean_plan_reports_clean() {
+        let plan = parse_plan(
+            r#"
+X_0:int := sql.mvc();
+X_1:bat[:oid] := sql.tid(X_0, "sys", "lineitem");
+X_2:bat[:int] := sql.bind(X_0, "sys", "lineitem", "l_partkey", 0:int);
+X_3:bat[:oid] := algebra.select(X_2, X_1, 1:int, 1:int, true:bit);
+X_4:bat[:dbl] := sql.bind(X_0, "sys", "lineitem", "l_tax", 0:int);
+X_5:bat[:dbl] := algebra.projection(X_3, X_4);
+sql.resultSet("l_tax", X_5);
+"#,
+        )
+        .unwrap();
+        let report = plan.verify();
+        assert!(report.is_clean(), "{}", report.render(&plan));
+        assert!(report.diagnostics.is_empty());
+        assert!(report.render(&plan).contains("clean"));
+    }
+
+    #[test]
+    fn report_renders_statement_and_summary() {
+        let plan =
+            parse_plan("X_0:int := sql.mvc();\nX_1:bat[:oid] := sql.tid(X_0, \"sys\", \"t\");\n")
+                .unwrap();
+        // No effectful consumer: everything is dead (warnings only).
+        let report = plan.verify();
+        assert!(report.is_clean());
+        assert!(report.has_code(Code::DeadInstruction));
+        let text = report.render(&plan);
+        assert!(text.contains("warning[MC021]"));
+        assert!(text.contains("sql.tid"));
+        assert!(text.contains("warning(s)"));
+    }
+}

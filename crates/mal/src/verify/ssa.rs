@@ -1,0 +1,145 @@
+//! SSA-discipline checks (MC001–MC006).
+//!
+//! A MAL plan is a static single-assignment program: program counters
+//! are dense (`instructions[i].pc == i`), every variable has exactly one
+//! defining instruction, and every use appears strictly after its
+//! definition. The variable table carries a redundant `def` field that
+//! must agree with the instruction list.
+
+use crate::instr::Arg;
+use crate::plan::Plan;
+
+use super::{Code, Diagnostic};
+
+/// Run the SSA checks, appending findings to `out`.
+pub fn check(plan: &Plan, out: &mut Vec<Diagnostic>) {
+    let nvars = plan.var_count();
+
+    // MC001: dense pc numbering.
+    for (i, ins) in plan.instructions.iter().enumerate() {
+        if ins.pc != i {
+            out.push(
+                Diagnostic::new(
+                    Code::NonDensePc,
+                    format!(
+                        "instruction at position {i} carries pc {} (pcs must be dense)",
+                        ins.pc
+                    ),
+                )
+                .at_pc(i)
+                .with_hint("rebuild the plan through PlanBuilder, which numbers pcs densely"),
+            );
+        }
+    }
+
+    // MC002/MC005 over results: one definition per variable, ids in range.
+    let mut def_site: Vec<Option<usize>> = vec![None; nvars];
+    let mut redefined: Vec<bool> = vec![false; nvars];
+    for (i, ins) in plan.instructions.iter().enumerate() {
+        for r in &ins.results {
+            if r.0 >= nvars {
+                out.push(
+                    Diagnostic::new(
+                        Code::VarOutOfRange,
+                        format!(
+                            "result variable id {} is out of range (plan has {nvars} variables)",
+                            r.0
+                        ),
+                    )
+                    .at_pc(i)
+                    .on_var(*r),
+                );
+                continue;
+            }
+            match def_site[r.0] {
+                Some(first) => out.push(
+                    Diagnostic::new(
+                        Code::Redefinition,
+                        format!(
+                            "variable {} defined more than once (first at pc {first}, again at pc {i})",
+                            plan.var(*r).name
+                        ),
+                    )
+                    .at_pc(i)
+                    .on_var(*r)
+                    .with_hint("every MAL variable must have exactly one defining statement"),
+                ),
+                None => def_site[r.0] = Some(i),
+            }
+            if def_site[r.0] != Some(i) {
+                redefined[r.0] = true;
+            }
+        }
+    }
+
+    // MC003/MC004/MC005 over uses: defined, and defined earlier.
+    for (i, ins) in plan.instructions.iter().enumerate() {
+        for a in &ins.args {
+            let v = match a {
+                Arg::Var(v) => *v,
+                Arg::Lit(_) => continue,
+            };
+            if v.0 >= nvars {
+                out.push(
+                    Diagnostic::new(
+                        Code::VarOutOfRange,
+                        format!(
+                            "argument variable id {} is out of range (plan has {nvars} variables)",
+                            v.0
+                        ),
+                    )
+                    .at_pc(i)
+                    .on_var(v),
+                );
+                continue;
+            }
+            match def_site[v.0] {
+                None => out.push(
+                    Diagnostic::new(
+                        Code::UndefinedVar,
+                        format!("variable {} is used but never defined", plan.var(v).name),
+                    )
+                    .at_pc(i)
+                    .on_var(v),
+                ),
+                Some(d) if d >= i => out.push(
+                    Diagnostic::new(
+                        Code::UseBeforeDef,
+                        format!(
+                            "variable {} is used at pc {i} but defined later, at pc {d}",
+                            plan.var(v).name
+                        ),
+                    )
+                    .at_pc(i)
+                    .on_var(v)
+                    .with_hint("definitions must precede uses in program order"),
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+
+    // MC006: the variable table's def metadata matches the instructions.
+    // Redefined variables have no single true def site; MC002 already
+    // covers them.
+    for (id, info) in plan.vars() {
+        if redefined.get(id.0).copied().unwrap_or(false) {
+            continue;
+        }
+        let actual = def_site.get(id.0).copied().flatten();
+        if info.def != actual {
+            let mut d = Diagnostic::new(
+                Code::StaleDefSite,
+                format!(
+                    "variable table says {} is defined at {:?}, but the instructions say {:?}",
+                    info.name, info.def, actual
+                ),
+            )
+            .on_var(id);
+            if let Some(pc) = actual.or(info.def) {
+                d = d.at_pc(pc);
+            }
+            out.push(d);
+        }
+    }
+}

@@ -53,7 +53,14 @@ pub struct TraceEvent {
 
 impl TraceEvent {
     /// Construct a `start` record.
-    pub fn start(event: u64, pc: usize, thread: usize, clk: u64, rss: u64, stmt: impl Into<String>) -> Self {
+    pub fn start(
+        event: u64,
+        pc: usize,
+        thread: usize,
+        clk: u64,
+        rss: u64,
+        stmt: impl Into<String>,
+    ) -> Self {
         TraceEvent {
             event,
             status: EventStatus::Start,
@@ -67,7 +74,15 @@ impl TraceEvent {
     }
 
     /// Construct a `done` record.
-    pub fn done(event: u64, pc: usize, thread: usize, clk: u64, usec: u64, rss: u64, stmt: impl Into<String>) -> Self {
+    pub fn done(
+        event: u64,
+        pc: usize,
+        thread: usize,
+        clk: u64,
+        usec: u64,
+        rss: u64,
+        stmt: impl Into<String>,
+    ) -> Self {
         TraceEvent {
             event,
             status: EventStatus::Done,
@@ -116,7 +131,14 @@ mod tests {
 
     #[test]
     fn operator_extraction() {
-        let e = TraceEvent::start(0, 0, 0, 0, 0, "X_5:bat[:dbl] := algebra.leftjoin(X_23, X_10);");
+        let e = TraceEvent::start(
+            0,
+            0,
+            0,
+            0,
+            0,
+            "X_5:bat[:dbl] := algebra.leftjoin(X_23, X_10);",
+        );
         assert_eq!(e.operator(), "algebra.leftjoin");
         assert_eq!(e.module(), "algebra");
         let bare = TraceEvent::start(0, 0, 0, 0, 0, "language.pass(X_1);");

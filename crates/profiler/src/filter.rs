@@ -176,7 +176,9 @@ mod tests {
 
     #[test]
     fn thread_and_status_filters() {
-        let f = FilterOptions::all().with_thread(2).with_status(EventStatus::Done);
+        let f = FilterOptions::all()
+            .with_thread(2)
+            .with_status(EventStatus::Done);
         assert!(f.accepts(&ev(0, 2, EventStatus::Done, 0, "f.g();")));
         assert!(!f.accepts(&ev(0, 2, EventStatus::Start, 0, "f.g();")));
         assert!(!f.accepts(&ev(0, 1, EventStatus::Done, 0, "f.g();")));
@@ -204,7 +206,13 @@ mod tests {
             .with_pc_range(0, 10)
             .with_min_usec(10);
         assert!(f.accepts(&ev(5, 0, EventStatus::Done, 20, "X := algebra.join(A, B);")));
-        assert!(!f.accepts(&ev(11, 0, EventStatus::Done, 20, "X := algebra.join(A, B);")));
+        assert!(!f.accepts(&ev(
+            11,
+            0,
+            EventStatus::Done,
+            20,
+            "X := algebra.join(A, B);"
+        )));
         assert!(!f.accepts(&ev(5, 0, EventStatus::Done, 5, "X := algebra.join(A, B);")));
         assert!(!f.accepts(&ev(5, 0, EventStatus::Done, 20, "X := sql.bind(A);")));
     }

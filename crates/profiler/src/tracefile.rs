@@ -40,7 +40,12 @@ impl TraceFile {
 
     /// Append one event (online mode's continuously-growing file).
     pub fn append(&self, event: &TraceEvent) -> io::Result<()> {
-        let mut w = BufWriter::new(OpenOptions::new().create(true).append(true).open(&self.path)?);
+        let mut w = BufWriter::new(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)?,
+        );
         writeln!(w, "{}", format_event(event))?;
         w.flush()
     }
@@ -57,10 +62,7 @@ impl TraceFile {
                 continue;
             }
             let e = parse_event(&line).map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: {e}", i + 1),
-                )
+                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", i + 1))
             })?;
             events.push(e);
         }
@@ -120,17 +122,19 @@ mod tests {
 
     fn events(n: usize) -> Vec<TraceEvent> {
         (0..n as u64)
-            .map(|i| {
-                TraceEvent {
-                    event: i,
-                    status: if i % 2 == 0 { EventStatus::Start } else { EventStatus::Done },
-                    pc: (i / 2) as usize,
-                    thread: (i % 3) as usize,
-                    clk: i * 10,
-                    usec: if i % 2 == 1 { 10 } else { 0 },
-                    rss: 1024 + i,
-                    stmt: format!("X_{i} := algebra.select(X_0, {i}:int);"),
-                }
+            .map(|i| TraceEvent {
+                event: i,
+                status: if i % 2 == 0 {
+                    EventStatus::Start
+                } else {
+                    EventStatus::Done
+                },
+                pc: (i / 2) as usize,
+                thread: (i % 3) as usize,
+                clk: i * 10,
+                usec: if i % 2 == 1 { 10 } else { 0 },
+                rss: 1024 + i,
+                stmt: format!("X_{i} := algebra.select(X_0, {i}:int);"),
             })
             .collect()
     }

@@ -205,8 +205,7 @@ fn listen_loop(
         let (len, source) = match socket.recv_from(&mut buf) {
             Ok(x) => x,
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 continue
             }
@@ -283,7 +282,11 @@ mod tests {
     fn ev(i: u64, pc: usize, stmt: &str) -> TraceEvent {
         TraceEvent {
             event: i,
-            status: if i.is_multiple_of(2) { EventStatus::Start } else { EventStatus::Done },
+            status: if i.is_multiple_of(2) {
+                EventStatus::Start
+            } else {
+                EventStatus::Done
+            },
             pc,
             thread: 0,
             clk: i,
@@ -310,7 +313,9 @@ mod tests {
         let rx = steth.start();
         let emitter = ProfilerEmitter::connect(steth.local_addr().unwrap()).unwrap();
         for i in 0..5 {
-            emitter.emit(&ev(i, i as usize, "X := algebra.select(Y);")).unwrap();
+            emitter
+                .emit(&ev(i, i as usize, "X := algebra.select(Y);"))
+                .unwrap();
         }
         emitter.send_end_of_trace().unwrap();
         let items = drain(&rx, 6);

@@ -150,7 +150,9 @@ impl RelOp {
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
-            RelOp::Aggregate { input, keys, aggs, .. } => {
+            RelOp::Aggregate {
+                input, keys, aggs, ..
+            } => {
                 out.push_str(&format!(
                     "{pad}Aggregate keys={} aggs={}\n",
                     keys.len(),
@@ -198,10 +200,7 @@ fn rewrite_having(
         match e {
             Expr::Agg { func, arg } => {
                 let arg_expr = arg.as_deref().cloned();
-                if let Some(existing) = aggs
-                    .iter()
-                    .find(|a| a.func == *func && a.arg == arg_expr)
-                {
+                if let Some(existing) = aggs.iter().find(|a| a.func == *func && a.arg == arg_expr) {
                     return Ok(Expr::Column {
                         table: None,
                         name: existing.alias.clone(),
@@ -366,7 +365,12 @@ fn as_join_edge(p: &Pred) -> Option<(Expr, Expr)> {
             expr_bindings(left, &mut lb);
             expr_bindings(right, &mut rb);
             // Both sides qualified with different bindings → join edge.
-            if lb.len() == 1 && rb.len() == 1 && lb[0] != rb[0] && !lb[0].is_empty() && !rb[0].is_empty() {
+            if lb.len() == 1
+                && rb.len() == 1
+                && lb[0] != rb[0]
+                && !lb[0].is_empty()
+                && !rb[0].is_empty()
+            {
                 return Some((left.clone(), right.clone()));
             }
         }
@@ -488,10 +492,7 @@ pub fn build(sel: &Select) -> Result<RelOp> {
     }
 
     // Aggregation or plain projection.
-    let has_agg = sel
-        .items
-        .iter()
-        .any(|i| matches!(i.expr, Expr::Agg { .. }));
+    let has_agg = sel.items.iter().any(|i| matches!(i.expr, Expr::Agg { .. }));
     if has_agg || !sel.group_by.is_empty() {
         let mut aggs = Vec::new();
         let mut output = Vec::new();
@@ -507,10 +508,7 @@ pub fn build(sel: &Select) -> Result<RelOp> {
                 }
                 Expr::Column { .. } => {
                     // Must be a group key (qualification may differ).
-                    let is_key = sel
-                        .group_by
-                        .iter()
-                        .any(|k| same_column(k, &item.expr));
+                    let is_key = sel.group_by.iter().any(|k| same_column(k, &item.expr));
                     if !is_key {
                         return Err(SqlError::Semantic(format!(
                             "column `{}` must appear in GROUP BY",
@@ -639,7 +637,9 @@ mod tests {
         )
         .unwrap();
         match t {
-            RelOp::Aggregate { keys, aggs, output, .. } => {
+            RelOp::Aggregate {
+                keys, aggs, output, ..
+            } => {
                 assert_eq!(keys.len(), 1);
                 assert_eq!(aggs.len(), 2);
                 assert_eq!(output, vec!["l_returnflag", "sq", "n"]);

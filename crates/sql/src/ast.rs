@@ -264,7 +264,13 @@ mod tests {
 
     #[test]
     fn date_round_trip() {
-        for s in ["1970-01-01", "1994-01-01", "1998-12-01", "2000-02-29", "1992-03-15"] {
+        for s in [
+            "1970-01-01",
+            "1994-01-01",
+            "1998-12-01",
+            "2000-02-29",
+            "1992-03-15",
+        ] {
             let days = date_to_days(s).unwrap();
             assert_eq!(days_to_date(days), s, "round trip failed for {s}");
         }

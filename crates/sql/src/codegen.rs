@@ -175,7 +175,13 @@ impl<'a> Codegen<'a> {
     }
 
     /// Project a base column at the current rows (one value per row).
-    fn column_over_rows(&mut self, rows: &Rows, idx: usize, table: &str, column: &str) -> Result<(VarId, MalType)> {
+    fn column_over_rows(
+        &mut self,
+        rows: &Rows,
+        idx: usize,
+        table: &str,
+        column: &str,
+    ) -> Result<(VarId, MalType)> {
         let (col, ty) = self.bind_column(table, column)?;
         let oids = rows.bindings[idx].oids;
         let out = self.b.call(
@@ -226,9 +232,7 @@ impl<'a> Codegen<'a> {
                     }
                 }
             }
-            Expr::Agg { .. } => Err(SqlError::Semantic(
-                "aggregate in a scalar context".into(),
-            )),
+            Expr::Agg { .. } => Err(SqlError::Semantic("aggregate in a scalar context".into())),
             _ => unreachable!("literals handled above"),
         }
     }
@@ -241,9 +245,9 @@ impl<'a> Codegen<'a> {
                 let mut r = self.eval_expr(rows, right)?;
                 self.coerce_date_sides(&mut l, &mut r);
                 match (&l, &r) {
-                    (EV::Lit(_), EV::Lit(_)) => Err(SqlError::Unsupported(
-                        "constant predicates".into(),
-                    )),
+                    (EV::Lit(_), EV::Lit(_)) => {
+                        Err(SqlError::Unsupported("constant predicates".into()))
+                    }
                     _ => Ok(self.b.call(
                         "batcalc",
                         op.theta(),
@@ -259,9 +263,7 @@ impl<'a> Codegen<'a> {
             } => {
                 let col = match self.eval_expr(rows, expr)? {
                     EV::Bat(v, _) => v,
-                    EV::Lit(_) => {
-                        return Err(SqlError::Unsupported("LIKE over a constant".into()))
-                    }
+                    EV::Lit(_) => return Err(SqlError::Unsupported("LIKE over a constant".into())),
                 };
                 let mask = self.b.call(
                     "batcalc",
@@ -484,10 +486,7 @@ impl<'a> Codegen<'a> {
                 let cand = rows.bindings[0].oids;
                 let mut acc: Option<VarId> = None;
                 for item in list {
-                    let lit = coerce_lit(
-                        Self::lit_value(item).expect("checked literal"),
-                        &ty,
-                    );
+                    let lit = coerce_lit(Self::lit_value(item).expect("checked literal"), &ty);
                     let sel = self.b.call(
                         "algebra",
                         "select",
@@ -670,9 +669,7 @@ impl<'a> Codegen<'a> {
                     let var = match self.eval_expr(&rows, &item.expr)? {
                         EV::Bat(v, _) => v,
                         EV::Lit(_) => {
-                            return Err(SqlError::Unsupported(
-                                "constant select items".into(),
-                            ))
+                            return Err(SqlError::Unsupported("constant select items".into()))
                         }
                     };
                     cols.push((item.alias.clone(), var));
@@ -767,9 +764,7 @@ impl<'a> Codegen<'a> {
                         let (v, ty) = match self.eval_expr(&rows, arg)? {
                             EV::Bat(v, ty) => (v, ty),
                             EV::Lit(_) => {
-                                return Err(SqlError::Unsupported(
-                                    "aggregating a constant".into(),
-                                ))
+                                return Err(SqlError::Unsupported("aggregating a constant".into()))
                             }
                         };
                         let (fname, rty) = plain_agg(func, &ty);
@@ -784,17 +779,19 @@ impl<'a> Codegen<'a> {
             for k in keys {
                 match self.eval_expr(&rows, k)? {
                     EV::Bat(v, ty) => key_bats.push((v, ty)),
-                    EV::Lit(_) => {
-                        return Err(SqlError::Semantic("GROUP BY constant".into()))
-                    }
+                    EV::Lit(_) => return Err(SqlError::Semantic("GROUP BY constant".into())),
                 }
             }
             // group.group on the first key, subgroup for the rest.
             let g = self.b.new_var(MalType::bat(MalType::Oid));
             let e = self.b.new_var(MalType::bat(MalType::Oid));
             let h = self.b.new_var(MalType::bat(MalType::Int));
-            self.b
-                .push("group", "group", vec![g, e, h], vec![Arg::Var(key_bats[0].0)]);
+            self.b.push(
+                "group",
+                "group",
+                vec![g, e, h],
+                vec![Arg::Var(key_bats[0].0)],
+            );
             let (mut g, mut e) = (g, e);
             for (kv, _) in &key_bats[1..] {
                 let g2 = self.b.new_var(MalType::bat(MalType::Oid));
@@ -840,9 +837,7 @@ impl<'a> Codegen<'a> {
                         let (v, ty) = match self.eval_expr(&rows, arg)? {
                             EV::Bat(v, ty) => (v, ty),
                             EV::Lit(_) => {
-                                return Err(SqlError::Unsupported(
-                                    "aggregating a constant".into(),
-                                ))
+                                return Err(SqlError::Unsupported("aggregating a constant".into()))
                             }
                         };
                         let (fname, rty) = grouped_agg(func, &ty);
@@ -878,8 +873,12 @@ impl<'a> Codegen<'a> {
         let g0 = self.b.new_var(MalType::bat(MalType::Oid));
         let e0 = self.b.new_var(MalType::bat(MalType::Oid));
         let h0 = self.b.new_var(MalType::bat(MalType::Int));
-        self.b
-            .push("group", "group", vec![g0, e0, h0], vec![Arg::Var(cols[0].1)]);
+        self.b.push(
+            "group",
+            "group",
+            vec![g0, e0, h0],
+            vec![Arg::Var(cols[0].1)],
+        );
         let (mut g, mut e) = (g0, e0);
         for (_, var) in &cols[1..] {
             let g2 = self.b.new_var(MalType::bat(MalType::Oid));
@@ -949,11 +948,7 @@ impl<'a> Codegen<'a> {
 
     /// Evaluate an expression where column references name output
     /// columns (the HAVING context).
-    fn eval_expr_over_cols(
-        &mut self,
-        cols: &[(String, VarId)],
-        e: &Expr,
-    ) -> Result<EV> {
+    fn eval_expr_over_cols(&mut self, cols: &[(String, VarId)], e: &Expr) -> Result<EV> {
         if let Some(v) = Self::lit_value(e) {
             return Ok(EV::Lit(v));
         }
@@ -995,11 +990,7 @@ impl<'a> Codegen<'a> {
     }
 
     /// Predicate mask in the HAVING context (column refs = output names).
-    fn eval_mask_over_cols(
-        &mut self,
-        cols: &[(String, VarId)],
-        p: &Pred,
-    ) -> Result<VarId> {
+    fn eval_mask_over_cols(&mut self, cols: &[(String, VarId)], p: &Pred) -> Result<VarId> {
         match p {
             Pred::Cmp { op, left, right } => {
                 let l = self.eval_expr_over_cols(cols, left)?;
@@ -1076,9 +1067,7 @@ impl<'a> Codegen<'a> {
             } => {
                 let col = match self.eval_expr_over_cols(cols, expr)? {
                     EV::Bat(v, _) => v,
-                    EV::Lit(_) => {
-                        return Err(SqlError::Unsupported("LIKE over a constant".into()))
-                    }
+                    EV::Lit(_) => return Err(SqlError::Unsupported("LIKE over a constant".into())),
                 };
                 let mask = self.b.call(
                     "batcalc",
@@ -1137,11 +1126,7 @@ impl<'a> Codegen<'a> {
         }
     }
 
-    fn gen_sort(
-        &mut self,
-        mut cols: Vec<(String, VarId)>,
-        keys: &[OrderKey],
-    ) -> Result<Gen> {
+    fn gen_sort(&mut self, mut cols: Vec<(String, VarId)>, keys: &[OrderKey]) -> Result<Gen> {
         // Stable sort by minor keys first, then major keys.
         for key in keys.iter().rev() {
             let keyname = match &key.expr {
@@ -1253,9 +1238,7 @@ fn flip(op: CmpOp) -> CmpOp {
 /// (string ↔ date, int → dbl).
 fn coerce_lit(v: Value, col_ty: &MalType) -> Value {
     match (&v, col_ty) {
-        (Value::Str(s), MalType::Date) => crate::ast::date_to_days(s)
-            .map(Value::Date)
-            .unwrap_or(v),
+        (Value::Str(s), MalType::Date) => crate::ast::date_to_days(s).map(Value::Date).unwrap_or(v),
         (Value::Int(x), MalType::Dbl) => Value::Dbl(*x as f64),
         _ => v,
     }

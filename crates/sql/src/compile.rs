@@ -60,11 +60,7 @@ pub fn compile(catalog: &Catalog, sql: &str) -> Result<CompiledQuery> {
 }
 
 /// Compile with explicit options.
-pub fn compile_with(
-    catalog: &Catalog,
-    sql: &str,
-    opts: &CompileOptions,
-) -> Result<CompiledQuery> {
+pub fn compile_with(catalog: &Catalog, sql: &str, opts: &CompileOptions) -> Result<CompiledQuery> {
     let ast = parser::parse(sql)?;
     let rel = algebra::build(&ast)?;
     let unoptimized = codegen::generate(catalog, &rel, &opts.plan_name)?;
@@ -94,7 +90,11 @@ mod tests {
             TableDef::new(
                 "lineitem",
                 vec![
-                    ("l_partkey".into(), MalType::Int, Bat::ints(vec![1, 2, 1, 3, 1, 2])),
+                    (
+                        "l_partkey".into(),
+                        MalType::Int,
+                        Bat::ints(vec![1, 2, 1, 3, 1, 2]),
+                    ),
                     (
                         "l_quantity".into(),
                         MalType::Int,
@@ -119,7 +119,10 @@ mod tests {
                         "l_returnflag".into(),
                         MalType::Str,
                         Bat::strs(
-                            ["A", "B", "A", "B", "A", "B"].iter().map(|s| s.to_string()).collect(),
+                            ["A", "B", "A", "B", "A", "B"]
+                                .iter()
+                                .map(|s| s.to_string())
+                                .collect(),
                         ),
                     ),
                     (
@@ -170,7 +173,10 @@ mod tests {
             "select l_tax from lineitem where l_partkey = 1",
             &CompileOptions::default(),
         );
-        assert_eq!(r.column("l_tax").unwrap().as_dbls().unwrap(), &[0.01, 0.03, 0.05]);
+        assert_eq!(
+            r.column("l_tax").unwrap().as_dbls().unwrap(),
+            &[0.01, 0.03, 0.05]
+        );
     }
 
     #[test]
@@ -212,7 +218,10 @@ mod tests {
             &CompileOptions::default(),
         );
         // 8766 = 1994-01-01; matching days 8767..=8769.
-        assert_eq!(r.column("l_quantity").unwrap().as_ints().unwrap(), &[20, 30, 40]);
+        assert_eq!(
+            r.column("l_quantity").unwrap().as_ints().unwrap(),
+            &[20, 30, 40]
+        );
     }
 
     #[test]
@@ -257,7 +266,10 @@ mod tests {
              order by l_quantity",
             &CompileOptions::default(),
         );
-        assert_eq!(r.column("l_quantity").unwrap().as_ints().unwrap(), &[10, 20, 50, 60]);
+        assert_eq!(
+            r.column("l_quantity").unwrap().as_ints().unwrap(),
+            &[10, 20, 50, 60]
+        );
     }
 
     #[test]
@@ -266,7 +278,10 @@ mod tests {
             "select l_quantity from lineitem order by l_quantity desc limit 2",
             &CompileOptions::default(),
         );
-        assert_eq!(r.column("l_quantity").unwrap().as_ints().unwrap(), &[60, 50]);
+        assert_eq!(
+            r.column("l_quantity").unwrap().as_ints().unwrap(),
+            &[60, 50]
+        );
     }
 
     #[test]
@@ -275,7 +290,10 @@ mod tests {
             "select l_quantity from lineitem where l_partkey = 1 or l_partkey = 3",
             &CompileOptions::default(),
         );
-        assert_eq!(r.column("l_quantity").unwrap().as_ints().unwrap(), &[10, 30, 40, 50]);
+        assert_eq!(
+            r.column("l_quantity").unwrap().as_ints().unwrap(),
+            &[10, 30, 40, 50]
+        );
     }
 
     #[test]
@@ -300,8 +318,16 @@ mod tests {
                 "select sum(l_quantity) as s, count(*) as n from lineitem where l_quantity > 10",
                 &CompileOptions::with_partitions(parts),
             );
-            assert_eq!(r.column("s").unwrap().as_ints().unwrap(), &[200], "partitions={parts}");
-            assert_eq!(r.column("n").unwrap().as_ints().unwrap(), &[5], "partitions={parts}");
+            assert_eq!(
+                r.column("s").unwrap().as_ints().unwrap(),
+                &[200],
+                "partitions={parts}"
+            );
+            assert_eq!(
+                r.column("n").unwrap().as_ints().unwrap(),
+                &[5],
+                "partitions={parts}"
+            );
         }
     }
 
@@ -386,11 +412,17 @@ mod tests {
             "select l_quantity from lineitem where l_returnflag like 'A%'",
             &CompileOptions::default(),
         );
-        assert_eq!(r.column("l_quantity").unwrap().as_ints().unwrap(), &[10, 30, 50]);
+        assert_eq!(
+            r.column("l_quantity").unwrap().as_ints().unwrap(),
+            &[10, 30, 50]
+        );
         // The compiled plan used the likeselect kernel.
         let cat = catalog();
-        let q = compile(&cat, "select l_quantity from lineitem where l_returnflag like 'A%'")
-            .unwrap();
+        let q = compile(
+            &cat,
+            "select l_quantity from lineitem where l_returnflag like 'A%'",
+        )
+        .unwrap();
         assert!(q
             .plan
             .instructions
@@ -404,7 +436,10 @@ mod tests {
             "select l_quantity from lineitem where l_returnflag not like 'A%'",
             &CompileOptions::default(),
         );
-        assert_eq!(r.column("l_quantity").unwrap().as_ints().unwrap(), &[20, 40, 60]);
+        assert_eq!(
+            r.column("l_quantity").unwrap().as_ints().unwrap(),
+            &[20, 40, 60]
+        );
     }
 
     #[test]
@@ -418,8 +453,11 @@ mod tests {
             &[10, 30, 40, 50]
         );
         let cat = catalog();
-        let q = compile(&cat, "select l_quantity from lineitem where l_partkey in (1, 3)")
-            .unwrap();
+        let q = compile(
+            &cat,
+            "select l_quantity from lineitem where l_partkey in (1, 3)",
+        )
+        .unwrap();
         assert!(q
             .plan
             .instructions
@@ -433,7 +471,10 @@ mod tests {
             "select l_quantity from lineitem where l_partkey not in (1, 3)",
             &CompileOptions::default(),
         );
-        assert_eq!(r.column("l_quantity").unwrap().as_ints().unwrap(), &[20, 60]);
+        assert_eq!(
+            r.column("l_quantity").unwrap().as_ints().unwrap(),
+            &[20, 60]
+        );
     }
 
     #[test]
@@ -443,8 +484,14 @@ mod tests {
             &CompileOptions::default(),
         );
         assert_eq!(r.rows(), 2);
-        assert_eq!(r.column("l_returnflag").unwrap().get(0).unwrap().as_str(), Some("A"));
-        assert_eq!(r.column("l_returnflag").unwrap().get(1).unwrap().as_str(), Some("B"));
+        assert_eq!(
+            r.column("l_returnflag").unwrap().get(0).unwrap().as_str(),
+            Some("A")
+        );
+        assert_eq!(
+            r.column("l_returnflag").unwrap().get(1).unwrap().as_str(),
+            Some("B")
+        );
     }
 
     #[test]

@@ -30,6 +30,13 @@ pub enum SqlError {
     Unsupported(String),
     /// Semantic error (type mix-ups, aggregates in wrong place, ...).
     Semantic(String),
+    /// An optimizer pass turned a verifier-clean plan into a broken one.
+    Miscompile {
+        /// The offending pass.
+        pass: &'static str,
+        /// Rendered [`stetho_mal::VerifyReport`].
+        report: String,
+    },
 }
 
 impl fmt::Display for SqlError {
@@ -40,6 +47,9 @@ impl fmt::Display for SqlError {
             SqlError::Unknown { kind, name } => write!(f, "unknown {kind} `{name}`"),
             SqlError::Unsupported(msg) => write!(f, "unsupported SQL: {msg}"),
             SqlError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+            SqlError::Miscompile { pass, report } => {
+                write!(f, "optimizer pass `{pass}` miscompiled the plan:\n{report}")
+            }
         }
     }
 }

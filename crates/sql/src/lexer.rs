@@ -111,22 +111,20 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
                 out.push(Token::Symbol(Sym::Neq));
                 i += 2;
             }
-            '<' => {
-                match b.get(i + 1) {
-                    Some('=') => {
-                        out.push(Token::Symbol(Sym::Le));
-                        i += 2;
-                    }
-                    Some('>') => {
-                        out.push(Token::Symbol(Sym::Neq));
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Symbol(Sym::Lt));
-                        i += 1;
-                    }
+            '<' => match b.get(i + 1) {
+                Some('=') => {
+                    out.push(Token::Symbol(Sym::Le));
+                    i += 2;
                 }
-            }
+                Some('>') => {
+                    out.push(Token::Symbol(Sym::Neq));
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            },
             '>' => {
                 if b.get(i + 1) == Some(&'=') {
                     out.push(Token::Symbol(Sym::Ge));
@@ -223,7 +221,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(syms, vec![Sym::Le, Sym::Ge, Sym::Neq, Sym::Neq, Sym::Lt, Sym::Gt]);
+        assert_eq!(
+            syms,
+            vec![Sym::Le, Sym::Ge, Sym::Neq, Sym::Neq, Sym::Lt, Sym::Gt]
+        );
     }
 
     #[test]

@@ -120,7 +120,10 @@ mod tests {
     fn folds_doubles() {
         let plan = parse_plan("X_0:dbl := calc.-(1.0:dbl, 0.25:dbl);\nio.print(X_0);\n").unwrap();
         let out = ConstFold.run(&plan).unwrap();
-        assert_eq!(out.instructions[0].args[0].lit().unwrap().as_dbl(), Some(0.75));
+        assert_eq!(
+            out.instructions[0].args[0].lit().unwrap().as_dbl(),
+            Some(0.75)
+        );
     }
 
     #[test]

@@ -177,7 +177,11 @@ mod tests {
             .filter(|i| i.function == "mirror")
             .count();
         assert_eq!(mirrors, 1);
-        let tids = out.instructions.iter().filter(|i| i.function == "tid").count();
+        let tids = out
+            .instructions
+            .iter()
+            .filter(|i| i.function == "tid")
+            .count();
         assert_eq!(tids, 1);
     }
 }

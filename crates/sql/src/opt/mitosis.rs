@@ -62,9 +62,7 @@ impl Pass for Mitosis {
         region_vars[tid_var.0] = true;
         let mut in_region: Vec<bool> = vec![false; plan.len()];
         for ins in plan.instructions.iter().skip(tid_pc + 1) {
-            let uses_region = ins
-                .arg_vars()
-                .any(|v| region_vars[v.0]);
+            let uses_region = ins.arg_vars().any(|v| region_vars[v.0]);
             if uses_region && partitionable(ins, &region_vars) {
                 in_region[ins.pc] = true;
                 for r in &ins.results {
@@ -90,12 +88,7 @@ impl Pass for Mitosis {
                 // Emit tid, then the partition prelude.
                 let tid_new = emit_copy(&mut b, plan, ins, &omap)?;
                 omap.insert(tid_var.0, Arg::Var(tid_new[0]));
-                let cnt = b.call(
-                    "aggr",
-                    "count",
-                    MalType::Int,
-                    vec![Arg::Var(tid_new[0])],
-                );
+                let cnt = b.call("aggr", "count", MalType::Int, vec![Arg::Var(tid_new[0])]);
                 let biased = b.call(
                     "calc",
                     "+",
@@ -144,13 +137,8 @@ impl Pass for Mitosis {
                         .args
                         .iter()
                         .map(|a| match a {
-                            Arg::Var(v) if region_vars[v.0] => {
-                                Arg::Var(pmap[&v.0][part])
-                            }
-                            Arg::Var(v) => omap
-                                .get(&v.0)
-                                .cloned()
-                                .unwrap_or(Arg::Var(*v)),
+                            Arg::Var(v) if region_vars[v.0] => Arg::Var(pmap[&v.0][part]),
+                            Arg::Var(v) => omap.get(&v.0).cloned().unwrap_or(Arg::Var(*v)),
                             lit => lit.clone(),
                         })
                         .collect();
@@ -236,7 +224,12 @@ fn emit_copy(
         .iter()
         .map(|r| b.new_named_var(plan.var(*r).name.clone(), plan.var(*r).ty.clone()))
         .collect();
-    b.push(ins.module.clone(), ins.function.clone(), results.clone(), args);
+    b.push(
+        ins.module.clone(),
+        ins.function.clone(),
+        results.clone(),
+        args,
+    );
     Ok(results)
 }
 
@@ -252,7 +245,9 @@ fn partitionable(ins: &Instruction, region: &[bool]) -> bool {
                 is_region(&ins.args[1]) && !is_region(&ins.args[0])
             } else {
                 is_region(&ins.args[0])
-                    && ins.args[1..].iter().all(|a| !matches!(a, Arg::Var(v) if region[v.0]))
+                    && ins.args[1..]
+                        .iter()
+                        .all(|a| !matches!(a, Arg::Var(v) if region[v.0]))
             }
         }
         ("algebra", "thetaselect") => is_region(&ins.args[1]) && !is_region(&ins.args[0]),
@@ -263,9 +258,7 @@ fn partitionable(ins: &Instruction, region: &[bool]) -> bool {
             ins.arg_vars().count() == 2 && ins.arg_vars().all(|v| region[v.0])
         }
         ("algebra", "projection") | ("algebra", "leftjoin") => is_region(&ins.args[0]),
-        ("batcalc", _) => ins
-            .arg_vars()
-            .all(|v| region[v.0]),
+        ("batcalc", _) => ins.arg_vars().all(|v| region[v.0]),
         _ => false,
     }
 }

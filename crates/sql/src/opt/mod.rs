@@ -68,8 +68,17 @@ impl Pipeline {
     }
 
     /// Run all passes, returning the final plan and a per-pass log.
+    ///
+    /// In debug builds every pass runs under post-pass verification
+    /// ([`Plan::verify`]): if the input plan was verifier-clean and a
+    /// pass's output is not, the pipeline aborts with
+    /// [`crate::SqlError::Miscompile`] naming the offending pass. The
+    /// check is skipped when the *input* already carried errors, so a
+    /// deliberately broken plan blames its producer, not the optimizer.
     pub fn run(&self, plan: &Plan) -> Result<(Plan, Vec<PassInfo>)> {
         let mut current = plan.clone();
+        #[cfg(debug_assertions)]
+        let input_clean = current.verify().is_clean();
         let mut log = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
             let before = current.len();
@@ -80,6 +89,16 @@ impl Pipeline {
                     pass.name()
                 ))
             })?;
+            #[cfg(debug_assertions)]
+            if input_clean {
+                let report = current.verify();
+                if !report.is_clean() {
+                    return Err(crate::SqlError::Miscompile {
+                        pass: pass.name(),
+                        report: report.render(&current),
+                    });
+                }
+            }
             log.push(PassInfo {
                 name: pass.name(),
                 before,
@@ -91,13 +110,10 @@ impl Pipeline {
 }
 
 /// Is this operator free of side effects (safe to deduplicate or drop)?
+/// Delegates to the shared classification the static verifier uses, so
+/// the optimizer and the linter can never disagree about purity.
 pub(crate) fn is_pure(module: &str, function: &str) -> bool {
-    match module {
-        "algebra" | "batcalc" | "calc" | "aggr" | "group" | "bat" | "mat" => true,
-        // Catalog reads are pure within one query.
-        "sql" => matches!(function, "mvc" | "tid" | "bind"),
-        _ => false,
-    }
+    stetho_mal::modules::is_pure(module, function)
 }
 
 #[cfg(test)]
@@ -107,10 +123,9 @@ mod tests {
 
     #[test]
     fn pipeline_runs_and_logs() {
-        let plan = parse_plan(
-            "X_0:int := calc.+(1:int, 2:int);\nX_1:int := sql.mvc();\nio.print(X_1);\n",
-        )
-        .unwrap();
+        let plan =
+            parse_plan("X_0:int := calc.+(1:int, 2:int);\nX_1:int := sql.mvc();\nio.print(X_1);\n")
+                .unwrap();
         let (out, log) = Pipeline::default_pipeline(1).run(&plan).unwrap();
         assert_eq!(log.len(), 3);
         // calc.+ folded then dead-coded away.

@@ -201,8 +201,7 @@ impl Parser {
         } else if let Some(Token::Ident(s)) = self.peek() {
             // Bare alias, unless it is a clause keyword.
             let kw = [
-                "from", "where", "group", "having", "order", "limit", "join", "inner", "on",
-                "as",
+                "from", "where", "group", "having", "order", "limit", "join", "inner", "on", "as",
             ];
             if kw.iter().any(|k| s.eq_ignore_ascii_case(k)) {
                 default_alias(&expr, index)
@@ -278,11 +277,7 @@ impl Parser {
             let lo = self.parse_expr()?;
             self.expect_kw("and")?;
             let hi = self.parse_expr()?;
-            return Ok(Pred::Between {
-                expr: left,
-                lo,
-                hi,
-            });
+            return Ok(Pred::Between { expr: left, lo, hi });
         }
         // `expr [NOT] LIKE 'pat'` / `expr [NOT] IN (...)`.
         let negated = self.eat_kw("not");
@@ -486,7 +481,13 @@ mod tests {
                 ..
             }
         ));
-        assert!(matches!(s.items[2].expr, Expr::Agg { func: AggFunc::Count, arg: None }));
+        assert!(matches!(
+            s.items[2].expr,
+            Expr::Agg {
+                func: AggFunc::Count,
+                arg: None
+            }
+        ));
         assert_eq!(s.group_by.len(), 1);
     }
 
@@ -499,7 +500,13 @@ mod tests {
                 right,
                 ..
             } => {
-                assert!(matches!(**right, Expr::Arith { op: ArithOp::Mul, .. }));
+                assert!(matches!(
+                    **right,
+                    Expr::Arith {
+                        op: ArithOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -509,8 +516,18 @@ mod tests {
     fn parenthesised_expression() {
         let s = parse("select (a + b) * c from t").unwrap();
         match &s.items[0].expr {
-            Expr::Arith { op: ArithOp::Mul, left, .. } => {
-                assert!(matches!(**left, Expr::Arith { op: ArithOp::Add, .. }));
+            Expr::Arith {
+                op: ArithOp::Mul,
+                left,
+                ..
+            } => {
+                assert!(matches!(
+                    **left,
+                    Expr::Arith {
+                        op: ArithOp::Add,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -546,7 +563,10 @@ mod tests {
 
     #[test]
     fn comma_join_and_qualified_columns() {
-        let s = parse("select o.o_orderkey from orders o, lineitem l where o.o_orderkey = l.l_orderkey").unwrap();
+        let s = parse(
+            "select o.o_orderkey from orders o, lineitem l where o.o_orderkey = l.l_orderkey",
+        )
+        .unwrap();
         assert_eq!(s.from.len(), 2);
         assert_eq!(s.from[0].effective_name(), "o");
         match &s.items[0].expr {
@@ -587,7 +607,10 @@ mod tests {
     fn unary_minus() {
         let s = parse("select a from t where b = -5").unwrap();
         match s.where_clause.unwrap() {
-            Pred::Cmp { right: Expr::Int(-5), .. } => {}
+            Pred::Cmp {
+                right: Expr::Int(-5),
+                ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }

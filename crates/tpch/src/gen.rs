@@ -65,13 +65,23 @@ const NATIONS: [(&str, i64); 25] = [
     ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
 const TYPES: [&str; 6] = [
-    "STANDARD ANODIZED", "SMALL PLATED", "MEDIUM POLISHED",
-    "LARGE BRUSHED", "ECONOMY BURNISHED", "PROMO TIN",
+    "STANDARD ANODIZED",
+    "SMALL PLATED",
+    "MEDIUM POLISHED",
+    "LARGE BRUSHED",
+    "ECONOMY BURNISHED",
+    "PROMO TIN",
 ];
 
 /// Days since epoch for 1992-01-01 and the order-date span (TPC-H dates
@@ -102,7 +112,10 @@ pub fn generate_catalog(cfg: &TpchConfig) -> Catalog {
             "nation",
             vec![
                 col_int("n_nationkey", (0..NATIONS.len() as i64).collect()),
-                col_str("n_name", NATIONS.iter().map(|(n, _)| n.to_string()).collect()),
+                col_str(
+                    "n_name",
+                    NATIONS.iter().map(|(n, _)| n.to_string()).collect(),
+                ),
                 col_int("n_regionkey", NATIONS.iter().map(|(_, r)| *r).collect()),
             ],
         )
@@ -142,7 +155,10 @@ pub fn generate_catalog(cfg: &TpchConfig) -> Catalog {
             "part",
             vec![
                 col_int("p_partkey", (1..=n_part as i64).collect()),
-                col_str("p_name", (1..=n_part).map(|i| format!("part {i}")).collect()),
+                col_str(
+                    "p_name",
+                    (1..=n_part).map(|i| format!("part {i}")).collect(),
+                ),
                 col_str(
                     "p_brand",
                     (0..n_part)
@@ -348,9 +364,17 @@ mod tests {
     fn value_domains() {
         let c = generate_catalog(&TpchConfig::sf(0.001));
         let qty = c.column("lineitem", "l_quantity").unwrap();
-        assert!(qty.as_ints().unwrap().iter().all(|&q| (1..=50).contains(&q)));
+        assert!(qty
+            .as_ints()
+            .unwrap()
+            .iter()
+            .all(|&q| (1..=50).contains(&q)));
         let disc = c.column("lineitem", "l_discount").unwrap();
-        assert!(disc.as_dbls().unwrap().iter().all(|&d| (0.0..=0.10).contains(&d)));
+        assert!(disc
+            .as_dbls()
+            .unwrap()
+            .iter()
+            .all(|&d| (0.0..=0.10).contains(&d)));
         let flags = c.column("lineitem", "l_returnflag").unwrap();
         for i in 0..flags.len() {
             let f = flags.get(i).unwrap();
@@ -371,7 +395,11 @@ mod tests {
         let c = generate_catalog(&TpchConfig::sf(0.0005));
         let n_ord = c.table("orders").unwrap().rows() as i64;
         let ok = c.column("lineitem", "l_orderkey").unwrap();
-        assert!(ok.as_ints().unwrap().iter().all(|&k| (1..=n_ord).contains(&k)));
+        assert!(ok
+            .as_ints()
+            .unwrap()
+            .iter()
+            .all(|&k| (1..=n_ord).contains(&k)));
     }
 
     #[test]
@@ -380,7 +408,9 @@ mod tests {
         let d = c.column("lineitem", "l_shipdate").unwrap();
         match &d.data {
             stetho_engine::ColumnData::Date(v) => {
-                assert!(v.iter().all(|&x| (START_DATE..=START_DATE + DATE_SPAN + 121).contains(&x)));
+                assert!(v
+                    .iter()
+                    .all(|&x| (START_DATE..=START_DATE + DATE_SPAN + 121).contains(&x)));
             }
             other => panic!("expected date column, got {other:?}"),
         }

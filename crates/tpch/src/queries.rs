@@ -189,11 +189,7 @@ mod tests {
         };
         for (i, &s) in ship.iter().enumerate() {
             let d = disc.as_dbls().unwrap()[i];
-            if s >= lo
-                && s < hi
-                && (0.05..=0.07).contains(&d)
-                && qty.as_ints().unwrap()[i] < 24
-            {
+            if s >= lo && s < hi && (0.05..=0.07).contains(&d) && qty.as_ints().unwrap()[i] < 24 {
                 want += price.as_dbls().unwrap()[i] * d;
             }
         }
@@ -245,9 +241,7 @@ mod tests {
         for (i, &s) in ships.iter().enumerate() {
             let pk = partkeys.as_ints().unwrap()[i] as usize - 1;
             let ptype = types.get(pk).unwrap();
-            if (9374..9404).contains(&s)
-                && ptype.as_str().unwrap().starts_with("PROMO")
-            {
+            if (9374..9404).contains(&s) && ptype.as_str().unwrap().starts_with("PROMO") {
                 want += prices.as_dbls().unwrap()[i] * (1.0 - discs.as_dbls().unwrap()[i]);
             }
         }

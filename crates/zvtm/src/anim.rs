@@ -153,7 +153,12 @@ mod tests {
 
     fn space_with_one_shape() -> (VirtualSpace, GlyphId) {
         let mut s = VirtualSpace::new();
-        let id = s.add(GlyphKind::Shape { w: 10.0, h: 10.0 }, 0.0, 0.0, Color::DEFAULT_FILL);
+        let id = s.add(
+            GlyphKind::Shape { w: 10.0, h: 10.0 },
+            0.0,
+            0.0,
+            Color::DEFAULT_FILL,
+        );
         (s, id)
     }
 
@@ -201,7 +206,12 @@ mod tests {
         let (mut space, id) = space_with_one_shape();
         let mut cam = Camera::default();
         let mut a = Animator::new();
-        a.add_slide(CameraSlide::new(&cam, (10.0, 10.0, 50.0), 80.0, Easing::EaseInOut));
+        a.add_slide(CameraSlide::new(
+            &cam,
+            (10.0, 10.0, 50.0),
+            80.0,
+            Easing::EaseInOut,
+        ));
         a.add_fade(ColorFade::new(&space, id, Color::GREEN, 40.0));
         assert!(a.busy());
         a.run_to_idle(16.0, &mut cam, &mut space);

@@ -239,7 +239,12 @@ mod tests {
     fn advance_into_applies_colors() {
         use crate::glyph::GlyphKind;
         let mut space = VirtualSpace::new();
-        let id = space.add(GlyphKind::Shape { w: 1.0, h: 1.0 }, 0.0, 0.0, Color::DEFAULT_FILL);
+        let id = space.add(
+            GlyphKind::Shape { w: 1.0, h: 1.0 },
+            0.0,
+            0.0,
+            Color::DEFAULT_FILL,
+        );
         let mut edt = EventDispatchThread::new(0);
         edt.enqueue(id, Color::RED, 0);
         edt.advance_into(0, &mut space);

@@ -103,10 +103,20 @@ impl Glyph {
             ),
             GlyphKind::Text { content } => {
                 let w = content.len() as f64 * 7.0;
-                (self.x - w / 2.0, self.y - 6.0, self.x + w / 2.0, self.y + 6.0)
+                (
+                    self.x - w / 2.0,
+                    self.y - 6.0,
+                    self.x + w / 2.0,
+                    self.y + 6.0,
+                )
             }
             GlyphKind::Edge { points } => {
-                let mut b = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+                let mut b = (
+                    f64::INFINITY,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                    f64::NEG_INFINITY,
+                );
                 for &(x, y) in points {
                     b.0 = b.0.min(x);
                     b.1 = b.1.min(y);

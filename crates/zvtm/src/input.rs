@@ -135,8 +135,18 @@ mod tests {
 
     fn space() -> VirtualSpace {
         let mut s = VirtualSpace::new();
-        s.add(GlyphKind::Shape { w: 40.0, h: 20.0 }, 0.0, 0.0, Color::DEFAULT_FILL);
-        s.add(GlyphKind::Shape { w: 40.0, h: 20.0 }, 1000.0, 500.0, Color::DEFAULT_FILL);
+        s.add(
+            GlyphKind::Shape { w: 40.0, h: 20.0 },
+            0.0,
+            0.0,
+            Color::DEFAULT_FILL,
+        );
+        s.add(
+            GlyphKind::Shape { w: 40.0, h: 20.0 },
+            1000.0,
+            500.0,
+            Color::DEFAULT_FILL,
+        );
         s
     }
 
@@ -201,7 +211,15 @@ mod tests {
         assert!(cam.altitude < 200.0);
         // Zero delta is a no-op.
         let alt = cam.altitude;
-        nav.apply(InputEvent::Wheel { delta: 0.0, x: 0.0, y: 0.0 }, &mut cam, &space);
+        nav.apply(
+            InputEvent::Wheel {
+                delta: 0.0,
+                x: 0.0,
+                y: 0.0,
+            },
+            &mut cam,
+            &space,
+        );
         assert_eq!(cam.altitude, alt);
     }
 
@@ -210,7 +228,14 @@ mod tests {
         let nav = Navigator::new(800.0, 600.0);
         let mut cam = Camera::at(0.0, 0.0, 0.0);
         let space = space();
-        nav.apply(InputEvent::Drag { dx: 50.0, dy: -20.0 }, &mut cam, &space);
+        nav.apply(
+            InputEvent::Drag {
+                dx: 50.0,
+                dy: -20.0,
+            },
+            &mut cam,
+            &space,
+        );
         assert_eq!((cam.cx, cam.cy), (-50.0, 20.0));
         // At half scale the same drag moves twice the world distance.
         let mut far = Camera::at(0.0, 0.0, 100.0); // scale 0.5

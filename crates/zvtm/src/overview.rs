@@ -84,7 +84,12 @@ mod tests {
         let mut space = VirtualSpace::new();
         // A wide space: nodes far apart.
         space.add(GlyphKind::Shape { w: 40.0, h: 20.0 }, 0.0, 0.0, Color::RED);
-        space.add(GlyphKind::Shape { w: 40.0, h: 20.0 }, 5000.0, 3000.0, Color::GREEN);
+        space.add(
+            GlyphKind::Shape { w: 40.0, h: 20.0 },
+            5000.0,
+            3000.0,
+            Color::GREEN,
+        );
         let fb = birdseye(&space, 120, 80);
         assert!(fb.count_color(Color::RED) > 0, "far-left node visible");
         assert!(fb.count_color(Color::GREEN) > 0, "far-right node visible");

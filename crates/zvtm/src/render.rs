@@ -231,8 +231,18 @@ mod tests {
             0.0,
             Color::EDGE,
         );
-        s.add(GlyphKind::Shape { w: 40.0, h: 20.0 }, 50.0, 20.0, Color::RED);
-        s.add(GlyphKind::Shape { w: 40.0, h: 20.0 }, 50.0, 80.0, Color::GREEN);
+        s.add(
+            GlyphKind::Shape { w: 40.0, h: 20.0 },
+            50.0,
+            20.0,
+            Color::RED,
+        );
+        s.add(
+            GlyphKind::Shape { w: 40.0, h: 20.0 },
+            50.0,
+            80.0,
+            Color::GREEN,
+        );
         s
     }
 

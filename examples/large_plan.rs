@@ -23,12 +23,8 @@ fn main() {
     // TPC-H Q1 with 96-way mitosis: each partition clones the whole
     // select/projection/batcalc pipeline, exactly how Figure-2-scale
     // graphs arise in MonetDB.
-    let q = compile_with(
-        &catalog,
-        queries::Q1,
-        &CompileOptions::with_partitions(96),
-    )
-    .expect("Q1 compiles");
+    let q = compile_with(&catalog, queries::Q1, &CompileOptions::with_partitions(96))
+        .expect("Q1 compiles");
     println!("plan: {} instructions", q.plan.len());
     assert!(q.plan.len() > 1000, "claim 5 needs >1000 nodes");
 

@@ -8,8 +8,8 @@
 use std::sync::Arc;
 
 use stethoscope::core::analysis::{
-    cluster_durations, detect_parallelism_anomaly, diff_traces, memory_by_operator,
-    micro_stats, thread_utilisation, threads::observed_concurrency,
+    cluster_durations, detect_parallelism_anomaly, diff_traces, memory_by_operator, micro_stats,
+    thread_utilisation, threads::observed_concurrency,
 };
 use stethoscope::engine::{ExecOptions, Interpreter, ProfilerConfig, VecSink};
 use stethoscope::profiler::TraceEvent;

@@ -24,12 +24,8 @@ fn main() {
     // Produce the "preexisting dot file and trace file" offline mode
     // needs: run TPC-H Q6 with a 4-way mitosis plan and capture both.
     let catalog = Arc::new(generate_catalog(&TpchConfig::sf(0.002)));
-    let q = compile_with(
-        &catalog,
-        queries::Q6,
-        &CompileOptions::with_partitions(4),
-    )
-    .expect("Q6 compiles");
+    let q = compile_with(&catalog, queries::Q6, &CompileOptions::with_partitions(4))
+        .expect("Q6 compiles");
     let sink = VecSink::new();
     Interpreter::new(Arc::clone(&catalog))
         .execute(
@@ -90,7 +86,11 @@ fn main() {
     std::fs::write(&frame_svg, session.render_frame_svg()).unwrap();
     let frame_ppm = out_dir.join("display_window.ppm");
     std::fs::write(&frame_ppm, session.render_frame(1280, 800).to_ppm()).unwrap();
-    println!("\nwrote {} and {}", frame_svg.display(), frame_ppm.display());
+    println!(
+        "\nwrote {} and {}",
+        frame_svg.display(),
+        frame_ppm.display()
+    );
 
     // Birds-eye views (§5).
     let bird = out_dir.join("birdseye.ppm");
@@ -117,7 +117,11 @@ fn main() {
     let filter = FilterOptions::all().with_module("algebra");
     let filtered = OfflineSession::load_filtered(
         &std::fs::read_to_string(&dot_path).unwrap(),
-        &events.iter().map(format_event).collect::<Vec<_>>().join("\n"),
+        &events
+            .iter()
+            .map(format_event)
+            .collect::<Vec<_>>()
+            .join("\n"),
         &filter,
     )
     .unwrap();

@@ -29,7 +29,10 @@ fn main() {
         threshold_usec: Some(500),
         ..Default::default()
     };
-    println!("running online session over UDP (pacing {} ms)...", cfg.pacing_ms);
+    println!(
+        "running online session over UDP (pacing {} ms)...",
+        cfg.pacing_ms
+    );
     let out = OnlineSession::run(Arc::clone(&catalog), queries::LONG_RUNNING, &cfg)
         .expect("online session");
 

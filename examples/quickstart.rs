@@ -24,14 +24,20 @@ fn main() {
     println!("=== MAL plan (Figure 1) ===\n{}", q.plan.listing());
     println!("=== Optimizer pipeline ===");
     for p in &q.passes {
-        println!("  {:<10} {:>4} -> {:>4} instructions", p.name, p.before, p.after);
+        println!(
+            "  {:<10} {:>4} -> {:>4} instructions",
+            p.name, p.before, p.after
+        );
     }
 
     // ---- Figure 3: the execution trace ------------------------------
     let sink = VecSink::new();
     let interp = Interpreter::new(Arc::clone(&catalog));
     let out = interp
-        .execute(&q.plan, &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())))
+        .execute(
+            &q.plan,
+            &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())),
+        )
         .expect("query executes");
     let events = sink.take();
     println!("\n=== Execution trace (Figure 3) ===");
@@ -49,8 +55,7 @@ fn main() {
     // ---- Stethoscope replay ------------------------------------------
     let dot = plan_to_dot(&q.plan, LabelStyle::FullStatement);
     let trace: Vec<String> = events.iter().map(format_event).collect();
-    let mut session =
-        OfflineSession::load_text(&dot, &trace.join("\n")).expect("session loads");
+    let mut session = OfflineSession::load_text(&dot, &trace.join("\n")).expect("session loads");
     println!(
         "=== Stethoscope ===\nplan graph: {} nodes, {} edges; trace: {} events",
         session.scene.nodes.len(),
@@ -67,5 +72,8 @@ fn main() {
         }
     }
     session.run_to_end();
-    println!("replay complete: {} events applied", session.replay.position());
+    println!(
+        "replay complete: {} events applied",
+        session.replay.position()
+    );
 }

@@ -19,7 +19,11 @@ fn run_query(
     sql: &str,
     partitions: usize,
     workers: usize,
-) -> (stethoscope::mal::Plan, QueryResult, Vec<stethoscope::profiler::TraceEvent>) {
+) -> (
+    stethoscope::mal::Plan,
+    QueryResult,
+    Vec<stethoscope::profiler::TraceEvent>,
+) {
     let q = compile_with(cat, sql, &CompileOptions::with_partitions(partitions)).unwrap();
     let sink = VecSink::new();
     let opts = if workers > 1 {
@@ -27,7 +31,9 @@ fn run_query(
     } else {
         ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone()))
     };
-    let out = Interpreter::new(Arc::clone(cat)).execute(&q.plan, &opts).unwrap();
+    let out = Interpreter::new(Arc::clone(cat))
+        .execute(&q.plan, &opts)
+        .unwrap();
     (q.plan, out.result.expect("result"), sink.take())
 }
 
@@ -148,8 +154,7 @@ fn online_session_matches_offline_analysis() {
     let out = OnlineSession::run(Arc::clone(&cat), queries::Q6, &cfg).unwrap();
     // The trace file the monitor wrote can be replayed offline and gives
     // the same event sequence.
-    let offline =
-        OfflineSession::load_files(&cfg.dot_path, &cfg.trace_path).unwrap();
+    let offline = OfflineSession::load_files(&cfg.dot_path, &cfg.trace_path).unwrap();
     assert_eq!(offline.replay.len(), out.events.len());
     for (a, b) in offline.replay.events().iter().zip(&out.events) {
         assert_eq!(a, b);

@@ -36,7 +36,10 @@ fn mismatched_dot_and_trace_detected() {
     let qb = compile(&cat, "select sum(v) as s from t").unwrap();
     let sink = VecSink::new();
     Interpreter::new(Arc::clone(&cat))
-        .execute(&qb.plan, &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())))
+        .execute(
+            &qb.plan,
+            &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())),
+        )
         .unwrap();
     // Load plan A's dot with plan B's trace.
     let dot = plan_to_dot(&qa.plan, LabelStyle::FullStatement);
@@ -48,7 +51,10 @@ fn mismatched_dot_and_trace_detected() {
     // The matched pair verifies clean.
     let sink = VecSink::new();
     Interpreter::new(Arc::clone(&cat))
-        .execute(&qa.plan, &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())))
+        .execute(
+            &qa.plan,
+            &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())),
+        )
         .unwrap();
     let trace: Vec<String> = sink.take().iter().map(format_event).collect();
     let session = OfflineSession::load_text(&dot, &trace.join("\n")).unwrap();

@@ -15,12 +15,20 @@ use stethoscope::profiler::format_event;
 use stethoscope::sql::compile;
 use stethoscope::tpch::{generate_catalog, queries, TpchConfig};
 
-fn artifacts(sql: &str) -> (stethoscope::mal::Plan, Vec<stethoscope::profiler::TraceEvent>) {
+fn artifacts(
+    sql: &str,
+) -> (
+    stethoscope::mal::Plan,
+    Vec<stethoscope::profiler::TraceEvent>,
+) {
     let cat = Arc::new(generate_catalog(&TpchConfig::sf(0.0005)));
     let q = compile(&cat, sql).unwrap();
     let sink = VecSink::new();
     Interpreter::new(cat)
-        .execute(&q.plan, &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())))
+        .execute(
+            &q.plan,
+            &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())),
+        )
         .unwrap();
     (q.plan, sink.take())
 }
@@ -95,7 +103,9 @@ fn progress_model_tracks_real_execution() {
     assert_eq!(final_snap.completed_depth, final_snap.depth_levels);
     // Fractions are monotone non-decreasing.
     assert!(fractions.windows(2).all(|w| w[0] <= w[1]));
-    assert!(m.bar(10).contains(&format!("{}/{}", plan.len(), plan.len())));
+    assert!(m
+        .bar(10)
+        .contains(&format!("{}/{}", plan.len(), plan.len())));
 }
 
 #[test]
@@ -106,7 +116,10 @@ fn trace_diff_between_runs_of_same_plan() {
     let run = || {
         let sink = VecSink::new();
         interp
-            .execute(&q.plan, &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())))
+            .execute(
+                &q.plan,
+                &ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone())),
+            )
             .unwrap();
         sink.take()
     };

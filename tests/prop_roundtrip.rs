@@ -37,64 +37,68 @@ fn arb_event() -> impl Strategy<Value = TraceEvent> {
         any::<u64>(),
         arb_stmt_text(),
     )
-        .prop_map(|(event, start, pc, thread, clk, usec, rss, stmt)| TraceEvent {
-            event,
-            status: if start { EventStatus::Start } else { EventStatus::Done },
-            pc,
-            thread,
-            clk,
-            usec,
-            rss,
-            stmt,
-        })
+        .prop_map(
+            |(event, start, pc, thread, clk, usec, rss, stmt)| TraceEvent {
+                event,
+                status: if start {
+                    EventStatus::Start
+                } else {
+                    EventStatus::Done
+                },
+                pc,
+                thread,
+                clk,
+                usec,
+                rss,
+                stmt,
+            },
+        )
 }
 
 /// Random well-formed MAL plan: a chain of calls over prior variables.
 fn arb_plan() -> impl Strategy<Value = stethoscope::mal::Plan> {
     // Per instruction: function selector, literal, and "use var" flags.
-    proptest::collection::vec((0usize..6, arb_value(), any::<bool>()), 1..30).prop_map(
-        |instrs| {
-            let mut b = PlanBuilder::new("user.prop");
-            let mut vars = Vec::new();
-            let seed = b.call("sql", "mvc", MalType::Int, vec![]);
-            vars.push(seed);
-            for (f, lit, use_var) in instrs {
-                let mut args: Vec<Arg> = Vec::new();
-                if use_var {
-                    args.push(Arg::Var(vars[vars.len() / 2]));
-                }
-                args.push(Arg::Lit(lit));
-                let (module, function, ty) = match f {
-                    0 => ("calc", "identity", MalType::Int),
-                    1 => ("bat", "new", MalType::bat(MalType::Int)),
-                    2 => ("calc", "+", MalType::Int),
-                    3 => ("io", "print", MalType::Void),
-                    4 => ("language", "pass", MalType::Void),
-                    _ => ("calc", "*", MalType::Int),
-                };
-                if module == "io" || module == "language" {
-                    b.push(module, function, vec![], args);
-                } else {
-                    // calc.+/* need exactly two args.
-                    if function == "+" || function == "*" {
-                        while args.len() < 2 {
-                            args.push(Arg::Lit(Value::Int(1)));
-                        }
-                        args.truncate(2);
-                    }
-                    if function == "new" {
-                        args.clear();
-                    }
-                    if function == "identity" {
-                        args.truncate(1);
-                    }
-                    let v = b.call(module, function, ty, args);
-                    vars.push(v);
-                }
+    proptest::collection::vec((0usize..6, arb_value(), any::<bool>()), 1..30).prop_map(|instrs| {
+        let mut b = PlanBuilder::new("user.prop");
+        let mut vars = Vec::new();
+        let seed = b.call("sql", "mvc", MalType::Int, vec![]);
+        vars.push(seed);
+        for (f, lit, use_var) in instrs {
+            let mut args: Vec<Arg> = Vec::new();
+            if use_var {
+                args.push(Arg::Var(vars[vars.len() / 2]));
             }
-            b.finish()
-        },
-    )
+            args.push(Arg::Lit(lit));
+            let (module, function, ty) = match f {
+                0 => ("calc", "identity", MalType::Int),
+                1 => ("bat", "new", MalType::bat(MalType::Int)),
+                2 => ("calc", "+", MalType::Int),
+                3 => ("io", "print", MalType::Void),
+                4 => ("language", "pass", MalType::Void),
+                _ => ("calc", "*", MalType::Int),
+            };
+            if module == "io" || module == "language" {
+                b.push(module, function, vec![], args);
+            } else {
+                // calc.+/* need exactly two args.
+                if function == "+" || function == "*" {
+                    while args.len() < 2 {
+                        args.push(Arg::Lit(Value::Int(1)));
+                    }
+                    args.truncate(2);
+                }
+                if function == "new" {
+                    args.clear();
+                }
+                if function == "identity" {
+                    args.truncate(1);
+                }
+                let v = b.call(module, function, ty, args);
+                vars.push(v);
+            }
+        }
+        b.finish()
+    })
 }
 
 // ---- properties -----------------------------------------------------
