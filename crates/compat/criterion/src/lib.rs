@@ -67,7 +67,8 @@ impl Bencher {
         let t0 = Instant::now();
         black_box(routine());
         let once = t0.elapsed().max(Duration::from_nanos(1));
-        let per_sample = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+        let per_sample =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
 
         let mut total = Duration::ZERO;
         let mut iters = 0u64;

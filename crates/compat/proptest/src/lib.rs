@@ -567,10 +567,7 @@ mod tests {
     #[test]
     fn ranges_and_oneof_stay_in_bounds() {
         let mut rng = crate::TestRng::from_name("ranges");
-        let strat = prop_oneof![
-            (0i64..10).prop_map(|v| v),
-            (100i64..110).prop_map(|v| v),
-        ];
+        let strat = prop_oneof![(0i64..10).prop_map(|v| v), (100i64..110).prop_map(|v| v),];
         let mut low = false;
         let mut high = false;
         for _ in 0..200 {

@@ -144,7 +144,9 @@ mod tests {
             assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
         }
         let mut c = StdRng::seed_from_u64(43);
-        let same = (0..100).filter(|_| a.gen_range(0..100i64) == c.gen_range(0..100i64)).count();
+        let same = (0..100)
+            .filter(|_| a.gen_range(0..100i64) == c.gen_range(0..100i64))
+            .count();
         assert!(same < 30, "different seeds should diverge");
     }
 

@@ -242,7 +242,9 @@ impl Serialize for bool {
 
 impl Deserialize for bool {
     fn from_value(value: &Value) -> Result<Self, DeError> {
-        value.as_bool().ok_or_else(|| DeError::expected("bool", value))
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::expected("bool", value))
     }
 }
 
@@ -385,7 +387,11 @@ serde_tuple!(
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -403,8 +409,10 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
 impl<V: Serialize> Serialize for HashMap<String, V> {
     fn to_value(&self) -> Value {
         // Sort for deterministic output.
-        let mut pairs: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
         pairs.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(pairs)
     }
@@ -443,10 +451,7 @@ mod tests {
         assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
         assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
         assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_string()));
-        assert_eq!(
-            Option::<u64>::from_value(&Value::Null),
-            Ok(None)
-        );
+        assert_eq!(Option::<u64>::from_value(&Value::Null), Ok(None));
         assert_eq!(
             <(usize, usize)>::from_value(&(3usize, 5usize).to_value()),
             Ok((3, 5))

@@ -23,7 +23,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Item::Struct { name, fields } => serialize_struct(name, fields),
         Item::Enum { name, variants } => serialize_enum(name, variants),
     };
-    src.parse().expect("serde compat derive generated invalid Rust")
+    src.parse()
+        .expect("serde compat derive generated invalid Rust")
 }
 
 /// Derive `serde::Deserialize` (value-tree flavour).
@@ -34,7 +35,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Item::Struct { name, fields } => deserialize_struct(name, fields),
         Item::Enum { name, variants } => deserialize_enum(name, variants),
     };
-    src.parse().expect("serde compat derive generated invalid Rust")
+    src.parse()
+        .expect("serde compat derive generated invalid Rust")
 }
 
 // ---- item model ------------------------------------------------------
@@ -98,9 +100,9 @@ fn parse_item(input: TokenStream) -> Item {
     }
     let body = match iter.next() {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
-        other => panic!(
-            "serde compat derive supports only brace-bodied items; `{name}` has {other:?}"
-        ),
+        other => {
+            panic!("serde compat derive supports only brace-bodied items; `{name}` has {other:?}")
+        }
     };
     match kind.as_str() {
         "struct" => Item::Struct {

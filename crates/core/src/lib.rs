@@ -39,10 +39,10 @@ pub mod session;
 pub use analysis::SessionReport;
 pub use color::{ColorState, GradientColoring, PairElision, ThresholdColoring};
 pub use mapping::TraceDotMap;
-pub use progress::{ProgressModel, ProgressSnapshot};
-pub use replay::{NodeRuntime, ReplayController};
+pub use progress::{InstrState, ProgressModel, ProgressSnapshot};
+pub use replay::{repair_lost_dones, NodeRuntime, ReplayController};
 pub use script::{Action, InteractionScript};
 pub use session::multi::{MultiServerSession, ServerOutcome, ServerSpec};
 pub use session::offline::OfflineSession;
-pub use session::online::{OnlineConfig, OnlineSession};
+pub use session::online::{OnlineConfig, OnlineOutcome, OnlineSession};
 pub use session::snapshot::SessionSnapshot;

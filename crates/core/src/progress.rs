@@ -21,6 +21,9 @@ pub enum InstrState {
     Running,
     /// `done` seen.
     Done,
+    /// Its events fell inside a reported transport gap; it will never
+    /// complete on screen but is accounted for, so progress converges.
+    Lost,
 }
 
 /// Live progress over one plan execution.
@@ -32,6 +35,7 @@ pub struct ProgressModel {
     state: HashMap<usize, InstrState>,
     done: usize,
     running: usize,
+    lost: usize,
     last_clk: u64,
     total_usec_done: u64,
 }
@@ -45,6 +49,8 @@ pub struct ProgressSnapshot {
     pub done: usize,
     /// Currently executing instructions.
     pub running: usize,
+    /// Instructions written off to transport gaps.
+    pub lost: usize,
     /// Fraction complete (0..=1).
     pub fraction: f64,
     /// Deepest dataflow level fully completed (plan "wavefront").
@@ -70,6 +76,7 @@ impl ProgressModel {
             state: HashMap::new(),
             done: 0,
             running: 0,
+            lost: 0,
             last_clk: 0,
             total_usec_done: 0,
         }
@@ -81,6 +88,9 @@ impl ProgressModel {
         match e.status {
             EventStatus::Start => {
                 let prev = self.state.insert(e.pc, InstrState::Running);
+                if prev == Some(InstrState::Lost) {
+                    self.lost -= 1;
+                }
                 if prev != Some(InstrState::Running) {
                     self.running += 1;
                 }
@@ -90,12 +100,33 @@ impl ProgressModel {
                 if prev == Some(InstrState::Running) {
                     self.running -= 1;
                 }
+                if prev == Some(InstrState::Lost) {
+                    self.lost -= 1;
+                }
                 if prev != Some(InstrState::Done) {
                     self.done += 1;
                     self.total_usec_done += e.usec;
                 }
             }
         }
+    }
+
+    /// Write an instruction off to a reported transport gap: it counts
+    /// toward completion so the session can converge, but keeps its own
+    /// state. A later (reordered) event for the pc revives it.
+    pub fn mark_lost(&mut self, pc: usize) {
+        if pc >= self.total {
+            return;
+        }
+        let prev = self.state.get(&pc).copied();
+        if matches!(prev, Some(InstrState::Done) | Some(InstrState::Lost)) {
+            return;
+        }
+        if prev == Some(InstrState::Running) {
+            self.running -= 1;
+        }
+        self.state.insert(pc, InstrState::Lost);
+        self.lost += 1;
     }
 
     /// State of one instruction.
@@ -105,17 +136,21 @@ impl ProgressModel {
 
     /// Current snapshot.
     pub fn snapshot(&self) -> ProgressSnapshot {
-        // Wavefront: deepest level with every instruction done.
+        // Wavefront: deepest level with every instruction settled
+        // (done, or written off to a transport gap).
         let mut completed_depth = 0;
         'levels: for level in 0..=self.max_depth {
             for pc in 0..self.total {
-                if self.depths.get(pc) == Some(&level) && self.state_of(pc) != InstrState::Done {
+                if self.depths.get(pc) == Some(&level)
+                    && !matches!(self.state_of(pc), InstrState::Done | InstrState::Lost)
+                {
                     break 'levels;
                 }
             }
             completed_depth = level + 1;
         }
-        let remaining = self.total.saturating_sub(self.done);
+        let settled = self.done + self.lost;
+        let remaining = self.total.saturating_sub(settled);
         let eta_usec = if self.done > 0 && remaining > 0 {
             Some(self.total_usec_done / self.done as u64 * remaining as u64)
         } else if remaining == 0 {
@@ -127,10 +162,11 @@ impl ProgressModel {
             total: self.total,
             done: self.done,
             running: self.running,
+            lost: self.lost,
             fraction: if self.total == 0 {
                 1.0
             } else {
-                self.done as f64 / self.total as f64
+                settled as f64 / self.total as f64
             },
             completed_depth: completed_depth.min(self.max_depth + 1),
             depth_levels: self.max_depth + 1,
@@ -245,6 +281,33 @@ mod tests {
         let bar = m.bar(8);
         assert!(bar.starts_with("[####----]"), "{bar}");
         assert!(bar.contains("2/4"));
+    }
+
+    #[test]
+    fn lost_instructions_settle_progress() {
+        let p = plan();
+        let mut m = ProgressModel::new(&p);
+        m.on_event(&done(0, 1, 1));
+        m.on_event(&start(1, 2));
+        // pc=1's done and all of pc=2's events fell in a gap.
+        m.mark_lost(1);
+        m.mark_lost(2);
+        let s = m.snapshot();
+        assert_eq!(s.done, 1);
+        assert_eq!(s.lost, 2);
+        assert_eq!(s.running, 0, "lost pcs no longer count as running");
+        assert_eq!(s.fraction, 0.75);
+        assert_eq!(m.state_of(1), InstrState::Lost);
+        // A reordered late event revives the instruction.
+        m.on_event(&done(1, 3, 1));
+        let s = m.snapshot();
+        assert_eq!(s.done, 2);
+        assert_eq!(s.lost, 1);
+        // mark_lost never downgrades a completed instruction.
+        m.mark_lost(0);
+        assert_eq!(m.state_of(0), InstrState::Done);
+        m.mark_lost(3);
+        assert_eq!(m.snapshot().fraction, 1.0, "all settled");
     }
 
     #[test]

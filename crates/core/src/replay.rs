@@ -66,6 +66,48 @@ pub struct ReplayController {
     snapshot_every: usize,
 }
 
+/// Repair a trace that lost events to an unreliable transport: every pc
+/// left with more `start`s than `done`s gets a synthesized `done`
+/// appended (zero duration, clock just past the trace end), so
+/// pair-elision coloring and replay converge to a terminal frame
+/// instead of leaving nodes RED forever. Returns how many events were
+/// synthesized. Synthesized events reuse the pc's last-seen statement
+/// text and thread.
+pub fn repair_lost_dones(events: &mut Vec<TraceEvent>) -> usize {
+    let mut open: HashMap<usize, (i64, TraceEvent)> = HashMap::new();
+    let mut max_clk = 0u64;
+    let mut max_id = 0u64;
+    for e in events.iter() {
+        max_clk = max_clk.max(e.clk);
+        max_id = max_id.max(e.event);
+        let entry = open.entry(e.pc).or_insert_with(|| (0, e.clone()));
+        entry.1 = e.clone();
+        match e.status {
+            EventStatus::Start => entry.0 += 1,
+            EventStatus::Done => entry.0 -= 1,
+        }
+    }
+    let mut dangling: Vec<(usize, TraceEvent)> = open
+        .into_iter()
+        .filter(|(_, (balance, _))| *balance > 0)
+        .map(|(pc, (_, last))| (pc, last))
+        .collect();
+    dangling.sort_by_key(|(pc, _)| *pc);
+    let synthesized = dangling.len();
+    for (i, (pc, last)) in dangling.into_iter().enumerate() {
+        events.push(TraceEvent::done(
+            max_id + 1 + i as u64,
+            pc,
+            last.thread,
+            max_clk + 1,
+            0,
+            last.rss,
+            last.stmt.clone(),
+        ));
+    }
+    synthesized
+}
+
 impl ReplayController {
     /// Load a trace for replay.
     pub fn new(events: Vec<TraceEvent>) -> Self {
@@ -80,6 +122,15 @@ impl ReplayController {
         };
         rc.clock = rc.events.first().map(|e| e.clk as f64).unwrap_or(0.0);
         rc
+    }
+
+    /// Load a trace that may have lost events in transit: dangling
+    /// `start`s are closed with synthesized `done`s (see
+    /// [`repair_lost_dones`]). Returns the controller and the number of
+    /// events synthesized.
+    pub fn new_lossy(mut events: Vec<TraceEvent>) -> (Self, usize) {
+        let synthesized = repair_lost_dones(&mut events);
+        (Self::new(events), synthesized)
     }
 
     /// All events.
@@ -377,6 +428,49 @@ mod tests {
         rc.rewind();
         rc.play(1.0);
         assert!(rc.tick(100.0).is_empty());
+    }
+
+    #[test]
+    fn repair_closes_dangling_starts() {
+        // pc=0 completed; pc=1 lost its done; pc=2 lost nothing but
+        // never ran (no events at all — repair can't invent it).
+        let mut v = vec![
+            TraceEvent::start(0, 0, 0, 0, 0, "a.b();"),
+            TraceEvent::done(1, 0, 0, 10, 10, 0, "a.b();"),
+            TraceEvent::start(2, 1, 1, 12, 0, "c.d();"),
+        ];
+        let n = repair_lost_dones(&mut v);
+        assert_eq!(n, 1);
+        assert_eq!(v.len(), 4);
+        let synth = v.last().unwrap();
+        assert_eq!(synth.pc, 1);
+        assert_eq!(synth.status, EventStatus::Done);
+        assert_eq!(synth.thread, 1, "reuses the start's thread");
+        assert!(synth.clk > 12, "lands after the trace end");
+        // The repaired trace colors to a terminal frame: no RED left.
+        let colors = PairElision.analyse(&v);
+        assert!(colors.values().all(|c| *c != ColorState::Red), "{colors:?}");
+    }
+
+    #[test]
+    fn repair_is_idempotent_on_complete_traces() {
+        let mut v = trace(5);
+        assert_eq!(repair_lost_dones(&mut v), 0);
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    fn new_lossy_converges_replay() {
+        let mut v = trace(3);
+        v.remove(5); // drop done for pc=2
+        v.remove(1); // drop done for pc=0
+        let (mut rc, synthesized) = ReplayController::new_lossy(v);
+        assert_eq!(synthesized, 2);
+        rc.seek(rc.len());
+        assert!(
+            rc.nodes().values().all(|n| !n.running()),
+            "every node settles"
+        );
     }
 
     #[test]

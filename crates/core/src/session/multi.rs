@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use stetho_engine::{Catalog, ExecOptions, Interpreter, ProfilerConfig, UdpSink};
-use stetho_profiler::udp::StreamItem;
+use stetho_profiler::udp::{StreamItem, StreamRecvError};
 use stetho_profiler::{FilterOptions, ProfilerEmitter, TextualStethoscope, TraceEvent};
 use stetho_sql::compile;
 
@@ -120,7 +120,13 @@ impl MultiServerSession {
                 }
                 Ok(StreamItem::EndOfTrace { .. }) => eots += 1,
                 Ok(_) => {}
-                Err(_) => continue,
+                Err(StreamRecvError::Timeout) => continue,
+                Err(StreamRecvError::Closed) => {
+                    steth.stop();
+                    return Err(SessionError::new(
+                        "stream closed before every server reported end-of-trace",
+                    ));
+                }
             }
         }
         steth.stop();

@@ -10,6 +10,22 @@
 //! file ... As the trace file grows in size, its content is sampled in a
 //! buffer. ... An algorithm for run-time analysis, to filter lengthy MAL
 //! instructions is applied on the buffer content."
+//!
+//! The transport is assumed hostile (frames can be dropped, reordered,
+//! duplicated, or truncated — see [`stetho_profiler::wire`]), and the
+//! session degrades gracefully instead of wedging:
+//!
+//! * a reported [`StreamItem::Lost`] gap (or a stream that ends without
+//!   end-of-trace) synthesizes `done` events for instructions stuck in
+//!   the started state, so coloring and progress converge;
+//! * instructions whose events vanished entirely are marked
+//!   [`InstrState::Lost`] and count toward completion;
+//! * a damaged or missing dot stream falls back to the locally compiled
+//!   dot text (the session compiled the plan itself);
+//! * garbled lines are counted, not fatal.
+//!
+//! The resulting [`OnlineOutcome`] carries a [`TransportStats`] snapshot
+//! next to the verifier report so tools can show transport health.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -21,8 +37,10 @@ use stetho_dot::plan_to_dot;
 use stetho_engine::{Catalog, ExecOptions, Interpreter, ProfilerConfig, UdpSink};
 use stetho_layout::{layout, parse_svg, write_svg, LayoutOptions, SceneGraph};
 use stetho_mal::{Plan, VerifyReport};
+use stetho_profiler::chaos::{ChaosConfig, ChaosLink, ChaosReport};
+use stetho_profiler::reassembly::{TransportStats, DEFAULT_REORDER_WINDOW};
 use stetho_profiler::tracefile::TraceWriter;
-use stetho_profiler::udp::StreamItem;
+use stetho_profiler::udp::{StreamItem, StreamRecvError};
 use stetho_profiler::{
     FilterOptions, ProfilerEmitter, SampleBuffer, TextualStethoscope, TraceEvent,
 };
@@ -32,7 +50,8 @@ use stetho_zvtm::{EventDispatchThread, VirtualSpace};
 
 use crate::color::{ColorState, PairElision, ThresholdColoring};
 use crate::mapping::TraceDotMap;
-use crate::progress::{ProgressModel, ProgressSnapshot};
+use crate::progress::{InstrState, ProgressModel, ProgressSnapshot};
+use crate::replay::repair_lost_dones;
 use crate::session::SessionError;
 
 static SESSION_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -56,6 +75,11 @@ pub struct OnlineConfig {
     pub dot_path: PathBuf,
     /// Where the monitor redirects the received trace.
     pub trace_path: PathBuf,
+    /// Route the stream through a deterministic in-memory [`ChaosLink`]
+    /// with this fault schedule instead of real UDP (testing).
+    pub chaos: Option<ChaosConfig>,
+    /// Per-source reorder window of the receiver's reassembly stage.
+    pub reorder_window: usize,
 }
 
 impl Default for OnlineConfig {
@@ -71,6 +95,8 @@ impl Default for OnlineConfig {
             filter: FilterOptions::all(),
             dot_path: dir.join(format!("stetho_online_{}_{id}.dot", std::process::id())),
             trace_path: dir.join(format!("stetho_online_{}_{id}.trace", std::process::id())),
+            chaos: None,
+            reorder_window: DEFAULT_REORDER_WINDOW,
         }
     }
 }
@@ -82,7 +108,9 @@ pub struct OnlineOutcome {
     /// Static-verifier report for the compiled plan (diagnostics are
     /// surfaced to the session; a clean report means no errors).
     pub verify: VerifyReport,
-    /// Dot text as received over the stream.
+    /// Dot text the scene was built from (as received, or the local
+    /// fallback when the received copy was damaged — see
+    /// [`OnlineOutcome::dot_degraded`]).
     pub dot_text: String,
     /// Scene built when the dot stream completed.
     pub scene: SceneGraph,
@@ -90,7 +118,8 @@ pub struct OnlineOutcome {
     pub space: VirtualSpace,
     /// pc ↔ node ↔ glyph mapping.
     pub map: TraceDotMap,
-    /// All received (filtered) trace events, arrival order.
+    /// All received (filtered) trace events in arrival order, plus any
+    /// synthesized `done`s appended by gap recovery.
     pub events: Vec<TraceEvent>,
     /// Final pair-elision states over the whole trace.
     pub final_states: HashMap<usize, ColorState>,
@@ -102,10 +131,154 @@ pub struct OnlineOutcome {
     pub samples_dropped: u64,
     /// Result-set row count of the query.
     pub result_rows: usize,
-    /// Final progress snapshot (should read 100% done).
+    /// Final progress snapshot (done + lost should cover the plan).
     pub progress: ProgressSnapshot,
     /// Wall-clock duration of the whole session.
     pub elapsed: Duration,
+    /// Receiver-side transport health counters.
+    pub transport: TransportStats,
+    /// Ground truth of what the chaos link did to the traffic (only in
+    /// chaos mode), for exact reconciliation against `transport`.
+    pub chaos_report: Option<ChaosReport>,
+    /// Sequence-number gaps reported by the reassembly stage.
+    pub lost_gaps: Vec<(u64, u64)>,
+    /// Garbled lines/frames observed (counted, not fatal).
+    pub garbled_lines: u64,
+    /// `done` events synthesized so the animation converged.
+    pub synthesized_dones: usize,
+    /// True when the received dot stream was unusable and the locally
+    /// compiled dot text was used instead.
+    pub dot_degraded: bool,
+}
+
+/// The per-item monitor state (the paper's "separate thread [that]
+/// monitors the received UDP stream"), shared between the live loop and
+/// the post-join grace drain.
+struct Monitor<'a> {
+    cfg: &'a OnlineConfig,
+    plan: &'a Plan,
+    local_dot: &'a str,
+    started: Instant,
+    dot_buffer: String,
+    used_dot: Option<String>,
+    scene: Option<SceneGraph>,
+    space: Option<VirtualSpace>,
+    map: TraceDotMap,
+    trace_writer: TraceWriter,
+    events: Vec<TraceEvent>,
+    sample: SampleBuffer,
+    edt: EventDispatchThread,
+    threshold: Option<ThresholdColoring>,
+    progress: ProgressModel,
+    last_states: HashMap<usize, ColorState>,
+    saw_eot: bool,
+    lost_gaps: Vec<(u64, u64)>,
+    garbled_lines: u64,
+    dot_degraded: bool,
+}
+
+impl Monitor<'_> {
+    fn handle(&mut self, item: StreamItem) -> Result<(), SessionError> {
+        match item {
+            StreamItem::DotBegin { .. } => self.dot_buffer.clear(),
+            StreamItem::DotLine { line, .. } => {
+                self.dot_buffer.push_str(&line);
+                self.dot_buffer.push('\n');
+            }
+            StreamItem::DotEnd { .. } => {
+                let received = std::mem::take(&mut self.dot_buffer);
+                self.adopt_dot(received)?;
+            }
+            StreamItem::Event { event, .. } => self.ingest_event(event, false)?,
+            StreamItem::EndOfTrace { .. } => self.saw_eot = true,
+            StreamItem::Garbled { .. } => self.garbled_lines += 1,
+            StreamItem::Lost {
+                from_seq, to_seq, ..
+            } => self.lost_gaps.push((from_seq, to_seq)),
+        }
+        Ok(())
+    }
+
+    /// Build the scene from the received dot text, falling back to the
+    /// locally compiled dot when the received copy was damaged in
+    /// transit (missing lines, lost begin/end framing).
+    fn adopt_dot(&mut self, received: String) -> Result<(), SessionError> {
+        let usable = match stetho_dot::parse_dot(&received) {
+            Ok(graph) => graph.nodes().len() == self.plan.len(),
+            Err(_) => false,
+        };
+        let text = if usable {
+            received
+        } else {
+            self.dot_degraded = true;
+            self.local_dot.to_string()
+        };
+        // "It filters the dot file content, generates a new dot file,
+        // and stores the content in it."
+        std::fs::write(&self.cfg.dot_path, &text)?;
+        let graph =
+            stetho_dot::parse_dot(&text).map_err(|e| SessionError::new(format!("dot: {e}")))?;
+        let laid = layout(&graph, &LayoutOptions::default());
+        let svg = write_svg(&laid);
+        let sc = parse_svg(&svg).map_err(|e| SessionError::new(format!("svg: {e}")))?;
+        let (sp, node_glyphs) = VirtualSpace::from_scene(&sc);
+        self.map = TraceDotMap::from_scene(&sc);
+        self.map.attach_glyphs(&node_glyphs);
+        self.scene = Some(sc);
+        self.space = Some(sp);
+        self.used_dot = Some(text);
+        Ok(())
+    }
+
+    fn ingest_event(&mut self, event: TraceEvent, synthetic: bool) -> Result<(), SessionError> {
+        if !synthetic {
+            self.trace_writer.write_event(&event)?;
+        }
+        self.progress.on_event(&event);
+        self.sample.push(event.clone());
+        if let Some(t) = self.threshold.as_mut() {
+            t.on_event(&event);
+            t.on_tick(event.clk);
+        }
+        self.events.push(event);
+        // Run-time analysis over the sample buffer (§4.2.1).
+        let snapshot = self.sample.snapshot();
+        let changes = PairElision.changes(&snapshot);
+        let now_ms = self.started.elapsed().as_millis() as u64;
+        if let Some(sp) = self.space.as_mut() {
+            for c in changes {
+                if self.last_states.get(&c.pc) != Some(&c.state) {
+                    if let Some(g) = self.map.shape_of_pc(c.pc) {
+                        self.edt.enqueue(g, c.state.fill(), now_ms);
+                    }
+                    self.last_states.insert(c.pc, c.state);
+                }
+            }
+            self.edt.advance_into(now_ms, sp);
+        }
+        Ok(())
+    }
+
+    /// Converge after the stream ended: when anything was (or may have
+    /// been) lost, close dangling starts with synthesized `done`s and
+    /// write untraced instructions off to the gaps, so the picture
+    /// settles instead of staying RED forever.
+    fn converge(&mut self) -> Result<usize, SessionError> {
+        if self.saw_eot && self.lost_gaps.is_empty() {
+            return Ok(0);
+        }
+        let mut repaired = self.events.clone();
+        let synthesized = repair_lost_dones(&mut repaired);
+        for e in repaired.split_off(self.events.len()) {
+            self.ingest_event(e, true)?;
+        }
+        for pc in 0..self.plan.len() {
+            if self.progress.state_of(pc) == InstrState::Pending {
+                self.progress.mark_lost(pc);
+            }
+        }
+        Ok(synthesized)
+    }
 }
 
 /// The online-mode driver.
@@ -140,11 +313,23 @@ impl OnlineSession {
         let verify = plan.verify();
         let dot_text = plan_to_dot(&plan, stetho_dot::LabelStyle::FullStatement);
 
-        // Textual Stethoscope thread (the listener runs inside).
-        let mut steth = TextualStethoscope::bind().map_err(SessionError::from)?;
+        // Textual Stethoscope thread (the listener runs inside), over
+        // real UDP or a seeded in-memory chaos link.
+        let chaos_link = cfg.chaos.map(ChaosLink::new);
+        let mut steth = match &chaos_link {
+            Some(link) => TextualStethoscope::over(link),
+            None => TextualStethoscope::bind().map_err(SessionError::from)?,
+        };
+        steth.set_reorder_window(cfg.reorder_window);
         steth.set_default_filter(cfg.filter.clone());
         let rx = steth.start();
-        let addr = steth.local_addr().map_err(SessionError::from)?;
+        let emitter = match &chaos_link {
+            Some(link) => ProfilerEmitter::over(link),
+            None => {
+                let addr = steth.local_addr().map_err(SessionError::from)?;
+                ProfilerEmitter::connect(addr).map_err(SessionError::from)?
+            }
+        };
 
         // Query thread: send dot first, run, then mark end of trace.
         let plan_for_query = plan.clone();
@@ -154,7 +339,6 @@ impl OnlineSession {
         let query_thread = std::thread::Builder::new()
             .name("mserver-query".into())
             .spawn(move || -> Result<usize, String> {
-                let emitter = ProfilerEmitter::connect(addr).map_err(|e| e.to_string())?;
                 emitter
                     .send_dot(&plan_for_query.name, &dot_for_query)
                     .map_err(|e| e.to_string())?;
@@ -172,96 +356,105 @@ impl OnlineSession {
                     .send_end_of_trace()
                     .map_err(|e| e.to_string())?;
                 Ok(out.result.map(|r| r.rows()).unwrap_or(0))
+                // `sink` (and with it the emitter) drops here, flushing
+                // and closing an in-memory link.
             })
             .map_err(SessionError::from)?;
 
-        // Monitor: split dot vs trace content, redirect to files, sample,
-        // color.
-        let mut dot_buffer = String::new();
-        let mut received_dot: Option<String> = None;
-        let mut scene: Option<SceneGraph> = None;
-        let mut space: Option<VirtualSpace> = None;
-        let mut map = TraceDotMap::default();
-        let mut trace_writer = TraceWriter::create(&cfg.trace_path).map_err(SessionError::from)?;
-        let mut events: Vec<TraceEvent> = Vec::new();
-        let mut sample = SampleBuffer::new(cfg.sample_capacity);
-        let mut edt = EventDispatchThread::new(cfg.pacing_ms);
-        let mut threshold = cfg.threshold_usec.map(ThresholdColoring::new);
-        let mut progress = ProgressModel::new(&plan);
-        let mut last_states: HashMap<usize, ColorState> = HashMap::new();
-        let mut saw_eot = false;
+        let mut mon = Monitor {
+            cfg,
+            plan: &plan,
+            local_dot: &dot_text,
+            started,
+            dot_buffer: String::new(),
+            used_dot: None,
+            scene: None,
+            space: None,
+            map: TraceDotMap::default(),
+            trace_writer: TraceWriter::create(&cfg.trace_path).map_err(SessionError::from)?,
+            events: Vec::new(),
+            sample: SampleBuffer::new(cfg.sample_capacity),
+            edt: EventDispatchThread::new(cfg.pacing_ms),
+            threshold: cfg.threshold_usec.map(ThresholdColoring::new),
+            progress: ProgressModel::new(&plan),
+            last_states: HashMap::new(),
+            saw_eot: false,
+            lost_gaps: Vec::new(),
+            garbled_lines: 0,
+            dot_degraded: false,
+        };
         let deadline = Instant::now() + Duration::from_secs(120);
 
-        while !saw_eot {
+        // Live monitoring until end-of-trace (or the stream closes —
+        // e.g. the final eot frames themselves were lost).
+        while !mon.saw_eot {
             if Instant::now() > deadline {
                 steth.stop();
                 return Err(SessionError::new("online session timed out"));
             }
-            let item = match rx.recv_timeout(Duration::from_millis(50)) {
-                Ok(i) => i,
-                Err(_) => continue,
-            };
-            match item {
-                StreamItem::DotBegin { .. } => dot_buffer.clear(),
-                StreamItem::DotLine { line, .. } => {
-                    dot_buffer.push_str(&line);
-                    dot_buffer.push('\n');
-                }
-                StreamItem::DotEnd { .. } => {
-                    // "It filters the dot file content, generates a new
-                    // dot file, and stores the content in it."
-                    std::fs::write(&cfg.dot_path, &dot_buffer)?;
-                    let graph = stetho_dot::parse_dot(&dot_buffer)
-                        .map_err(|e| SessionError::new(format!("received dot: {e}")))?;
-                    let laid = layout(&graph, &LayoutOptions::default());
-                    let svg = write_svg(&laid);
-                    let sc = parse_svg(&svg).map_err(|e| SessionError::new(format!("svg: {e}")))?;
-                    let (sp, node_glyphs) = VirtualSpace::from_scene(&sc);
-                    map = TraceDotMap::from_scene(&sc);
-                    map.attach_glyphs(&node_glyphs);
-                    scene = Some(sc);
-                    space = Some(sp);
-                    received_dot = Some(dot_buffer.clone());
-                }
-                StreamItem::Event { event, .. } => {
-                    trace_writer.write_event(&event)?;
-                    progress.on_event(&event);
-                    sample.push(event.clone());
-                    if let Some(t) = threshold.as_mut() {
-                        t.on_event(&event);
-                        t.on_tick(event.clk);
-                    }
-                    events.push(event);
-                    // Run-time analysis over the sample buffer (§4.2.1).
-                    let snapshot = sample.snapshot();
-                    let changes = PairElision.changes(&snapshot);
-                    let now_ms = started.elapsed().as_millis() as u64;
-                    if let Some(sp) = space.as_mut() {
-                        for c in changes {
-                            if last_states.get(&c.pc) != Some(&c.state) {
-                                if let Some(g) = map.shape_of_pc(c.pc) {
-                                    edt.enqueue(g, c.state.fill(), now_ms);
-                                }
-                                last_states.insert(c.pc, c.state);
-                            }
-                        }
-                        edt.advance_into(now_ms, sp);
-                    }
-                }
-                StreamItem::EndOfTrace { .. } => saw_eot = true,
-                StreamItem::Garbled { line, .. } => {
-                    return Err(SessionError::new(format!("garbled stream line: {line}")))
-                }
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(item) => mon.handle(item)?,
+                Err(StreamRecvError::Timeout) => continue,
+                Err(StreamRecvError::Closed) => break,
             }
         }
-        trace_writer.flush()?;
-        steth.stop();
+
+        // Join first: the emitter drops with the query thread, which
+        // flushes delayed datagrams and closes an in-memory link so the
+        // drain below sees every straggler and every gap report.
         let result_rows = query_thread
             .join()
             .map_err(|_| SessionError::new("query thread panicked"))?
             .map_err(SessionError::new)?;
+        if chaos_link.is_none() {
+            // Real UDP: give in-flight loopback datagrams a beat, then
+            // stop the listener (which flushes reassembly buffers and
+            // closes the ring).
+            std::thread::sleep(Duration::from_millis(60));
+            steth.stop();
+        }
+        // Grace drain: reordered stragglers, eot echoes, gap reports
+        // from the end-of-stream flush.
+        loop {
+            if Instant::now() > deadline {
+                break;
+            }
+            match rx.recv_timeout(Duration::from_millis(200)) {
+                Ok(item) => mon.handle(item)?,
+                Err(StreamRecvError::Timeout) => continue,
+                Err(StreamRecvError::Closed) => break,
+            }
+        }
+        steth.stop();
 
-        let mut space = space.ok_or_else(|| SessionError::new("no dot file received"))?;
+        mon.trace_writer.flush()?;
+        // Dot stream never completed usably? Fall back to the local
+        // compile so the session still renders.
+        if mon.space.is_none() {
+            mon.dot_degraded = true;
+            mon.adopt_dot(String::new())?;
+        }
+        let synthesized_dones = mon.converge()?;
+
+        let transport = steth.transport_stats();
+        let chaos_report = chaos_link.as_ref().map(|l| l.report());
+        let Monitor {
+            used_dot,
+            scene,
+            space,
+            map,
+            events,
+            mut edt,
+            threshold,
+            progress,
+            saw_eot: _,
+            lost_gaps,
+            garbled_lines,
+            dot_degraded,
+            sample,
+            ..
+        } = mon;
+        let mut space = space.ok_or_else(|| SessionError::new("no dot file available"))?;
         let scene = scene.expect("scene set with space");
         // Drain the EDT so the final frame shows every landed color.
         let ops = edt.flush();
@@ -282,7 +475,7 @@ impl OnlineSession {
         Ok(OnlineOutcome {
             plan,
             verify,
-            dot_text: received_dot.unwrap_or(dot_text),
+            dot_text: used_dot.unwrap_or(dot_text),
             scene,
             space,
             map,
@@ -294,6 +487,12 @@ impl OnlineSession {
             result_rows,
             progress: progress.snapshot(),
             elapsed: started.elapsed(),
+            transport,
+            chaos_report,
+            lost_gaps,
+            garbled_lines,
+            synthesized_dones,
+            dot_degraded,
         })
     }
 }
@@ -351,6 +550,10 @@ mod tests {
         assert!(out.verify.is_clean(), "compiled plan verifies clean");
         assert_eq!(out.scene.nodes.len(), out.plan.len());
         assert!(out.edt_stats.dispatched > 0);
+        assert!(!out.dot_degraded, "loopback UDP delivers the dot intact");
+        assert_eq!(out.synthesized_dones, 0);
+        assert_eq!(out.transport.lost, 0);
+        assert!(out.transport.received > 0, "framed transport counts frames");
         // Trace and dot files were written by the monitor.
         assert!(cfg.trace_path.exists());
         assert!(cfg.dot_path.exists());
@@ -402,5 +605,55 @@ mod tests {
         let cfg = OnlineConfig::default();
         let r = OnlineSession::run(catalog(), "select nothing from nowhere", &cfg);
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn chaos_free_link_matches_udp_behavior() {
+        let cfg = OnlineConfig {
+            pacing_ms: 0,
+            chaos: Some(ChaosConfig::clean(11)),
+            ..Default::default()
+        };
+        let out = OnlineSession::run(
+            catalog(),
+            "select l_tax from lineitem where l_partkey = 1",
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(out.result_rows, 50);
+        assert_eq!(out.events.len(), out.plan.len() * 2);
+        assert_eq!(out.progress.fraction, 1.0);
+        assert!(!out.dot_degraded);
+        assert_eq!(out.transport.lost, 0);
+        assert_eq!(out.transport.duplicated, 0);
+        assert_eq!(out.synthesized_dones, 0);
+        std::fs::remove_file(&cfg.trace_path).ok();
+        std::fs::remove_file(&cfg.dot_path).ok();
+    }
+
+    #[test]
+    fn hostile_link_session_converges() {
+        let cfg = OnlineConfig {
+            pacing_ms: 0,
+            chaos: Some(ChaosConfig::hostile(23)),
+            ..Default::default()
+        };
+        let out = OnlineSession::run(
+            catalog(),
+            "select l_tax from lineitem where l_partkey = 1",
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(out.result_rows, 50, "the query itself is unaffected");
+        // The animation converged: nothing is left RED, and progress
+        // accounts for every instruction as done or lost.
+        assert!(out.final_states.values().all(|c| *c != ColorState::Red));
+        assert_eq!(out.progress.fraction, 1.0, "{:?}", out.progress);
+        // The seeded schedule at 20/5/10/30 certainly corrupts a
+        // 100+ frame stream somewhere.
+        let t = out.transport;
+        assert!(t.lost + t.duplicated + t.reordered + t.garbled > 0, "{t:?}");
+        std::fs::remove_file(&cfg.trace_path).ok();
+        std::fs::remove_file(&cfg.dot_path).ok();
     }
 }

@@ -117,6 +117,13 @@ impl ProfilerSink for UdpSink {
         // Datagram loss is inherent to the medium; ignore send errors.
         let _ = self.emitter.emit(e);
     }
+
+    fn flush(&self) {
+        // A heartbeat consumes a sequence number, so the receiver can
+        // distinguish "quiet emitter" from "losing datagrams" at sync
+        // points (end of execution, scheduler barriers).
+        self.emitter.send_heartbeat();
+    }
 }
 
 /// Fans events out to several sinks.

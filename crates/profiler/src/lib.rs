@@ -21,18 +21,23 @@
 //!   which "can connect to multiple MonetDB servers at the same time to
 //!   receive execution traces from all (distributed) sources" (§3.2).
 
+pub mod chaos;
 pub mod event;
 pub mod filter;
 pub mod format;
+pub mod reassembly;
 pub mod sampler;
 pub mod stats;
 pub mod tracefile;
 pub mod udp;
+pub mod wire;
 
+pub use chaos::{ChaosConfig, ChaosLink, ChaosReport};
 pub use event::{EventStatus, TraceEvent};
 pub use filter::FilterOptions;
 pub use format::{format_event, parse_event, FormatError};
+pub use reassembly::{Reassembler, ReassemblyOut, StreamDecoder, TransportStats};
 pub use sampler::SampleBuffer;
 pub use stats::TraceStats;
 pub use tracefile::TraceFile;
-pub use udp::{ProfilerEmitter, TextualStethoscope};
+pub use udp::{ProfilerEmitter, StreamItem, StreamReceiver, StreamRecvError, TextualStethoscope};

@@ -8,28 +8,44 @@
 //! And for online mode: "The MonetDB server generates the dot file content
 //! and sends it over on the UDP stream to the textual Stethoscope, before
 //! query execution begins. A separate thread monitors the received UDP
-//! stream for dot file and execution trace file content. It filters the
-//! dot file content, generates a new dot file" (§4.2).
+//! stream for dot file and execution trace file content." (§4.2)
 //!
-//! The stream therefore interleaves two kinds of content. Dot content is
-//! framed with `%dot-begin` / `%dot` / `%dot-end` control lines; trace
-//! records are the bracketed lines of [`crate::format`]. `%eot` marks
-//! end-of-trace for one query.
+//! The wire is hostile: UDP drops, reorders, and duplicates datagrams.
+//! The resilient path layers three defenses over the paper's raw text
+//! stream:
+//!
+//! 1. **Framing** ([`crate::wire`]): every datagram carries a per-source
+//!    sequence number and kind (`%frm <seq> <kind> …`);
+//! 2. **Reassembly** ([`crate::reassembly`]): a bounded per-source
+//!    reorder buffer restores order, suppresses duplicates, and reports
+//!    unrecoverable gaps as [`StreamItem::Lost`] instead of hanging;
+//! 3. **Backpressure**: a bounded drop-oldest ring decouples the socket
+//!    thread from the consumer; evictions are counted, never blocking.
+//!
+//! Emitter-side, heartbeats keep sequence numbers flowing through idle
+//! periods, end-of-trace is echoed so trailing loss stays detectable,
+//! and a failed UDP socket reconnects with exponential backoff on the
+//! *same* local port so the receiver's per-source state survives.
+//!
+//! Legacy unframed datagrams (old emitters, recorded trace files) are
+//! still classified line-by-line with the original rules.
 
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::collections::HashMap;
 
+use crate::chaos::{ChaosEndpoint, ChaosLink, ChaosReceiver, ChaosRecvError};
 use crate::event::TraceEvent;
 use crate::filter::FilterOptions;
-use crate::format::{format_event, parse_event};
+use crate::format::format_event;
+use crate::reassembly::{StreamDecoder, TransportCounters, TransportStats, DEFAULT_REORDER_WINDOW};
+use crate::wire::{encode_frame, Frame, FrameBody};
 
 /// One item of the merged multi-server stream, tagged with its source.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,62 +88,377 @@ pub enum StreamItem {
         /// Raw line.
         line: String,
     },
+    /// A contiguous range of datagrams from `source` that will never
+    /// arrive; consumers should degrade gracefully instead of waiting.
+    Lost {
+        /// Sending server.
+        source: SocketAddr,
+        /// First missing sequence number.
+        from_seq: u64,
+        /// Last missing sequence number (inclusive).
+        to_seq: u64,
+    },
 }
 
-/// Server-side (Mserver) emitter: streams profiler output to one textual
-/// Stethoscope over UDP.
+// ---------------------------------------------------------------------
+// Emitter
+// ---------------------------------------------------------------------
+
+/// Emit a heartbeat after this many data frames, so a mostly-idle or
+/// tail-end stream still reveals loss (deterministic: tied to frame
+/// count, not wall clock).
+pub const HEARTBEAT_EVERY: u64 = 64;
+
+/// Extra `eot` echo frames sent after end-of-trace; each consumes a
+/// sequence number, bounding the receiver's trailing blind spot.
+pub const EOT_ECHOES: u32 = 2;
+
+/// Reconnect attempts before a send error is recorded as lost.
+const RECONNECT_ATTEMPTS: u32 = 3;
+/// First backoff step; doubles per attempt (1ms, 2ms, 4ms).
+const RECONNECT_BASE_DELAY: Duration = Duration::from_millis(1);
+
+/// Emitter-side transport counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmitterStats {
+    /// Frames successfully handed to the transport.
+    pub frames_sent: u64,
+    /// Heartbeat frames among them.
+    pub heartbeats: u64,
+    /// Frames whose send failed even after reconnecting (their sequence
+    /// numbers surface as `Lost` gaps on the receiver).
+    pub send_errors: u64,
+    /// Socket rebinds performed.
+    pub reconnects: u64,
+}
+
 #[derive(Debug)]
+enum EmitterLink {
+    Udp {
+        socket: Mutex<UdpSocket>,
+        peer: SocketAddr,
+        local: SocketAddr,
+    },
+    Mem(ChaosEndpoint),
+}
+
+/// Server-side (Mserver) emitter: streams framed profiler output to one
+/// textual Stethoscope.
 pub struct ProfilerEmitter {
-    socket: UdpSocket,
+    link: EmitterLink,
+    /// Serializes sequence-number allocation with transmission: the
+    /// protocol promises `seq` is monotone in *wire* order, and with
+    /// concurrent scheduler workers an unsynchronized allocate-then-send
+    /// would let frames hit the link out of order — indistinguishable
+    /// from network reordering to the receiver.
+    tx: Mutex<()>,
+    seq: AtomicU64,
+    data_frames: AtomicU64,
+    frames_sent: AtomicU64,
+    heartbeats: AtomicU64,
+    send_errors: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 impl ProfilerEmitter {
-    /// Create an emitter targeting `stethoscope` (e.g. the address
-    /// returned by [`TextualStethoscope::local_addr`]).
+    /// Create an emitter targeting `stethoscope` over real UDP (e.g. the
+    /// address returned by [`TextualStethoscope::local_addr`]).
     pub fn connect(stethoscope: impl ToSocketAddrs) -> io::Result<Self> {
+        let peer = stethoscope
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
-        socket.connect(stethoscope)?;
-        Ok(ProfilerEmitter { socket })
+        socket.connect(peer)?;
+        let local = socket.local_addr()?;
+        Ok(Self::over_link(EmitterLink::Udp {
+            socket: Mutex::new(socket),
+            peer,
+            local,
+        }))
+    }
+
+    /// Create an emitter sending into a deterministic in-memory
+    /// [`ChaosLink`] instead of a socket.
+    pub fn over(link: &ChaosLink) -> Self {
+        Self::over_link(EmitterLink::Mem(link.endpoint()))
+    }
+
+    fn over_link(link: EmitterLink) -> Self {
+        ProfilerEmitter {
+            link,
+            tx: Mutex::new(()),
+            seq: AtomicU64::new(0),
+            data_frames: AtomicU64::new(0),
+            frames_sent: AtomicU64::new(0),
+            heartbeats: AtomicU64::new(0),
+            send_errors: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+        }
     }
 
     /// The emitter's own address — the stream's source tag on the
     /// receiving side.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.socket.local_addr()
+        match &self.link {
+            EmitterLink::Udp { local, .. } => Ok(*local),
+            EmitterLink::Mem(ep) => Ok(ep.local_addr()),
+        }
+    }
+
+    /// Emitter-side counters.
+    pub fn stats(&self) -> EmitterStats {
+        EmitterStats {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
+            send_errors: self.send_errors.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+        }
     }
 
     /// Send one trace event.
     pub fn emit(&self, e: &TraceEvent) -> io::Result<()> {
-        self.socket.send(format_event(e).as_bytes())?;
+        self.send_body(FrameBody::Event {
+            line: format_event(e),
+        });
+        self.tick_heartbeat();
         Ok(())
     }
 
     /// Send a complete dot file, framed, before query execution begins.
     pub fn send_dot(&self, plan_name: &str, dot_text: &str) -> io::Result<()> {
-        self.socket
-            .send(format!("%dot-begin {plan_name}").as_bytes())?;
+        self.send_body(FrameBody::DotBegin {
+            name: plan_name.to_string(),
+        });
         for line in dot_text.lines() {
-            self.socket.send(format!("%dot {line}").as_bytes())?;
+            self.send_body(FrameBody::DotLine {
+                line: line.to_string(),
+            });
         }
-        self.socket.send(b"%dot-end")?;
+        self.send_body(FrameBody::DotEnd);
         Ok(())
     }
 
-    /// Mark the end of the current query's trace.
+    /// Mark the end of the current query's trace. Echoed [`EOT_ECHOES`]
+    /// times so a dropped `eot` (or trailing data frame) still leaves
+    /// the receiver a later sequence number to detect the gap with.
     pub fn send_end_of_trace(&self) -> io::Result<()> {
-        self.socket.send(b"%eot")?;
+        for _ in 0..=EOT_ECHOES {
+            self.send_body(FrameBody::EndOfTrace);
+        }
         Ok(())
+    }
+
+    /// Send a liveness heartbeat now.
+    pub fn send_heartbeat(&self) {
+        self.heartbeats.fetch_add(1, Ordering::Relaxed);
+        self.send_body(FrameBody::Heartbeat);
+    }
+
+    fn tick_heartbeat(&self) {
+        let n = self.data_frames.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(HEARTBEAT_EVERY) {
+            self.send_heartbeat();
+        }
+    }
+
+    /// Allocate the next sequence number and send the frame. Errors are
+    /// absorbed: the sequence number is consumed either way, so a frame
+    /// the network never saw surfaces as a `Lost` gap downstream rather
+    /// than silently renumbering the stream.
+    fn send_body(&self, body: FrameBody) {
+        let _wire_order = self.tx.lock();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let wire = encode_frame(&Frame { seq, body });
+        match &self.link {
+            EmitterLink::Mem(ep) => {
+                ep.send(wire.as_bytes());
+                self.frames_sent.fetch_add(1, Ordering::Relaxed);
+            }
+            EmitterLink::Udp {
+                socket,
+                peer,
+                local,
+            } => {
+                let sock = socket.lock();
+                if sock.send(wire.as_bytes()).is_ok() {
+                    drop(sock);
+                    self.frames_sent.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                drop(sock);
+                if self.reconnect_and_resend(socket, *peer, *local, wire.as_bytes()) {
+                    self.frames_sent.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.send_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Exponential-backoff reconnect, rebinding the *same* local port so
+    /// the receiver keeps attributing our frames to one source.
+    fn reconnect_and_resend(
+        &self,
+        socket: &Mutex<UdpSocket>,
+        peer: SocketAddr,
+        local: SocketAddr,
+        bytes: &[u8],
+    ) -> bool {
+        let mut delay = RECONNECT_BASE_DELAY;
+        for _ in 0..RECONNECT_ATTEMPTS {
+            std::thread::sleep(delay);
+            delay *= 2;
+            self.reconnects.fetch_add(1, Ordering::Relaxed);
+            let Ok(fresh) = UdpSocket::bind(local) else {
+                continue;
+            };
+            if fresh.connect(peer).is_err() {
+                continue;
+            }
+            let ok = fresh.send(bytes).is_ok();
+            *socket.lock() = fresh;
+            if ok {
+                return true;
+            }
+        }
+        false
     }
 }
 
-/// The textual Stethoscope: binds a UDP port, receives interleaved dot +
-/// trace streams from any number of servers, filters them, and forwards
-/// structured [`StreamItem`]s over a channel.
+impl std::fmt::Debug for ProfilerEmitter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfilerEmitter")
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bounded drop-oldest ring
+// ---------------------------------------------------------------------
+
+/// Default capacity of the ring between the socket thread and the
+/// consumer; generous enough that well-paced sessions never evict.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// Error from [`StreamReceiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamRecvError {
+    /// Nothing arrived within the timeout; the stream is still open.
+    Timeout,
+    /// The stream ended (stethoscope stopped or link closed) and the
+    /// ring is drained.
+    Closed,
+}
+
+struct RingState {
+    buf: VecDeque<StreamItem>,
+    closed: bool,
+}
+
+struct Ring {
+    state: std::sync::Mutex<RingState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Ring {
+            state: std::sync::Mutex::new(RingState {
+                buf: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        })
+    }
+
+    /// Push one item, evicting the oldest when full (never blocks the
+    /// socket thread). Returns the number of evictions.
+    fn push(&self, item: StreamItem) -> u64 {
+        let mut st = self.state.lock().expect("stream ring poisoned");
+        let mut evicted = 0;
+        while st.buf.len() >= self.capacity {
+            st.buf.pop_front();
+            evicted += 1;
+        }
+        st.buf.push_back(item);
+        drop(st);
+        self.cv.notify_one();
+        evicted
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("stream ring poisoned").closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Consumer handle for the stethoscope's item stream.
+#[derive(Clone)]
+pub struct StreamReceiver {
+    ring: Arc<Ring>,
+}
+
+impl StreamReceiver {
+    /// Wait up to `timeout` for the next item.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<StreamItem, StreamRecvError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.ring.state.lock().expect("stream ring poisoned");
+        loop {
+            if let Some(item) = st.buf.pop_front() {
+                return Ok(item);
+            }
+            if st.closed {
+                return Err(StreamRecvError::Closed);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(StreamRecvError::Timeout);
+            }
+            let (guard, _) = self
+                .ring
+                .cv
+                .wait_timeout(st, deadline - now)
+                .expect("stream ring poisoned");
+            st = guard;
+        }
+    }
+
+    /// Non-blocking poll.
+    pub fn try_recv(&self) -> Result<StreamItem, StreamRecvError> {
+        let mut st = self.ring.state.lock().expect("stream ring poisoned");
+        match st.buf.pop_front() {
+            Some(item) => Ok(item),
+            None if st.closed => Err(StreamRecvError::Closed),
+            None => Err(StreamRecvError::Timeout),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Textual Stethoscope
+// ---------------------------------------------------------------------
+
+enum Inlet {
+    Udp(UdpSocket),
+    Mem(Option<ChaosReceiver>),
+}
+
+/// The textual Stethoscope: receives interleaved dot + trace streams
+/// from any number of servers (over UDP or a [`ChaosLink`]), reassembles
+/// them per source, filters them, and forwards structured
+/// [`StreamItem`]s through a bounded ring.
 pub struct TextualStethoscope {
-    socket: UdpSocket,
+    inlet: Inlet,
     running: Arc<AtomicBool>,
     filters: Arc<Mutex<HashMap<SocketAddr, FilterOptions>>>,
     default_filter: Arc<Mutex<FilterOptions>>,
+    counters: Arc<TransportCounters>,
+    reorder_window: usize,
+    ring_capacity: usize,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -136,18 +467,49 @@ impl TextualStethoscope {
     pub fn bind() -> io::Result<Self> {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
-        Ok(TextualStethoscope {
-            socket,
+        Ok(Self::with_inlet(Inlet::Udp(socket)))
+    }
+
+    /// Listen on a deterministic in-memory [`ChaosLink`] instead of a
+    /// socket.
+    pub fn over(link: &ChaosLink) -> Self {
+        Self::with_inlet(Inlet::Mem(Some(link.receiver())))
+    }
+
+    fn with_inlet(inlet: Inlet) -> Self {
+        TextualStethoscope {
+            inlet,
             running: Arc::new(AtomicBool::new(false)),
             filters: Arc::new(Mutex::new(HashMap::new())),
             default_filter: Arc::new(Mutex::new(FilterOptions::all())),
+            counters: Arc::new(TransportCounters::default()),
+            reorder_window: DEFAULT_REORDER_WINDOW,
+            ring_capacity: DEFAULT_RING_CAPACITY,
             handle: None,
-        })
+        }
     }
 
-    /// Address servers should emit to.
+    /// Address servers should emit to (UDP inlet only).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.socket.local_addr()
+        match &self.inlet {
+            Inlet::Udp(socket) => socket.local_addr(),
+            Inlet::Mem(_) => Err(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "in-memory stethoscope has no socket address",
+            )),
+        }
+    }
+
+    /// Set the per-source reorder window (frames buffered before a gap
+    /// is declared). Takes effect at [`TextualStethoscope::start`].
+    pub fn set_reorder_window(&mut self, window: usize) {
+        self.reorder_window = window.max(1);
+    }
+
+    /// Set the bounded ring capacity between the socket thread and the
+    /// consumer. Takes effect at [`TextualStethoscope::start`].
+    pub fn set_ring_capacity(&mut self, capacity: usize) {
+        self.ring_capacity = capacity.max(1);
     }
 
     /// Set the filter applied to servers without a per-server override.
@@ -161,21 +523,43 @@ impl TextualStethoscope {
         self.filters.lock().insert(server, f);
     }
 
+    /// Live transport-health snapshot.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.counters.snapshot()
+    }
+
     /// Start the listening thread; returns the stream of items. Call at
     /// most once.
-    pub fn start(&mut self) -> Receiver<StreamItem> {
-        let (tx, rx) = unbounded();
+    pub fn start(&mut self) -> StreamReceiver {
+        let ring = Ring::new(self.ring_capacity);
         self.running.store(true, Ordering::SeqCst);
-        let socket = self.socket.try_clone().expect("udp socket clone");
         let running = Arc::clone(&self.running);
-        let filters = Arc::clone(&self.filters);
-        let default_filter = Arc::clone(&self.default_filter);
-        let handle = std::thread::Builder::new()
-            .name("textual-stethoscope".into())
-            .spawn(move || listen_loop(socket, running, filters, default_filter, tx))
-            .expect("spawn textual stethoscope thread");
+        let decoder = StreamDecoder::with_shared(
+            self.reorder_window,
+            Arc::clone(&self.filters),
+            Arc::clone(&self.default_filter),
+            Arc::clone(&self.counters),
+        );
+        let thread_ring = Arc::clone(&ring);
+        let handle = match &mut self.inlet {
+            Inlet::Udp(socket) => {
+                let socket = socket.try_clone().expect("udp socket clone");
+                std::thread::Builder::new()
+                    .name("textual-stethoscope".into())
+                    .spawn(move || listen_udp(socket, running, decoder, thread_ring))
+            }
+            Inlet::Mem(rx) => {
+                let rx = rx
+                    .take()
+                    .expect("start called at most once on a chaos inlet");
+                std::thread::Builder::new()
+                    .name("textual-stethoscope".into())
+                    .spawn(move || listen_mem(rx, running, decoder, thread_ring))
+            }
+        }
+        .expect("spawn textual stethoscope thread");
         self.handle = Some(handle);
-        rx
+        StreamReceiver { ring }
     }
 
     /// Stop the listening thread and wait for it.
@@ -193,14 +577,26 @@ impl Drop for TextualStethoscope {
     }
 }
 
-fn listen_loop(
+fn forward(ring: &Ring, counters: &TransportCounters, items: Vec<StreamItem>) {
+    for item in items {
+        let evicted = ring.push(item);
+        if evicted > 0 {
+            counters
+                .dropped_backpressure
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+}
+
+fn listen_udp(
     socket: UdpSocket,
     running: Arc<AtomicBool>,
-    filters: Arc<Mutex<HashMap<SocketAddr, FilterOptions>>>,
-    default_filter: Arc<Mutex<FilterOptions>>,
-    tx: Sender<StreamItem>,
+    mut decoder: StreamDecoder,
+    ring: Arc<Ring>,
 ) {
+    let counters = decoder.counters();
     let mut buf = vec![0u8; 64 * 1024];
+    let mut items = Vec::new();
     while running.load(Ordering::SeqCst) {
         let (len, source) = match socket.recv_from(&mut buf) {
             Ok(x) => x,
@@ -211,71 +607,45 @@ fn listen_loop(
             }
             Err(_) => break,
         };
-        let text = String::from_utf8_lossy(&buf[..len]);
-        for line in text.lines() {
-            let item = classify(line, source, &filters, &default_filter);
-            match item {
-                Some(i) => {
-                    if tx.send(i).is_err() {
-                        return; // receiver gone
-                    }
-                }
-                None => continue, // filtered out
-            }
-        }
+        items.clear();
+        decoder.decode_bytes(source, &buf[..len], &mut items);
+        forward(&ring, &counters, std::mem::take(&mut items));
     }
+    let mut items = Vec::new();
+    decoder.flush_all(&mut items);
+    forward(&ring, &counters, items);
+    ring.close();
 }
 
-fn classify(
-    line: &str,
-    source: SocketAddr,
-    filters: &Mutex<HashMap<SocketAddr, FilterOptions>>,
-    default_filter: &Mutex<FilterOptions>,
-) -> Option<StreamItem> {
-    let trimmed = line.trim_end();
-    if trimmed.is_empty() {
-        return None;
-    }
-    if let Some(name) = trimmed.strip_prefix("%dot-begin") {
-        return Some(StreamItem::DotBegin {
-            source,
-            name: name.trim().to_string(),
-        });
-    }
-    if trimmed == "%dot-end" {
-        return Some(StreamItem::DotEnd { source });
-    }
-    if let Some(rest) = trimmed.strip_prefix("%dot") {
-        // `%dot ` prefix; an empty dot line arrives as just `%dot`.
-        let content = rest.strip_prefix(' ').unwrap_or(rest);
-        return Some(StreamItem::DotLine {
-            source,
-            line: content.to_string(),
-        });
-    }
-    if trimmed == "%eot" {
-        return Some(StreamItem::EndOfTrace { source });
-    }
-    match parse_event(trimmed) {
-        Ok(event) => {
-            let map = filters.lock();
-            let pass = match map.get(&source) {
-                Some(f) => f.accepts(&event),
-                None => default_filter.lock().accepts(&event),
-            };
-            drop(map);
-            pass.then_some(StreamItem::Event { source, event })
+fn listen_mem(
+    rx: ChaosReceiver,
+    running: Arc<AtomicBool>,
+    mut decoder: StreamDecoder,
+    ring: Arc<Ring>,
+) {
+    let counters = decoder.counters();
+    let mut items = Vec::new();
+    while running.load(Ordering::SeqCst) {
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok((source, bytes)) => {
+                items.clear();
+                decoder.decode_bytes(source, &bytes, &mut items);
+                forward(&ring, &counters, std::mem::take(&mut items));
+            }
+            Err(ChaosRecvError::Timeout) => continue,
+            Err(ChaosRecvError::Closed) => break,
         }
-        Err(_) => Some(StreamItem::Garbled {
-            source,
-            line: trimmed.to_string(),
-        }),
     }
+    let mut items = Vec::new();
+    decoder.flush_all(&mut items);
+    forward(&ring, &counters, items);
+    ring.close();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::ChaosConfig;
     use crate::event::EventStatus;
     use std::time::Duration;
 
@@ -296,12 +666,14 @@ mod tests {
         }
     }
 
-    fn drain(rx: &Receiver<StreamItem>, want: usize) -> Vec<StreamItem> {
+    fn drain(rx: &StreamReceiver, want: usize) -> Vec<StreamItem> {
         let mut got = Vec::new();
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while got.len() < want && std::time::Instant::now() < deadline {
-            if let Ok(item) = rx.recv_timeout(Duration::from_millis(100)) {
-                got.push(item);
+            match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(item) => got.push(item),
+                Err(StreamRecvError::Timeout) => continue,
+                Err(StreamRecvError::Closed) => break,
             }
         }
         got
@@ -329,6 +701,9 @@ mod tests {
             .collect();
         assert_eq!(events, vec![0, 1, 2, 3, 4]);
         assert!(matches!(items.last(), Some(StreamItem::EndOfTrace { .. })));
+        let stats = steth.transport_stats();
+        assert_eq!(stats.lost, 0);
+        assert_eq!(stats.garbled, 0);
         steth.stop();
     }
 
@@ -436,6 +811,28 @@ mod tests {
             .unwrap();
         let items = drain(&rx, 1);
         assert!(matches!(items.first(), Some(StreamItem::Garbled { .. })));
+        assert_eq!(steth.transport_stats().garbled, 1);
+        steth.stop();
+    }
+
+    #[test]
+    fn legacy_unframed_emitter_still_works() {
+        // An old emitter that knows nothing about frames.
+        let mut steth = TextualStethoscope::bind().unwrap();
+        let rx = steth.start();
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let to = steth.local_addr().unwrap();
+        sock.send_to(b"%dot-begin user.q", to).unwrap();
+        sock.send_to(b"%dot digraph g {", to).unwrap();
+        sock.send_to(b"%dot-end", to).unwrap();
+        sock.send_to(b"[ 0, \"start\", 0, 0, 0, 0, 0, \"a.b();\" ]", to)
+            .unwrap();
+        sock.send_to(b"%eot", to).unwrap();
+        let items = drain(&rx, 5);
+        assert_eq!(items.len(), 5);
+        assert!(matches!(items[0], StreamItem::DotBegin { .. }));
+        assert!(matches!(items[3], StreamItem::Event { .. }));
+        assert!(matches!(items[4], StreamItem::EndOfTrace { .. }));
         steth.stop();
     }
 
@@ -446,5 +843,91 @@ mod tests {
         steth.stop();
         steth.stop();
         // Drop after stop must not hang.
+    }
+
+    #[test]
+    fn chaos_link_round_trip_without_faults() {
+        let link = ChaosLink::new(ChaosConfig::clean(1));
+        let mut steth = TextualStethoscope::over(&link);
+        let rx = steth.start();
+        let emitter = ProfilerEmitter::over(&link);
+        emitter.send_dot("user.q", "digraph g {\n}").unwrap();
+        for i in 0..4 {
+            emitter.emit(&ev(i, i as usize, "a.b();")).unwrap();
+        }
+        emitter.send_end_of_trace().unwrap();
+        drop(emitter);
+        let items = drain(&rx, 9);
+        assert_eq!(items.len(), 9, "{items:?}");
+        assert!(matches!(items.last(), Some(StreamItem::EndOfTrace { .. })));
+        let stats = steth.transport_stats();
+        assert_eq!(stats.lost, 0);
+        assert_eq!(stats.duplicated, 0);
+        steth.stop();
+    }
+
+    #[test]
+    fn chaos_drops_surface_as_lost_gaps() {
+        let link = ChaosLink::new(ChaosConfig {
+            seed: 9,
+            drop_rate: 0.3,
+            truncate_rate: 0.0,
+            duplicate_rate: 0.0,
+            reorder_rate: 0.0,
+            reorder_depth: 0,
+        });
+        let mut steth = TextualStethoscope::over(&link);
+        let rx = steth.start();
+        let emitter = ProfilerEmitter::over(&link);
+        for i in 0..100 {
+            emitter.emit(&ev(i, i as usize, "a.b();")).unwrap();
+        }
+        emitter.send_end_of_trace().unwrap();
+        drop(emitter);
+        let mut lost_frames = 0u64;
+        loop {
+            match rx.recv_timeout(Duration::from_secs(2)) {
+                Ok(StreamItem::Lost {
+                    from_seq, to_seq, ..
+                }) => {
+                    lost_frames += to_seq - from_seq + 1;
+                }
+                Ok(_) => {}
+                Err(StreamRecvError::Closed) => break,
+                Err(StreamRecvError::Timeout) => panic!("stream wedged"),
+            }
+        }
+        let report = link.report();
+        assert!(report.dropped > 0, "seeded schedule must drop something");
+        assert_eq!(
+            lost_frames + report.invisible_tail,
+            report.dropped,
+            "every dropped datagram is either a reported gap or tail-invisible"
+        );
+        steth.stop();
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let garbled = |i: usize| StreamItem::Garbled {
+            source: "127.0.0.1:1".parse().unwrap(),
+            line: i.to_string(),
+        };
+        let ring = Ring::new(4);
+        let mut evicted = 0;
+        for i in 0..10 {
+            evicted += ring.push(garbled(i));
+        }
+        assert_eq!(evicted, 6, "drop-oldest evictions are counted");
+        ring.close();
+        let rx = StreamReceiver {
+            ring: Arc::clone(&ring),
+        };
+        let mut kept = Vec::new();
+        while let Ok(StreamItem::Garbled { line, .. }) = rx.try_recv() {
+            kept.push(line);
+        }
+        assert_eq!(kept, vec!["6", "7", "8", "9"], "oldest items were evicted");
+        assert_eq!(rx.try_recv(), Err(StreamRecvError::Closed));
     }
 }

@@ -1,0 +1,196 @@
+//! Property tests for the per-source [`Reassembler`]: under any
+//! combination of bounded reordering, duplication, and loss,
+//!
+//! * delivered items come out as an in-order subsequence of the sent
+//!   stream (sequence numbers strictly increasing, payloads intact);
+//! * after the end-of-stream flush, the `Item` and `Lost` outputs
+//!   together partition `0..=max_seen` exactly — nothing missing is
+//!   unreported, nothing reported is spurious;
+//! * each maximal contiguous run of missing sequence numbers yields
+//!   exactly one `Lost` gap;
+//! * the `reordered`/`duplicated`/`lost` counters match an independent
+//!   oracle computed from the delivery schedule.
+
+use proptest::prelude::*;
+
+use stetho_profiler::reassembly::{Reassembler, ReassemblyOut};
+
+/// Maximum displacement the shuffle can introduce; far below the
+/// window so delay never turns into declared loss.
+const MAX_SLIP: u64 = 8;
+const WINDOW: usize = 64;
+
+/// A fault schedule over a stream of `n` frames: per-frame drop and
+/// duplicate flags plus a bounded delivery jitter.
+#[derive(Debug, Clone)]
+struct Schedule {
+    drops: Vec<bool>,
+    dups: Vec<bool>,
+    jitter: Vec<u64>,
+}
+
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    // Per frame: a fault class draw (20% drop, 15% duplicate) and a
+    // delivery jitter.
+    proptest::collection::vec((0u32..100, 0u64..MAX_SLIP), 1..120).prop_map(|v| Schedule {
+        drops: v.iter().map(|&(c, _)| c < 20).collect(),
+        dups: v.iter().map(|&(c, _)| (20..35).contains(&c)).collect(),
+        jitter: v.iter().map(|&(_, j)| j).collect(),
+    })
+}
+
+/// Expand the schedule into the arrival order: drop, duplicate (copy
+/// follows the original), then a bounded stable shuffle keyed by
+/// `position + jitter`.
+fn deliveries(s: &Schedule) -> Vec<u64> {
+    let mut keyed: Vec<(u64, u64)> = Vec::new(); // (sort key, seq)
+    let mut pos = 0u64;
+    for seq in 0..s.drops.len() as u64 {
+        if s.drops[seq as usize] {
+            continue;
+        }
+        keyed.push((pos + s.jitter[seq as usize], seq));
+        pos += 1;
+        if s.dups[seq as usize] {
+            keyed.push((pos + s.jitter[seq as usize], seq));
+            pos += 1;
+        }
+    }
+    keyed.sort_by_key(|&(k, _)| k); // stable: ties keep send order
+    keyed.into_iter().map(|(_, seq)| seq).collect()
+}
+
+/// Independent oracle for the receiver-visible counters, computed with
+/// nothing but the arrival order.
+struct Oracle {
+    reordered: u64,
+    duplicated: u64,
+    missing: Vec<u64>,
+}
+
+fn oracle(order: &[u64]) -> Oracle {
+    let mut seen = std::collections::HashSet::new();
+    let mut max_seen: Option<u64> = None;
+    let mut reordered = 0;
+    let mut duplicated = 0;
+    for &seq in order {
+        if !seen.insert(seq) {
+            duplicated += 1;
+            continue;
+        }
+        if max_seen.is_some_and(|m| seq < m) {
+            reordered += 1;
+        }
+        max_seen = Some(max_seen.map_or(seq, |m| m.max(seq)));
+    }
+    let missing = match max_seen {
+        None => Vec::new(),
+        Some(m) => (0..=m).filter(|s| !seen.contains(s)).collect(),
+    };
+    Oracle {
+        reordered,
+        duplicated,
+        missing,
+    }
+}
+
+/// Coalesce a sorted list of missing seqs into maximal contiguous runs.
+fn runs(missing: &[u64]) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for &s in missing {
+        match out.last_mut() {
+            Some((_, hi)) if *hi + 1 == s => *hi = s,
+            _ => out.push((s, s)),
+        }
+    }
+    out
+}
+
+/// (seq, payload) pairs for items, (from, to) for gaps.
+type Ranges = Vec<(u64, u64)>;
+
+fn run_through(order: &[u64]) -> (Ranges, Ranges, Reassembler<u64>) {
+    let mut r = Reassembler::new(WINDOW);
+    let mut out = Vec::new();
+    for &seq in order {
+        r.push(seq, seq, &mut out);
+    }
+    r.flush(&mut out);
+    let mut items = Vec::new();
+    let mut gaps = Vec::new();
+    for o in out {
+        match o {
+            ReassemblyOut::Item { seq, item } => items.push((seq, item)),
+            ReassemblyOut::Lost { from_seq, to_seq } => gaps.push((from_seq, to_seq)),
+        }
+    }
+    (items, gaps, r)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Delivered items are the in-order subsequence of sent frames
+    /// that actually arrived: strictly increasing seqs, payload == seq.
+    #[test]
+    fn output_is_in_order_subsequence(s in arb_schedule()) {
+        let order = deliveries(&s);
+        let (items, _, _) = run_through(&order);
+        for w in items.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "out of order: {:?}", w);
+        }
+        for &(seq, item) in &items {
+            prop_assert_eq!(seq, item, "payload corrupted in reassembly");
+            prop_assert!(order.contains(&seq), "emitted a frame never delivered");
+        }
+        // Nothing delivered within the window is withheld.
+        let delivered: std::collections::HashSet<u64> = order.iter().copied().collect();
+        prop_assert_eq!(items.len(), delivered.len(), "an arrived frame went missing");
+    }
+
+    /// Items ∪ Lost gaps exactly partition `0..=max_seen`: every gap is
+    /// reported exactly once, covering precisely the missing seqs.
+    #[test]
+    fn gaps_partition_the_sequence_space(s in arb_schedule()) {
+        let order = deliveries(&s);
+        let (items, gaps, _) = run_through(&order);
+        let o = oracle(&order);
+        // Exactly one Lost per maximal contiguous missing run.
+        prop_assert_eq!(&gaps, &runs(&o.missing), "gap reports disagree with schedule");
+        // And together with items they tile 0..=max_seen with no
+        // overlap and no holes.
+        if let Some(&(max_seq, _)) = items.last() {
+            let mut covered: Vec<u64> = items.iter().map(|&(q, _)| q).collect();
+            for &(lo, hi) in &gaps {
+                prop_assert!(lo <= hi);
+                covered.extend(lo..=hi);
+            }
+            covered.sort_unstable();
+            let max_seen = covered.last().copied().unwrap_or(0).max(max_seq);
+            let everything: Vec<u64> = (0..=max_seen).collect();
+            prop_assert_eq!(covered, everything, "overlap or hole in coverage");
+        }
+    }
+
+    /// The resequencer's counters agree with the independent oracle.
+    #[test]
+    fn counters_match_oracle(s in arb_schedule()) {
+        let order = deliveries(&s);
+        let (_, _, r) = run_through(&order);
+        let o = oracle(&order);
+        prop_assert_eq!(r.duplicated, o.duplicated, "duplicate count drifted");
+        prop_assert_eq!(r.reordered, o.reordered, "reorder count drifted");
+        prop_assert_eq!(r.lost, o.missing.len() as u64, "lost count drifted");
+    }
+
+    /// Determinism: the same arrival order always produces the same
+    /// output — byte-for-byte replayable diagnostics.
+    #[test]
+    fn reassembly_is_deterministic(s in arb_schedule()) {
+        let order = deliveries(&s);
+        let (i1, g1, _) = run_through(&order);
+        let (i2, g2, _) = run_through(&order);
+        prop_assert_eq!(i1, i2);
+        prop_assert_eq!(g1, g2);
+    }
+}

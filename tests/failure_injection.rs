@@ -107,6 +107,44 @@ fn division_by_zero_mid_plan_with_profiler() {
     }
 }
 
+/// Regression: a `%dot-begin` control line with no plan name used to be
+/// accepted as a dot-file start with an empty name, silently wedging the
+/// dot capture. It must surface as `Garbled` — legacy and framed alike.
+#[test]
+fn unnamed_dot_begin_is_garbled_not_accepted() {
+    use stethoscope::profiler::reassembly::StreamDecoder;
+    use stethoscope::profiler::udp::StreamItem;
+
+    let source: std::net::SocketAddr = "127.0.0.1:50001".parse().unwrap();
+    for datagram in [
+        "%dot-begin",
+        "%dot-begin ",
+        "%frm 0 dot-begin",
+        "%frm 0 dot-begin ",
+    ] {
+        let mut dec = StreamDecoder::new(8);
+        let mut items = Vec::new();
+        dec.decode(source, datagram, &mut items);
+        dec.flush_all(&mut items);
+        assert_eq!(items.len(), 1, "{datagram:?} produced {items:?}");
+        assert!(
+            matches!(&items[0], StreamItem::Garbled { .. }),
+            "{datagram:?} must be garbled, got {items:?}"
+        );
+        assert_eq!(dec.counters().snapshot().garbled, 1, "{datagram:?}");
+        // A sequenced-but-garbled frame must not fake a gap on top.
+        assert_eq!(dec.counters().snapshot().lost, 0, "{datagram:?}");
+    }
+    // The named form still opens a dot transfer.
+    let mut dec = StreamDecoder::new(8);
+    let mut items = Vec::new();
+    dec.decode(source, "%frm 0 dot-begin user.q", &mut items);
+    assert!(
+        matches!(&items[0], StreamItem::DotBegin { name, .. } if name == "user.q"),
+        "{items:?}"
+    );
+}
+
 #[test]
 fn offline_session_rejects_broken_inputs() {
     assert!(OfflineSession::load_text("digraph {", "").is_err());
@@ -164,5 +202,26 @@ proptest! {
     #[test]
     fn mal_parser_never_panics(input in "[ -~\n]{0,200}") {
         let _ = parse_plan(&input);
+    }
+
+    /// The frame decoder never panics on arbitrary datagrams.
+    #[test]
+    fn frame_decoder_never_panics(input in "[ -~]{0,200}") {
+        let _ = stethoscope::profiler::wire::decode_datagram(&input);
+    }
+
+    /// Nor on hostile input that already carries the frame prefix —
+    /// the truncation/corruption shapes a real link produces.
+    #[test]
+    fn framed_prefix_fuzz_never_panics(seq in "[0-9]{0,24}", rest in "[ -~]{0,80}") {
+        let line = format!("%frm {seq} {rest}");
+        let _ = stethoscope::profiler::wire::decode_datagram(&line);
+        // And the full decoder path keeps counters consistent: every
+        // datagram is an item, a counted frame, or silently legacy.
+        let source: std::net::SocketAddr = "127.0.0.1:50002".parse().unwrap();
+        let mut dec = stethoscope::profiler::reassembly::StreamDecoder::new(4);
+        let mut items = Vec::new();
+        dec.decode(source, &line, &mut items);
+        dec.flush_all(&mut items);
     }
 }

@@ -1,0 +1,204 @@
+//! Golden-trace conformance for the framed transport.
+//!
+//! A deterministically generated framed datagram stream — with
+//! reordering, a duplicate, a dropped frame, a garbled frame, and
+//! interleaved legacy traffic — is pinned byte-for-byte in
+//! `tests/fixtures/framed_stream.txt`, and the exact `StreamItem`
+//! sequence the decoder produces from it is pinned in
+//! `tests/fixtures/framed_stream.golden`. Any change to the wire
+//! format, the reassembly policy, or the counters shows up as a diff
+//! here before it shows up in the field.
+//!
+//! Regenerate both files after an *intentional* protocol change with:
+//! `UPDATE_GOLDEN=1 cargo test --test golden_transport`.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+use stethoscope::profiler::reassembly::StreamDecoder;
+use stethoscope::profiler::udp::StreamItem;
+use stethoscope::profiler::wire::{encode_frame, Frame, FrameBody};
+use stethoscope::profiler::{format_event, TraceEvent};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn frame(seq: u64, body: FrameBody) -> String {
+    encode_frame(&Frame { seq, body })
+}
+
+/// Build the fixture stream: one datagram per line, in *arrival* order.
+/// The schedule is fixed by hand so every transport behavior appears:
+/// in-order dot transfer, an out-of-order event pair, a duplicated
+/// datagram, a dropped sequence number (9), a garbled frame, an eot
+/// echo, and unframed legacy lines mixed in.
+fn build_fixture() -> String {
+    let ev = |id: u64, pc: usize, done: bool| {
+        let e = if done {
+            TraceEvent::done(
+                id,
+                pc,
+                0,
+                100 + id * 10,
+                7,
+                0,
+                "X_1 := algebra.select(X_0);",
+            )
+        } else {
+            TraceEvent::start(id, pc, 0, 100 + id * 10, 0, "X_1 := algebra.select(X_0);")
+        };
+        format_event(&e)
+    };
+    let mut lines = vec![
+        frame(
+            0,
+            FrameBody::DotBegin {
+                name: "user.golden".into(),
+            },
+        ),
+        frame(
+            1,
+            FrameBody::DotLine {
+                line: "digraph user_golden {".into(),
+            },
+        ),
+        frame(
+            2,
+            FrameBody::DotLine {
+                line: "n0 [label=\"X_0 := sql.mvc();\"];".into(),
+            },
+        ),
+        frame(3, FrameBody::DotLine { line: "}".into() }),
+        frame(4, FrameBody::DotEnd),
+        frame(
+            5,
+            FrameBody::Event {
+                line: ev(0, 0, false),
+            },
+        ),
+        // seq 7 arrives before seq 6: reordered but recovered in-window.
+        frame(
+            7,
+            FrameBody::Event {
+                line: ev(2, 1, false),
+            },
+        ),
+        frame(
+            6,
+            FrameBody::Event {
+                line: ev(1, 0, true),
+            },
+        ),
+        // seq 5 delivered twice: suppressed, counted.
+        frame(
+            5,
+            FrameBody::Event {
+                line: ev(0, 0, false),
+            },
+        ),
+        frame(8, FrameBody::Heartbeat),
+        // seq 9 never arrives: a Lost gap at end-of-stream flush.
+        frame(
+            10,
+            FrameBody::Event {
+                line: ev(3, 1, true),
+            },
+        ),
+        // Header sequenced but the body is unusable: garbled, no gap.
+        "%frm 11 dot-begin".to_string(),
+        frame(12, FrameBody::EndOfTrace),
+        // An eot echo: deduplicated by the decoder.
+        frame(13, FrameBody::EndOfTrace),
+    ];
+    // Legacy unframed traffic still classifies line-by-line.
+    lines.push(ev(4, 2, false));
+    lines.push("%really not a protocol line".to_string());
+    lines.join("\n")
+}
+
+fn render(items: &[StreamItem]) -> String {
+    let mut out = String::new();
+    for it in items {
+        let line = match it {
+            StreamItem::DotBegin { source, name } => format!("{source} dot-begin {name}"),
+            StreamItem::DotLine { source, line } => format!("{source} dot-line {line}"),
+            StreamItem::DotEnd { source } => format!("{source} dot-end"),
+            StreamItem::Event { source, event } => {
+                format!("{source} event {}", format_event(event))
+            }
+            StreamItem::EndOfTrace { source } => format!("{source} eot"),
+            StreamItem::Garbled { source, line } => format!("{source} garbled {line}"),
+            StreamItem::Lost {
+                source,
+                from_seq,
+                to_seq,
+            } => {
+                format!("{source} lost {from_seq}..{to_seq}")
+            }
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn framed_stream_decodes_to_golden_item_log() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok();
+    let stream_path = fixture_path("framed_stream.txt");
+    let golden_path = fixture_path("framed_stream.golden");
+
+    // The fixture itself is pinned: the encoder must reproduce it
+    // byte-for-byte, so silent wire-format drift fails here.
+    let stream = build_fixture();
+    if update {
+        std::fs::create_dir_all(stream_path.parent().unwrap()).unwrap();
+        std::fs::write(&stream_path, &stream).unwrap();
+    }
+    let pinned = std::fs::read_to_string(&stream_path)
+        .expect("fixture missing; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        pinned, stream,
+        "encoder output drifted from the pinned wire fixture"
+    );
+
+    // Replay the pinned bytes through the decoder, one datagram per
+    // line, from a fixed source address.
+    let source: SocketAddr = "127.0.0.1:50000".parse().unwrap();
+    let mut dec = StreamDecoder::new(8);
+    let mut items = Vec::new();
+    for datagram in pinned.lines() {
+        dec.decode(source, datagram, &mut items);
+    }
+    dec.flush_all(&mut items);
+
+    let mut log = render(&items);
+    let stats = dec.counters().snapshot();
+    log.push_str(&format!(
+        "stats received={} reordered={} duplicated={} lost={} garbled={}\n",
+        stats.received, stats.reordered, stats.duplicated, stats.lost, stats.garbled
+    ));
+
+    if update {
+        std::fs::write(&golden_path, &log).unwrap();
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden log missing; regenerate with UPDATE_GOLDEN=1");
+    if golden != log {
+        // A readable unified-ish diff beats two multi-kB strings.
+        let mut diff = String::new();
+        for (i, (g, l)) in golden.lines().zip(log.lines()).enumerate() {
+            if g != l {
+                diff.push_str(&format!("line {}:\n  golden: {g}\n  actual: {l}\n", i + 1));
+            }
+        }
+        let (gn, ln) = (golden.lines().count(), log.lines().count());
+        if gn != ln {
+            diff.push_str(&format!("line counts differ: golden {gn}, actual {ln}\n"));
+        }
+        panic!("decoded item log drifted from golden:\n{diff}");
+    }
+}
