@@ -3,24 +3,38 @@
 //! at increasing worker counts. The shape that must hold: for scan-heavy
 //! plans (Q6) the parallel runs beat serial once the per-partition work
 //! amortises scheduling. Also contains the candidates-vs-mask ablation
-//! (`ablate_candidates`) on the engine's selection design.
+//! (`ablate_candidates`) on the engine's selection design, and the
+//! slice-scaling probe showing `algebra.slice` is O(1) under shared
+//! buffers.
+//!
+//! Every mean measured here is upserted into the `BENCH_engine.json`
+//! ledger at the repository root. "Before" rows run with
+//! `set_force_copy(true)` — the storage layer's deep-copy mode, i.e.
+//! the engine as it was before zero-copy views — and "after" rows in
+//! the default zero-copy mode.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, take_reports, BenchmarkId, Criterion};
+use stetho_bench::ledger::{int, ledger_path, num, text, Ledger};
 use stetho_bench::{catalog, plan_for};
 use stetho_engine::rt::RuntimeValue;
-use stetho_engine::{ops, Bat, Catalog, ExecCtx, ExecOptions, Interpreter, ProfilerConfig};
+use stetho_engine::{
+    ops, set_force_copy, Bat, Catalog, ExecCtx, ExecOptions, Interpreter, ProfilerConfig,
+};
 use stetho_mal::Value;
 use stetho_tpch::queries;
 
-fn bench_parallel_speedup(c: &mut Criterion) {
-    let cat = catalog(0.02); // ≈120k lineitem rows
-    let plan = plan_for(&cat, queries::Q6, 8);
+/// Worker counts the speedup experiment sweeps.
+const WORKER_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn speedup_group(c: &mut Criterion, group_name: &str, sql: &str, sf: f64, partitions: usize) {
+    let cat = catalog(sf);
+    let plan = plan_for(&cat, sql, partitions);
     eprintln!(
-        "[parallel_speedup] Q6 mitosis(8): {} instructions over {} rows",
+        "[parallel_speedup] {group_name} mitosis({partitions}): {} instructions over {} rows",
         plan.len(),
         cat.table("lineitem").unwrap().rows()
     );
-    let mut group = c.benchmark_group("engine/q6_workers");
+    let mut group = c.benchmark_group(group_name);
     group.sample_size(10);
     let interp = Interpreter::new(std::sync::Arc::clone(&cat));
     group.bench_function("serial", |b| {
@@ -33,7 +47,7 @@ fn bench_parallel_speedup(c: &mut Criterion) {
                 .rows()
         })
     });
-    for workers in [2usize, 4, 8] {
+    for workers in WORKER_COUNTS {
         group.bench_with_input(BenchmarkId::new("parallel", workers), &workers, |b, &w| {
             b.iter(|| {
                 interp
@@ -44,6 +58,38 @@ fn bench_parallel_speedup(c: &mut Criterion) {
                     .rows()
             })
         });
+    }
+    group.finish();
+}
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    // After: the zero-copy engine (the default).
+    speedup_group(c, "engine/q6_workers", queries::Q6, 0.02, 8);
+    speedup_group(c, "engine/q1_workers", queries::Q1, 0.02, 8);
+    // Before: every slice/projection materialises, as the storage layer
+    // behaved before shared buffers.
+    set_force_copy(true);
+    speedup_group(c, "engine/q6_workers_forced_copy", queries::Q6, 0.02, 8);
+    set_force_copy(false);
+}
+
+fn bench_slice_scaling(c: &mut Criterion) {
+    // The zero-copy acceptance probe: slicing a mitosis partition out of
+    // a 10^4-row column must cost the same as out of a 10^6-row column
+    // (a view is O(1)); the forced-copy rows scale with partition size.
+    let mut group = c.benchmark_group("engine/slice_scaling");
+    group.sample_size(10);
+    for n in [10_000usize, 1_000_000] {
+        let base = Bat::ints((0..n as i64).collect());
+        let quarter = n / 4;
+        group.bench_with_input(BenchmarkId::new("view", n), &n, |b, _| {
+            b.iter(|| base.slice(quarter, 3 * quarter).len())
+        });
+        set_force_copy(true);
+        group.bench_with_input(BenchmarkId::new("copy", n), &n, |b, _| {
+            b.iter(|| base.slice(quarter, 3 * quarter).len())
+        });
+        set_force_copy(false);
     }
     group.finish();
 }
@@ -148,9 +194,87 @@ fn bench_ablate_candidates(c: &mut Criterion) {
     group.finish();
 }
 
+/// Map one criterion report path to its ledger descriptor fields.
+fn describe(name: &str) -> Vec<(String, serde_json::Value)> {
+    let mut fields: Vec<(String, serde_json::Value)> = Vec::new();
+    let mut push = |k: &str, v: serde_json::Value| fields.push((k.to_string(), v));
+    let parts: Vec<&str> = name.split('/').collect();
+    match parts.as_slice() {
+        ["engine", group, rest @ ..] if group.starts_with("q6") || group.starts_with("q1") => {
+            push("bench", text("parallel_speedup"));
+            push(
+                "query",
+                text(if group.starts_with("q6") { "Q6" } else { "Q1" }),
+            );
+            let workers = match rest {
+                ["serial"] => 1,
+                ["parallel", w] => w.parse().unwrap_or(0),
+                _ => 0,
+            };
+            push("workers", int(workers));
+            push(
+                "mode",
+                text(if group.ends_with("forced_copy") {
+                    "force_copy"
+                } else {
+                    "zero_copy"
+                }),
+            );
+        }
+        ["engine", "slice_scaling", kind, n] => {
+            push("bench", text("slice_scaling"));
+            push("rows", int(n.parse().unwrap_or(0)));
+            push(
+                "mode",
+                text(if *kind == "view" {
+                    "zero_copy"
+                } else {
+                    "force_copy"
+                }),
+            );
+        }
+        ["engine", "ablate_candidates", strategy] => {
+            push("bench", text("ablate_candidates"));
+            push("strategy", text(strategy));
+        }
+        ["engine", "profiling_overhead", profiler] => {
+            push("bench", text("profiling_overhead"));
+            push("profiler", text(profiler));
+        }
+        _ => push("bench", text("engine_other")),
+    }
+    fields
+}
+
+fn write_ledger() {
+    let path = ledger_path();
+    let mut ledger = Ledger::load(&path);
+    // Parallel-vs-serial rows only mean something relative to the CPUs
+    // the host actually grants: on a single-CPU container the parallel
+    // rows measure pure scheduling overhead, not speedup.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    ledger.set_context("host_cpus", int(cpus as i64));
+    for report in take_reports() {
+        let mut fields = describe(&report.name);
+        fields.push(("mean_ns".to_string(), num(report.mean_ns)));
+        ledger.put(&report.name, fields);
+    }
+    ledger.save(&path).expect("ledger writes");
+    eprintln!(
+        "[ledger] wrote {} entries to {}",
+        ledger.len(),
+        path.display()
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_parallel_speedup, bench_profiling_overhead, bench_ablate_candidates
+    targets = bench_parallel_speedup, bench_slice_scaling, bench_profiling_overhead,
+              bench_ablate_candidates
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    write_ledger();
+}

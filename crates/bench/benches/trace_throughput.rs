@@ -3,7 +3,8 @@
 //! trace-file I/O, plus the sample-buffer-size ablation
 //! (`ablate_sample_buffer`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, take_reports, BenchmarkId, Criterion, Throughput};
+use stetho_bench::ledger::{int, ledger_path, num, text, Ledger};
 use stetho_bench::synthetic_trace;
 use stetho_profiler::{
     format_event, parse_event, EventStatus, FilterOptions, SampleBuffer, TraceFile,
@@ -101,4 +102,37 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench_format_parse, bench_filters, bench_trace_file_io, bench_sample_buffer
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // Persist the codec and file-I/O rates (10_000 events per iteration
+    // throughout) into the shared benchmark ledger.
+    let path = ledger_path();
+    let mut ledger = Ledger::load(&path);
+    for report in take_reports() {
+        let op = match report.name.as_str() {
+            "trace/codec/format" | "trace/codec/parse" | "trace/file/write" | "trace/file/read" => {
+                report.name.rsplit('/').next().unwrap().to_string()
+            }
+            _ => continue,
+        };
+        let events = 10_000i64;
+        let events_per_sec = events as f64 / (report.mean_ns / 1e9);
+        ledger.put(
+            &report.name,
+            vec![
+                ("bench".to_string(), text("trace_throughput")),
+                ("op".to_string(), text(&op)),
+                ("events_per_iter".to_string(), int(events)),
+                ("mean_ns".to_string(), num(report.mean_ns)),
+                ("events_per_sec".to_string(), num(events_per_sec)),
+            ],
+        );
+    }
+    ledger.save(&path).expect("ledger writes");
+    eprintln!(
+        "[ledger] wrote {} entries to {}",
+        ledger.len(),
+        path.display()
+    );
+}

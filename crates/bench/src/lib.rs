@@ -4,6 +4,8 @@
 //! `DESIGN.md` (the paper has no numeric tables; the artifacts are its
 //! figures and feature claims — see `EXPERIMENTS.md` for the mapping).
 
+pub mod ledger;
+
 use std::sync::Arc;
 
 use stetho_engine::{Catalog, ExecOptions, Interpreter, ProfilerConfig, VecSink};

@@ -1,11 +1,18 @@
 //! Offline stand-in for the `crossbeam` crate (see `crates/compat/`).
 //!
-//! Only the `channel` module is provided — an unbounded MPMC channel
-//! with crossbeam's disconnect semantics, built on a `Mutex<VecDeque>`
-//! plus a `Condvar`. Both `Sender` and `Receiver` are cloneable; `recv`
-//! returns `Err(RecvError)` once every sender is dropped and the queue
-//! has drained, which is exactly the shutdown protocol the engine's
-//! dataflow scheduler and the profiler's UDP monitor rely on.
+//! Two modules are provided:
+//!
+//! * [`channel`] — an unbounded MPMC channel with crossbeam's disconnect
+//!   semantics, built on a `Mutex<VecDeque>` plus a `Condvar`. Both
+//!   `Sender` and `Receiver` are cloneable; `recv` returns
+//!   `Err(RecvError)` once every sender is dropped and the queue has
+//!   drained, which is the shutdown protocol the profiler's UDP monitor
+//!   relies on.
+//! * [`deque`] — the `crossbeam-deque` work-stealing interface
+//!   ([`deque::Worker`] / [`deque::Stealer`] / [`deque::Injector`] /
+//!   [`deque::Steal`]) used by the engine's dataflow scheduler. The
+//!   implementation is lock-based rather than the lock-free Chase–Lev
+//!   deque, but the API and the LIFO-owner/FIFO-thief discipline match.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -280,6 +287,248 @@ pub mod channel {
             std::thread::sleep(Duration::from_millis(20));
             tx.send(9).unwrap();
             assert_eq!(h.join().unwrap(), Ok(9));
+        }
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques with the `crossbeam-deque` API surface.
+    //!
+    //! Each worker thread owns a [`Worker`] it pushes and pops from the
+    //! back of (LIFO — hot, cache-warm tasks run first); thieves hold
+    //! [`Stealer`] handles and take from the *front* (FIFO — the oldest,
+    //! likely largest pending task migrates). An [`Injector`] is the
+    //! shared entry queue for tasks produced outside any worker.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// True when the steal observed an empty queue.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The owner's end of a work-stealing deque.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// New deque whose owner pops its *most recently pushed* task.
+        pub fn new_lifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Push a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            lock(&self.inner).push_back(task);
+        }
+
+        /// Pop from the owner's end (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.inner).pop_back()
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.inner).is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).len()
+        }
+
+        /// A handle other threads can steal through.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    /// A thief's handle onto some worker's deque.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task from the *front* of the owner's deque.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.inner).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when the deque currently holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.inner).is_empty()
+        }
+    }
+
+    /// A shared FIFO entry queue all workers can push to and steal from.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// New empty injector.
+        pub fn new() -> Self {
+            Injector {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueue a task.
+        pub fn push(&self, task: T) {
+            lock(&self.inner).push_back(task);
+        }
+
+        /// Steal one task.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.inner).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Move roughly half the queue (at least one task) into `dest`,
+        /// returning one task immediately — crossbeam's amortised refill.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut src = lock(&self.inner);
+            let first = match src.pop_front() {
+                Some(t) => t,
+                None => return Steal::Empty,
+            };
+            let extra = src.len().div_ceil(2).min(src.len());
+            if extra > 0 {
+                let mut dst = lock(&dest.inner);
+                for t in src.drain(..extra) {
+                    dst.push_back(t);
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.inner).is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).len()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn owner_is_lifo_thief_is_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(s.steal(), Steal::Success(1)); // oldest
+            assert_eq!(w.pop(), Some(3)); // newest
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert!(s.steal().is_empty());
+        }
+
+        #[test]
+        fn injector_batch_refills_worker() {
+            let inj = Injector::new();
+            for i in 0..9 {
+                inj.push(i);
+            }
+            let w = Worker::new_lifo();
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+            // Half of the remaining 8 moved across.
+            assert_eq!(w.len(), 4);
+            assert_eq!(inj.len(), 4);
+            assert_eq!(inj.steal(), Steal::Success(5));
+        }
+
+        #[test]
+        fn empty_injector_steals_empty() {
+            let inj: Injector<u32> = Injector::new();
+            let w = Worker::new_lifo();
+            assert!(inj.steal().is_empty());
+            assert!(inj.steal_batch_and_pop(&w).is_empty());
+        }
+
+        #[test]
+        fn concurrent_stealing_loses_nothing() {
+            let w = Worker::new_lifo();
+            for i in 0..1000 {
+                w.push(i);
+            }
+            let stealers: Vec<_> = (0..4).map(|_| w.stealer()).collect();
+            let total: usize = std::thread::scope(|scope| {
+                let handles: Vec<_> = stealers
+                    .into_iter()
+                    .map(|s| {
+                        scope.spawn(move || {
+                            let mut got = 0;
+                            while let Steal::Success(_) = s.steal() {
+                                got += 1;
+                            }
+                            got
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(total, 1000);
         }
     }
 }

@@ -4,13 +4,44 @@
 //! oid sequence `0..n`, so physically a BAT is just a typed vector of tail
 //! values. Selections produce *candidate lists*: BATs of oids naming the
 //! qualifying rows, kept sorted so downstream operators can exploit order.
+//!
+//! Storage is zero-copy: tail values live in immutable `Arc`-shared buffers
+//! and a `Bat` is a `(buffer, offset, len)` *view*. `slice` (and therefore
+//! mitosis range-partitioning) is an O(1) metadata operation; `concat` of
+//! adjacent views over the same buffer (the `mat.pack` of a partitioned
+//! pipeline) just widens the window. Mutation (`bat.append` with new data,
+//! `gather`, kernels producing fresh columns) allocates a new buffer —
+//! copy-on-write at buffer granularity. String tails intern their values as
+//! `Arc<str>`, so projecting or packing a string column moves refcounts,
+//! never bytes.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use stetho_mal::{MalType, Value};
 
 use crate::error::EngineError;
 use crate::Result;
 
-/// Typed columnar storage.
+/// When set, all zero-copy fast paths (view slices, widened-view concat,
+/// dense-range projection) materialise fresh buffers instead — the engine's
+/// pre-sharing behaviour. Used by property tests to check that views are
+/// observationally identical to copies, and by benches to measure both sides.
+static FORCE_COPY: AtomicBool = AtomicBool::new(false);
+
+/// Globally enable or disable forced materialisation (process-wide).
+pub fn set_force_copy(on: bool) {
+    FORCE_COPY.store(on, Ordering::SeqCst);
+}
+
+/// True when zero-copy fast paths should materialise instead.
+pub fn force_copy() -> bool {
+    FORCE_COPY.load(Ordering::SeqCst)
+}
+
+/// Typed owned column values — the *builder* type handed to [`Bat::new`].
+/// Once wrapped in a `Bat` the values are frozen behind an `Arc` buffer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ColumnData {
     /// Booleans.
@@ -19,8 +50,8 @@ pub enum ColumnData {
     Int(Vec<i64>),
     /// Doubles.
     Dbl(Vec<f64>),
-    /// Strings.
-    Str(Vec<String>),
+    /// Strings, interned as shared `Arc<str>` values.
+    Str(Vec<Arc<str>>),
     /// Oids — candidate lists and join results.
     Oid(Vec<u64>),
     /// Dates, days since epoch.
@@ -75,28 +106,164 @@ impl ColumnData {
     }
 }
 
-/// A BAT: typed tail vector plus light metadata.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Bat {
-    /// Tail values.
-    pub data: ColumnData,
-    /// True when tail values are known to be non-decreasing (candidate
-    /// lists maintain this).
-    pub sorted: bool,
+/// The immutable shared backing store of one or more `Bat` views.
+#[derive(Debug, Clone)]
+enum Buffer {
+    Bit(Arc<[bool]>),
+    Int(Arc<[i64]>),
+    Dbl(Arc<[f64]>),
+    Str(Arc<[Arc<str>]>),
+    Oid(Arc<[u64]>),
+    Date(Arc<[i32]>),
 }
 
-impl Bat {
-    /// Wrap column data (sortedness unknown → false).
-    pub fn new(data: ColumnData) -> Self {
-        Bat {
-            data,
-            sorted: false,
+impl Buffer {
+    fn tail_type(&self) -> MalType {
+        match self {
+            Buffer::Bit(_) => MalType::Bit,
+            Buffer::Int(_) => MalType::Int,
+            Buffer::Dbl(_) => MalType::Dbl,
+            Buffer::Str(_) => MalType::Str,
+            Buffer::Oid(_) => MalType::Oid,
+            Buffer::Date(_) => MalType::Date,
         }
     }
 
-    /// Wrap column data known to be sorted.
+    /// Same allocation? (Views over equal-but-distinct buffers are not
+    /// "the same" for widening purposes.)
+    fn same_alloc(&self, other: &Buffer) -> bool {
+        match (self, other) {
+            (Buffer::Bit(a), Buffer::Bit(b)) => Arc::ptr_eq(a, b),
+            (Buffer::Int(a), Buffer::Int(b)) => Arc::ptr_eq(a, b),
+            (Buffer::Dbl(a), Buffer::Dbl(b)) => Arc::ptr_eq(a, b),
+            (Buffer::Str(a), Buffer::Str(b)) => Arc::ptr_eq(a, b),
+            (Buffer::Oid(a), Buffer::Oid(b)) => Arc::ptr_eq(a, b),
+            (Buffer::Date(a), Buffer::Date(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl From<ColumnData> for Buffer {
+    fn from(d: ColumnData) -> Buffer {
+        match d {
+            ColumnData::Bit(v) => Buffer::Bit(v.into()),
+            ColumnData::Int(v) => Buffer::Int(v.into()),
+            ColumnData::Dbl(v) => Buffer::Dbl(v.into()),
+            ColumnData::Str(v) => Buffer::Str(v.into()),
+            ColumnData::Oid(v) => Buffer::Oid(v.into()),
+            ColumnData::Date(v) => Buffer::Date(v.into()),
+        }
+    }
+}
+
+/// Borrowed, already-windowed view of a BAT's tail values — what kernels
+/// match on. String tails expose `Arc<str>` elements so cloning a value is
+/// a refcount bump, not a byte copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColumnView<'a> {
+    /// Booleans.
+    Bit(&'a [bool]),
+    /// 64-bit integers.
+    Int(&'a [i64]),
+    /// Doubles.
+    Dbl(&'a [f64]),
+    /// Interned strings.
+    Str(&'a [Arc<str>]),
+    /// Oids.
+    Oid(&'a [u64]),
+    /// Dates, days since epoch.
+    Date(&'a [i32]),
+}
+
+impl ColumnView<'_> {
+    /// Number of rows in the view.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnView::Bit(v) => v.len(),
+            ColumnView::Int(v) => v.len(),
+            ColumnView::Dbl(v) => v.len(),
+            ColumnView::Str(v) => v.len(),
+            ColumnView::Oid(v) => v.len(),
+            ColumnView::Date(v) => v.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tail type.
+    pub fn tail_type(&self) -> MalType {
+        match self {
+            ColumnView::Bit(_) => MalType::Bit,
+            ColumnView::Int(_) => MalType::Int,
+            ColumnView::Dbl(_) => MalType::Dbl,
+            ColumnView::Str(_) => MalType::Str,
+            ColumnView::Oid(_) => MalType::Oid,
+            ColumnView::Date(_) => MalType::Date,
+        }
+    }
+}
+
+/// A BAT: an `(Arc` buffer`, offset, len)` view plus light metadata.
+/// Cloning a `Bat` clones the `Arc`, never the data.
+#[derive(Debug, Clone)]
+pub struct Bat {
+    /// Shared backing buffer.
+    buf: Buffer,
+    /// Window start within the buffer.
+    off: usize,
+    /// Window length.
+    len: usize,
+    /// True when tail values are known to be non-decreasing (candidate
+    /// lists maintain this).
+    pub sorted: bool,
+    /// True when the tail is oid and the window holds consecutive values
+    /// `first, first+1, …` — the dense-candidate fast path.
+    dense: bool,
+}
+
+/// Equality is logical: same tail type and same windowed values. Two views
+/// over different buffers (or at different offsets) compare equal when their
+/// contents do; `sorted`/`dense` metadata is ignored.
+impl PartialEq for Bat {
+    fn eq(&self, other: &Self) -> bool {
+        self.view() == other.view()
+    }
+}
+
+macro_rules! window {
+    ($v:expr, $self:expr) => {
+        &$v[$self.off..$self.off + $self.len]
+    };
+}
+
+impl Bat {
+    /// Freeze column data into a fresh full-width view (sortedness unknown
+    /// → false).
+    pub fn new(data: ColumnData) -> Self {
+        let len = data.len();
+        Bat {
+            buf: data.into(),
+            off: 0,
+            len,
+            sorted: false,
+            dense: false,
+        }
+    }
+
+    /// Freeze column data known to be sorted.
     pub fn new_sorted(data: ColumnData) -> Self {
-        Bat { data, sorted: true }
+        let len = data.len();
+        Bat {
+            buf: data.into(),
+            off: 0,
+            len,
+            sorted: true,
+            dense: false,
+        }
     }
 
     /// Int column shorthand.
@@ -109,8 +276,13 @@ impl Bat {
         Bat::new(ColumnData::Dbl(v))
     }
 
-    /// Str column shorthand.
+    /// Str column shorthand; interns each value behind an `Arc`.
     pub fn strs(v: Vec<String>) -> Self {
+        Bat::new(ColumnData::Str(v.into_iter().map(Arc::from).collect()))
+    }
+
+    /// Str column from already-interned values.
+    pub fn strs_shared(v: Vec<Arc<str>>) -> Self {
         Bat::new(ColumnData::Str(v))
     }
 
@@ -121,31 +293,38 @@ impl Bat {
 
     /// Sorted oid candidate list `0..n`.
     pub fn dense_oids(n: usize) -> Self {
-        Bat::new_sorted(ColumnData::Oid((0..n as u64).collect()))
+        let mut b = Bat::new_sorted(ColumnData::Oid((0..n as u64).collect()));
+        b.dense = true;
+        b
     }
 
-    /// Oid list shorthand (marks sorted if actually non-decreasing).
+    /// Oid list shorthand (detects sortedness and density in one pass).
     pub fn oids(v: Vec<u64>) -> Self {
         let sorted = v.windows(2).all(|w| w[0] <= w[1]);
+        let dense = sorted && v.windows(2).all(|w| w[1] == w[0] + 1);
+        let len = v.len();
         Bat {
-            data: ColumnData::Oid(v),
+            buf: Buffer::Oid(v.into()),
+            off: 0,
+            len,
             sorted,
+            dense,
         }
     }
 
     /// Row count.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Tail type.
     pub fn tail_type(&self) -> MalType {
-        self.data.tail_type()
+        self.buf.tail_type()
     }
 
     /// The BAT's MAL type (`bat[:tail]`).
@@ -153,25 +332,48 @@ impl Bat {
         MalType::bat(self.tail_type())
     }
 
-    /// Value at row `i`.
+    /// Borrowed view of the tail values, window already applied. This is
+    /// the accessor kernels match on.
+    pub fn view(&self) -> ColumnView<'_> {
+        match &self.buf {
+            Buffer::Bit(v) => ColumnView::Bit(window!(v, self)),
+            Buffer::Int(v) => ColumnView::Int(window!(v, self)),
+            Buffer::Dbl(v) => ColumnView::Dbl(window!(v, self)),
+            Buffer::Str(v) => ColumnView::Str(window!(v, self)),
+            Buffer::Oid(v) => ColumnView::Oid(window!(v, self)),
+            Buffer::Date(v) => ColumnView::Date(window!(v, self)),
+        }
+    }
+
+    /// Value at row `i`. Allocates for string tails — rendering path only;
+    /// hot paths use [`Bat::str_at`] / [`Bat::view`].
     pub fn get(&self, i: usize) -> Option<Value> {
-        if i >= self.len() {
+        if i >= self.len {
             return None;
         }
-        Some(match &self.data {
-            ColumnData::Bit(v) => Value::Bit(v[i]),
-            ColumnData::Int(v) => Value::Int(v[i]),
-            ColumnData::Dbl(v) => Value::Dbl(v[i]),
-            ColumnData::Str(v) => Value::Str(v[i].clone()),
-            ColumnData::Oid(v) => Value::Oid(v[i]),
-            ColumnData::Date(v) => Value::Date(v[i]),
+        Some(match self.view() {
+            ColumnView::Bit(v) => Value::Bit(v[i]),
+            ColumnView::Int(v) => Value::Int(v[i]),
+            ColumnView::Dbl(v) => Value::Dbl(v[i]),
+            ColumnView::Str(v) => Value::Str(v[i].to_string()),
+            ColumnView::Oid(v) => Value::Oid(v[i]),
+            ColumnView::Date(v) => Value::Date(v[i]),
         })
+    }
+
+    /// Borrowed string at row `i` (no clone); `None` when out of range or
+    /// not a string tail.
+    pub fn str_at(&self, i: usize) -> Option<&str> {
+        match self.view() {
+            ColumnView::Str(v) => v.get(i).map(|s| &**s),
+            _ => None,
+        }
     }
 
     /// Oid slice view; errors if the tail is not oid.
     pub fn as_oids(&self) -> Result<&[u64]> {
-        match &self.data {
-            ColumnData::Oid(v) => Ok(v),
+        match self.view() {
+            ColumnView::Oid(v) => Ok(v),
             other => Err(EngineError::TypeMismatch {
                 op: "as_oids".into(),
                 expected: "bat[:oid]".into(),
@@ -182,8 +384,8 @@ impl Bat {
 
     /// Int slice view.
     pub fn as_ints(&self) -> Result<&[i64]> {
-        match &self.data {
-            ColumnData::Int(v) => Ok(v),
+        match self.view() {
+            ColumnView::Int(v) => Ok(v),
             other => Err(EngineError::TypeMismatch {
                 op: "as_ints".into(),
                 expected: "bat[:int]".into(),
@@ -194,8 +396,8 @@ impl Bat {
 
     /// Dbl slice view.
     pub fn as_dbls(&self) -> Result<&[f64]> {
-        match &self.data {
-            ColumnData::Dbl(v) => Ok(v),
+        match self.view() {
+            ColumnView::Dbl(v) => Ok(v),
             other => Err(EngineError::TypeMismatch {
                 op: "as_dbls".into(),
                 expected: "bat[:dbl]".into(),
@@ -206,8 +408,8 @@ impl Bat {
 
     /// Bit slice view.
     pub fn as_bits(&self) -> Result<&[bool]> {
-        match &self.data {
-            ColumnData::Bit(v) => Ok(v),
+        match self.view() {
+            ColumnView::Bit(v) => Ok(v),
             other => Err(EngineError::TypeMismatch {
                 op: "as_bits".into(),
                 expected: "bat[:bit]".into(),
@@ -216,21 +418,81 @@ impl Bat {
         }
     }
 
-    /// Approximate heap footprint in bytes; feeds the trace `rss` field.
+    /// Date slice view.
+    pub fn as_dates(&self) -> Result<&[i32]> {
+        match self.view() {
+            ColumnView::Date(v) => Ok(v),
+            other => Err(EngineError::TypeMismatch {
+                op: "as_dates".into(),
+                expected: "bat[:date]".into(),
+                got: other.tail_type().to_string(),
+            }),
+        }
+    }
+
+    /// Interned-string slice view.
+    pub fn as_strs(&self) -> Result<&[Arc<str>]> {
+        match self.view() {
+            ColumnView::Str(v) => Ok(v),
+            other => Err(EngineError::TypeMismatch {
+                op: "as_strs".into(),
+                expected: "bat[:str]".into(),
+                got: other.tail_type().to_string(),
+            }),
+        }
+    }
+
+    /// The dense oid range `first..first+len` when this BAT is a dense
+    /// candidate list, enabling O(1) projection/selection fast paths.
+    pub fn as_dense_range(&self) -> Option<Range<u64>> {
+        if !self.dense {
+            return None;
+        }
+        match self.view() {
+            ColumnView::Oid(v) => {
+                let first = v.first().copied().unwrap_or(0);
+                Some(first..first + v.len() as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// True when `self` and `other` are views over the same allocation —
+    /// the witness that an operation was zero-copy.
+    pub fn shares_buffer(&self, other: &Bat) -> bool {
+        self.buf.same_alloc(&other.buf)
+    }
+
+    /// Approximate heap footprint of the *window* in bytes; feeds the trace
+    /// `rss` field. Shared buffers are counted once per view on purpose —
+    /// the estimate tracks reachable, not unique, bytes.
     pub fn bytes(&self) -> usize {
-        match &self.data {
-            ColumnData::Bit(v) => v.len(),
-            ColumnData::Int(v) => v.len() * 8,
-            ColumnData::Dbl(v) => v.len() * 8,
-            ColumnData::Oid(v) => v.len() * 8,
-            ColumnData::Date(v) => v.len() * 4,
-            ColumnData::Str(v) => v.iter().map(|s| s.len() + 24).sum(),
+        match self.view() {
+            ColumnView::Bit(v) => v.len(),
+            ColumnView::Int(v) => v.len() * 8,
+            ColumnView::Dbl(v) => v.len() * 8,
+            ColumnView::Oid(v) => v.len() * 8,
+            ColumnView::Date(v) => v.len() * 4,
+            ColumnView::Str(v) => v.iter().map(|s| s.len() + 24).sum(),
+        }
+    }
+
+    /// Copy the window out into owned column data (the CoW slow path).
+    pub fn to_column_data(&self) -> ColumnData {
+        match self.view() {
+            ColumnView::Bit(v) => ColumnData::Bit(v.to_vec()),
+            ColumnView::Int(v) => ColumnData::Int(v.to_vec()),
+            ColumnView::Dbl(v) => ColumnData::Dbl(v.to_vec()),
+            ColumnView::Str(v) => ColumnData::Str(v.to_vec()),
+            ColumnView::Oid(v) => ColumnData::Oid(v.to_vec()),
+            ColumnView::Date(v) => ColumnData::Date(v.to_vec()),
         }
     }
 
     /// Fetch tail values at the given positions (the projection kernel).
+    /// String values are gathered by refcount, not by byte copy.
     pub fn gather(&self, positions: &[u64]) -> Result<Bat> {
-        let n = self.len();
+        let n = self.len;
         let check = |o: u64| -> Result<usize> {
             let i = o as usize;
             if i >= n {
@@ -239,89 +501,120 @@ impl Bat {
                 Ok(i)
             }
         };
-        let data = match &self.data {
-            ColumnData::Bit(v) => {
+        macro_rules! pick {
+            ($v:expr, $ctor:path, $take:expr) => {{
                 let mut out = Vec::with_capacity(positions.len());
                 for &o in positions {
-                    out.push(v[check(o)?]);
+                    #[allow(clippy::redundant_closure_call)]
+                    out.push($take(&$v[check(o)?]));
                 }
-                ColumnData::Bit(out)
-            }
-            ColumnData::Int(v) => {
-                let mut out = Vec::with_capacity(positions.len());
-                for &o in positions {
-                    out.push(v[check(o)?]);
-                }
-                ColumnData::Int(out)
-            }
-            ColumnData::Dbl(v) => {
-                let mut out = Vec::with_capacity(positions.len());
-                for &o in positions {
-                    out.push(v[check(o)?]);
-                }
-                ColumnData::Dbl(out)
-            }
-            ColumnData::Str(v) => {
-                let mut out = Vec::with_capacity(positions.len());
-                for &o in positions {
-                    out.push(v[check(o)?].clone());
-                }
-                ColumnData::Str(out)
-            }
-            ColumnData::Oid(v) => {
-                let mut out = Vec::with_capacity(positions.len());
-                for &o in positions {
-                    out.push(v[check(o)?]);
-                }
-                ColumnData::Oid(out)
-            }
-            ColumnData::Date(v) => {
-                let mut out = Vec::with_capacity(positions.len());
-                for &o in positions {
-                    out.push(v[check(o)?]);
-                }
-                ColumnData::Date(out)
-            }
+                $ctor(out)
+            }};
+        }
+        let data = match self.view() {
+            ColumnView::Bit(v) => pick!(v, ColumnData::Bit, |x: &bool| *x),
+            ColumnView::Int(v) => pick!(v, ColumnData::Int, |x: &i64| *x),
+            ColumnView::Dbl(v) => pick!(v, ColumnData::Dbl, |x: &f64| *x),
+            ColumnView::Str(v) => pick!(v, ColumnData::Str, |x: &Arc<str>| Arc::clone(x)),
+            ColumnView::Oid(v) => pick!(v, ColumnData::Oid, |x: &u64| *x),
+            ColumnView::Date(v) => pick!(v, ColumnData::Date, |x: &i32| *x),
         };
         Ok(Bat::new(data))
     }
 
     /// Concatenate `other` after `self` (both must share tail type).
+    /// Adjacent views over one buffer widen in O(1); otherwise one fresh
+    /// buffer is allocated in a single pass.
     pub fn concat(&self, other: &Bat) -> Result<Bat> {
-        use ColumnData::*;
-        let data = match (&self.data, &other.data) {
-            (Bit(a), Bit(b)) => Bit(a.iter().chain(b).copied().collect()),
-            (Int(a), Int(b)) => Int(a.iter().chain(b).copied().collect()),
-            (Dbl(a), Dbl(b)) => Dbl(a.iter().chain(b).copied().collect()),
-            (Str(a), Str(b)) => Str(a.iter().chain(b).cloned().collect()),
-            (Oid(a), Oid(b)) => Oid(a.iter().chain(b).copied().collect()),
-            (Date(a), Date(b)) => Date(a.iter().chain(b).copied().collect()),
-            (a, b) => {
+        Bat::pack(&[self.clone(), other.clone()])
+    }
+
+    /// Multi-way concatenation — the `mat.pack` kernel. Checks tail types,
+    /// then: (a) if every part is a view over the same buffer and the
+    /// windows are adjacent in order, returns a widened view without
+    /// touching data (the mitosis reassembly fast path); (b) otherwise
+    /// copies all parts into one fresh buffer in a single pass.
+    pub fn pack(parts: &[Bat]) -> Result<Bat> {
+        let Some(first) = parts.first() else {
+            return Err(EngineError::Other("mat.pack of zero parts".into()));
+        };
+        for p in &parts[1..] {
+            if std::mem::discriminant(&p.buf) != std::mem::discriminant(&first.buf) {
                 return Err(EngineError::TypeMismatch {
                     op: "bat.append".into(),
-                    expected: a.tail_type().to_string(),
-                    got: b.tail_type().to_string(),
-                })
+                    expected: first.tail_type().to_string(),
+                    got: p.tail_type().to_string(),
+                });
             }
+        }
+        if parts.len() == 1 {
+            let mut out = first.clone();
+            out.sorted = false;
+            return Ok(out);
+        }
+
+        if !force_copy() {
+            // Zero-copy widening: all parts adjacent views of one buffer.
+            let adjacent = parts
+                .windows(2)
+                .all(|w| w[0].buf.same_alloc(&w[1].buf) && w[0].off + w[0].len == w[1].off);
+            if adjacent {
+                return Ok(Bat {
+                    buf: first.buf.clone(),
+                    off: first.off,
+                    len: parts.iter().map(|p| p.len).sum(),
+                    sorted: false,
+                    dense: parts.iter().all(|p| p.dense),
+                });
+            }
+        }
+
+        let total: usize = parts.iter().map(|p| p.len).sum();
+        macro_rules! splice {
+            ($ctor:path, $variant:path) => {{
+                let mut out = Vec::with_capacity(total);
+                for p in parts {
+                    match p.view() {
+                        $variant(v) => out.extend_from_slice(v),
+                        _ => unreachable!("tail types checked above"),
+                    }
+                }
+                $ctor(out)
+            }};
+        }
+        let data = match first.view() {
+            ColumnView::Bit(_) => splice!(ColumnData::Bit, ColumnView::Bit),
+            ColumnView::Int(_) => splice!(ColumnData::Int, ColumnView::Int),
+            ColumnView::Dbl(_) => splice!(ColumnData::Dbl, ColumnView::Dbl),
+            ColumnView::Str(_) => splice!(ColumnData::Str, ColumnView::Str),
+            ColumnView::Oid(_) => splice!(ColumnData::Oid, ColumnView::Oid),
+            ColumnView::Date(_) => splice!(ColumnData::Date, ColumnView::Date),
         };
         Ok(Bat::new(data))
     }
 
-    /// Positional slice `[lo, hi)` clamped to the BAT length.
+    /// Positional slice `[lo, hi)` clamped to the BAT length — an O(1)
+    /// metadata operation: the result is a narrower view of the same
+    /// buffer. Sortedness and density survive slicing.
     pub fn slice(&self, lo: usize, hi: usize) -> Bat {
-        let hi = hi.min(self.len());
+        let hi = hi.min(self.len);
         let lo = lo.min(hi);
-        let data = match &self.data {
-            ColumnData::Bit(v) => ColumnData::Bit(v[lo..hi].to_vec()),
-            ColumnData::Int(v) => ColumnData::Int(v[lo..hi].to_vec()),
-            ColumnData::Dbl(v) => ColumnData::Dbl(v[lo..hi].to_vec()),
-            ColumnData::Str(v) => ColumnData::Str(v[lo..hi].to_vec()),
-            ColumnData::Oid(v) => ColumnData::Oid(v[lo..hi].to_vec()),
-            ColumnData::Date(v) => ColumnData::Date(v[lo..hi].to_vec()),
-        };
+        if force_copy() {
+            let mut out = Bat::new(self.slice_view(lo, hi).to_column_data());
+            out.sorted = self.sorted;
+            out.dense = self.dense;
+            return out;
+        }
+        self.slice_view(lo, hi)
+    }
+
+    fn slice_view(&self, lo: usize, hi: usize) -> Bat {
         Bat {
-            data,
+            buf: self.buf.clone(),
+            off: self.off + lo,
+            len: hi - lo,
             sorted: self.sorted,
+            dense: self.dense,
         }
     }
 }
@@ -338,12 +631,15 @@ mod tests {
         assert_eq!(b.as_oids().unwrap(), &[0, 1, 2, 3, 4]);
         assert_eq!(b.tail_type(), MalType::Oid);
         assert_eq!(b.mal_type(), MalType::bat(MalType::Oid));
+        assert_eq!(b.as_dense_range(), Some(0..5));
     }
 
     #[test]
-    fn oids_detects_sortedness() {
+    fn oids_detects_sortedness_and_density() {
         assert!(Bat::oids(vec![1, 3, 3, 7]).sorted);
         assert!(!Bat::oids(vec![3, 1]).sorted);
+        assert_eq!(Bat::oids(vec![1, 3, 3, 7]).as_dense_range(), None);
+        assert_eq!(Bat::oids(vec![4, 5, 6]).as_dense_range(), Some(4..7));
     }
 
     #[test]
@@ -353,6 +649,9 @@ mod tests {
         assert_eq!(b.get(2), None);
         let s = Bat::strs(vec!["a".into()]);
         assert_eq!(s.get(0), Some(Value::Str("a".into())));
+        assert_eq!(s.str_at(0), Some("a"));
+        assert_eq!(s.str_at(1), None);
+        assert_eq!(b.str_at(0), None);
     }
 
     #[test]
@@ -360,6 +659,16 @@ mod tests {
         let col = Bat::ints(vec![10, 20, 30, 40]);
         let out = col.gather(&[3, 1]).unwrap();
         assert_eq!(out.as_ints().unwrap(), &[40, 20]);
+    }
+
+    #[test]
+    fn gather_shares_string_storage() {
+        let col = Bat::strs(vec!["aa".into(), "bb".into()]);
+        let out = col.gather(&[1, 0, 1]).unwrap();
+        let src = col.as_strs().unwrap();
+        let dst = out.as_strs().unwrap();
+        assert!(Arc::ptr_eq(&dst[0], &src[1]));
+        assert!(Arc::ptr_eq(&dst[1], &src[0]));
     }
 
     #[test]
@@ -394,10 +703,72 @@ mod tests {
     }
 
     #[test]
+    fn slice_is_a_view() {
+        let b = Bat::ints((0..100).collect());
+        let s = b.slice(10, 20);
+        assert!(s.shares_buffer(&b));
+        assert_eq!(s.as_ints().unwrap(), &(10..20).collect::<Vec<i64>>()[..]);
+        // Slicing a slice composes offsets.
+        let s2 = s.slice(2, 5);
+        assert!(s2.shares_buffer(&b));
+        assert_eq!(s2.as_ints().unwrap(), &[12, 13, 14]);
+    }
+
+    #[test]
+    fn slice_preserves_density() {
+        let b = Bat::dense_oids(100);
+        let s = b.slice(40, 60);
+        assert_eq!(s.as_dense_range(), Some(40..60));
+        assert!(s.sorted);
+    }
+
+    #[test]
+    fn pack_of_adjacent_slices_widens() {
+        let b = Bat::ints((0..12).collect());
+        let parts = vec![b.slice(0, 4), b.slice(4, 8), b.slice(8, 12)];
+        let packed = Bat::pack(&parts).unwrap();
+        assert!(packed.shares_buffer(&b));
+        assert_eq!(packed.as_ints().unwrap(), b.as_ints().unwrap());
+    }
+
+    #[test]
+    fn pack_of_scattered_parts_copies() {
+        let a = Bat::ints(vec![1, 2]);
+        let b = Bat::ints(vec![3]);
+        let packed = Bat::pack(&[b.clone(), a.clone()]).unwrap();
+        assert!(!packed.shares_buffer(&a));
+        assert_eq!(packed.as_ints().unwrap(), &[3, 1, 2]);
+    }
+
+    #[test]
+    fn force_copy_materialises_slices() {
+        let b = Bat::ints((0..10).collect());
+        set_force_copy(true);
+        let s = b.slice(2, 6);
+        set_force_copy(false);
+        assert!(!s.shares_buffer(&b));
+        assert_eq!(s.as_ints().unwrap(), &[2, 3, 4, 5]);
+        // Observationally identical to the view it replaces.
+        assert_eq!(s, b.slice(2, 6));
+    }
+
+    #[test]
+    fn logical_equality_ignores_representation() {
+        let big = Bat::ints(vec![9, 1, 2, 3, 9]);
+        let view = big.slice(1, 4);
+        let owned = Bat::ints(vec![1, 2, 3]);
+        assert_eq!(view, owned);
+        assert_ne!(view, Bat::ints(vec![1, 2, 4]));
+        assert_ne!(view, Bat::oids(vec![1, 2, 3]));
+    }
+
+    #[test]
     fn bytes_estimates() {
         assert_eq!(Bat::ints(vec![1, 2]).bytes(), 16);
         assert_eq!(Bat::dates(vec![1]).bytes(), 4);
         assert!(Bat::strs(vec!["abc".into()]).bytes() >= 3);
+        // The window, not the buffer, is what's counted.
+        assert_eq!(Bat::ints(vec![1, 2, 3, 4]).slice(0, 2).bytes(), 16);
     }
 
     #[test]
@@ -406,6 +777,8 @@ mod tests {
         assert!(b.as_oids().is_err());
         assert!(b.as_dbls().is_err());
         assert!(b.as_bits().is_err());
+        assert!(b.as_dates().is_err());
+        assert!(b.as_strs().is_err());
         assert!(b.as_ints().is_ok());
     }
 

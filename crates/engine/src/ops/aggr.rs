@@ -5,9 +5,11 @@
 //! (`subsum` etc.) take `(values, groups, extents)` from `group.group`
 //! and return one value per group.
 
+use std::sync::Arc;
+
 use stetho_mal::{MalType, Value};
 
-use crate::bat::{Bat, ColumnData};
+use crate::bat::{Bat, ColumnData, ColumnView};
 use crate::error::EngineError;
 use crate::rt::RuntimeValue;
 use crate::Result;
@@ -57,8 +59,8 @@ fn for_each_pos(
 pub fn sum(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     let op = "aggr.sum";
     let (b, cand) = plain_args(op, args)?;
-    match &b.data {
-        ColumnData::Int(v) => {
+    match b.view() {
+        ColumnView::Int(v) => {
             let mut acc: i64 = 0;
             for_each_pos(v.len(), cand, |i| {
                 acc = acc.wrapping_add(v[i]);
@@ -66,7 +68,7 @@ pub fn sum(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
             })?;
             Ok(vec![RuntimeValue::Scalar(Value::Int(acc))])
         }
-        ColumnData::Dbl(v) => {
+        ColumnView::Dbl(v) => {
             let mut acc = 0.0;
             for_each_pos(v.len(), cand, |i| {
                 acc += v[i];
@@ -99,13 +101,13 @@ pub fn avg(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     let (b, cand) = plain_args(op, args)?;
     let mut acc = 0.0;
     let mut n = 0usize;
-    match &b.data {
-        ColumnData::Int(v) => for_each_pos(v.len(), cand, |i| {
+    match b.view() {
+        ColumnView::Int(v) => for_each_pos(v.len(), cand, |i| {
             acc += v[i] as f64;
             n += 1;
             Ok(())
         })?,
-        ColumnData::Dbl(v) => for_each_pos(v.len(), cand, |i| {
+        ColumnView::Dbl(v) => for_each_pos(v.len(), cand, |i| {
             acc += v[i];
             n += 1;
             Ok(())
@@ -125,49 +127,47 @@ pub fn avg(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     }
 }
 
-/// `aggr.min` / `aggr.max`; nil on empty input.
+/// `aggr.min` / `aggr.max`; nil on empty input. Tracks the best *position*
+/// over the borrowed view — one `Value` is built at the end, so string
+/// columns never clone per row.
 pub fn minmax(args: &[RuntimeValue], is_min: bool) -> Result<Vec<RuntimeValue>> {
     let op = if is_min { "aggr.min" } else { "aggr.max" };
     let (b, cand) = plain_args(op, args)?;
-    let mut best: Option<Value> = None;
-    let len = b.len();
-    for_each_pos(len, cand, |i| {
-        let v = b.get(i).expect("index checked");
-        let better = match &best {
+    let view = b.view();
+    let mut best: Option<usize> = None;
+    for_each_pos(b.len(), cand, |i| {
+        let better = match best {
             None => true,
-            Some(cur) => {
-                let ord = compare_values(cur, &v)?;
+            Some(j) => {
+                let ord = cell_cmp(view, i, j);
                 if is_min {
-                    ord == std::cmp::Ordering::Greater
-                } else {
                     ord == std::cmp::Ordering::Less
+                } else {
+                    ord == std::cmp::Ordering::Greater
                 }
             }
         };
         if better {
-            best = Some(v);
+            best = Some(i);
         }
         Ok(())
     })?;
-    Ok(vec![RuntimeValue::Scalar(
-        best.unwrap_or(Value::Nil(b.tail_type())),
-    )])
+    Ok(vec![RuntimeValue::Scalar(match best {
+        Some(i) => b.get(i).expect("index checked"),
+        None => Value::Nil(b.tail_type()),
+    })])
 }
 
-fn compare_values(a: &Value, b: &Value) -> Result<std::cmp::Ordering> {
+/// Total order over two cells of the same column.
+fn cell_cmp(view: ColumnView<'_>, a: usize, b: usize) -> std::cmp::Ordering {
     use std::cmp::Ordering;
-    match (a, b) {
-        (Value::Int(x), Value::Int(y)) => Ok(x.cmp(y)),
-        (Value::Dbl(x), Value::Dbl(y)) => Ok(x.partial_cmp(y).unwrap_or(Ordering::Equal)),
-        (Value::Str(x), Value::Str(y)) => Ok(x.cmp(y)),
-        (Value::Oid(x), Value::Oid(y)) => Ok(x.cmp(y)),
-        (Value::Date(x), Value::Date(y)) => Ok(x.cmp(y)),
-        (Value::Bit(x), Value::Bit(y)) => Ok(x.cmp(y)),
-        _ => Err(EngineError::TypeMismatch {
-            op: "aggr.compare".into(),
-            expected: a.mal_type().to_string(),
-            got: b.mal_type().to_string(),
-        }),
+    match view {
+        ColumnView::Int(v) => v[a].cmp(&v[b]),
+        ColumnView::Dbl(v) => v[a].partial_cmp(&v[b]).unwrap_or(Ordering::Equal),
+        ColumnView::Str(v) => v[a].cmp(&v[b]),
+        ColumnView::Oid(v) => v[a].cmp(&v[b]),
+        ColumnView::Date(v) => v[a].cmp(&v[b]),
+        ColumnView::Bit(v) => v[a].cmp(&v[b]),
     }
 }
 
@@ -211,15 +211,15 @@ fn check_group(g: u64, ngroups: usize) -> Result<usize> {
 pub fn subsum(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     let op = "aggr.subsum";
     let (vals, groups, n) = grouped_args(op, args)?;
-    match &vals.data {
-        ColumnData::Int(v) => {
+    match vals.view() {
+        ColumnView::Int(v) => {
             let mut acc = vec![0i64; n];
             for (i, &g) in groups.iter().enumerate() {
                 acc[check_group(g, n)?] = acc[check_group(g, n)?].wrapping_add(v[i]);
             }
             Ok(vec![RuntimeValue::bat(Bat::new(ColumnData::Int(acc)))])
         }
-        ColumnData::Dbl(v) => {
+        ColumnView::Dbl(v) => {
             let mut acc = vec![0.0f64; n];
             for (i, &g) in groups.iter().enumerate() {
                 acc[check_group(g, n)?] += v[i];
@@ -252,15 +252,15 @@ pub fn subavg(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     let (vals, groups, n) = grouped_args(op, args)?;
     let mut sums = vec![0.0f64; n];
     let mut counts = vec![0usize; n];
-    match &vals.data {
-        ColumnData::Int(v) => {
+    match vals.view() {
+        ColumnView::Int(v) => {
             for (i, &g) in groups.iter().enumerate() {
                 let gi = check_group(g, n)?;
                 sums[gi] += v[i] as f64;
                 counts[gi] += 1;
             }
         }
-        ColumnData::Dbl(v) => {
+        ColumnView::Dbl(v) => {
             for (i, &g) in groups.iter().enumerate() {
                 let gi = check_group(g, n)?;
                 sums[gi] += v[i];
@@ -304,12 +304,12 @@ pub fn subminmax(args: &[RuntimeValue], is_min: bool) -> Result<Vec<RuntimeValue
             Ok(vec![RuntimeValue::bat(Bat::new($ctor(acc)))])
         }};
     }
-    match &vals.data {
-        ColumnData::Int(v) => reduce!(v, ColumnData::Int, 0i64),
-        ColumnData::Dbl(v) => reduce!(v, ColumnData::Dbl, 0.0f64),
-        ColumnData::Str(v) => reduce!(v, ColumnData::Str, String::new()),
-        ColumnData::Date(v) => reduce!(v, ColumnData::Date, 0i32),
-        ColumnData::Oid(v) => reduce!(v, ColumnData::Oid, 0u64),
+    match vals.view() {
+        ColumnView::Int(v) => reduce!(v, ColumnData::Int, 0i64),
+        ColumnView::Dbl(v) => reduce!(v, ColumnData::Dbl, 0.0f64),
+        ColumnView::Str(v) => reduce!(v, ColumnData::Str, Arc::<str>::from("")),
+        ColumnView::Date(v) => reduce!(v, ColumnData::Date, 0i32),
+        ColumnView::Oid(v) => reduce!(v, ColumnData::Oid, 0u64),
         other => Err(EngineError::TypeMismatch {
             op: op.into(),
             expected: "orderable BAT".into(),

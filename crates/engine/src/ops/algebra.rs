@@ -4,13 +4,20 @@
 //! (and the legacy `leftjoin` of the paper's §2 example) fetches tail
 //! values at candidate positions; `join` is a hash equi-join returning
 //! matching position pairs.
+//!
+//! Selections are candidate-fused: they evaluate the predicate directly
+//! over the candidate list (dense oid ranges iterate without touching the
+//! oid buffer at all), and common column/bound type pairings run typed
+//! inner loops instead of per-row `Value` dispatch. `projection` of a
+//! dense candidate range over a column is an O(1) view slice.
 
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::ops::Range;
 
 use stetho_mal::Value;
 
-use crate::bat::{Bat, ColumnData};
+use crate::bat::{force_copy, Bat, ColumnData, ColumnView};
 use crate::error::EngineError;
 use crate::rt::RuntimeValue;
 use crate::Result;
@@ -18,29 +25,184 @@ use crate::Result;
 use super::expect_int;
 
 /// Compare a column cell against a scalar. Errors on incomparable types.
-fn cmp_cell(col: &ColumnData, i: usize, v: &Value) -> Result<Ordering> {
+fn cmp_cell(col: ColumnView<'_>, i: usize, v: &Value) -> Result<Ordering> {
     let err = || EngineError::TypeMismatch {
         op: "algebra.compare".into(),
         expected: col.tail_type().to_string(),
         got: v.mal_type().to_string(),
     };
     match (col, v) {
-        (ColumnData::Int(c), Value::Int(x)) => Ok(c[i].cmp(x)),
-        (ColumnData::Int(c), Value::Dbl(x)) => {
+        (ColumnView::Int(c), Value::Int(x)) => Ok(c[i].cmp(x)),
+        (ColumnView::Int(c), Value::Dbl(x)) => {
             Ok((c[i] as f64).partial_cmp(x).unwrap_or(Ordering::Less))
         }
-        (ColumnData::Dbl(c), _) => {
+        (ColumnView::Dbl(c), _) => {
             let x = v.as_dbl().ok_or_else(err)?;
             Ok(c[i].partial_cmp(&x).unwrap_or(Ordering::Less))
         }
-        (ColumnData::Str(c), Value::Str(x)) => Ok(c[i].as_str().cmp(x.as_str())),
-        (ColumnData::Oid(c), Value::Oid(x)) => Ok(c[i].cmp(x)),
-        (ColumnData::Oid(c), Value::Int(x)) => Ok((c[i] as i64).cmp(x)),
-        (ColumnData::Date(c), Value::Date(x)) => Ok(c[i].cmp(x)),
-        (ColumnData::Date(c), Value::Int(x)) => Ok((c[i] as i64).cmp(x)),
-        (ColumnData::Bit(c), Value::Bit(x)) => Ok(c[i].cmp(x)),
+        (ColumnView::Str(c), Value::Str(x)) => Ok((*c[i]).cmp(x.as_str())),
+        (ColumnView::Oid(c), Value::Oid(x)) => Ok(c[i].cmp(x)),
+        (ColumnView::Oid(c), Value::Int(x)) => Ok((c[i] as i64).cmp(x)),
+        (ColumnView::Date(c), Value::Date(x)) => Ok(c[i].cmp(x)),
+        (ColumnView::Date(c), Value::Int(x)) => Ok((c[i] as i64).cmp(x)),
+        (ColumnView::Bit(c), Value::Bit(x)) => Ok(c[i].cmp(x)),
         _ => Err(err()),
     }
+}
+
+/// Where a selection reads its row positions from.
+enum Positions<'a> {
+    /// Dense oid range — iterated without touching any oid buffer.
+    Dense(Range<u64>),
+    /// Explicit candidate list.
+    List(&'a [u64]),
+}
+
+impl Positions<'_> {
+    fn max_oid(&self) -> Option<u64> {
+        match self {
+            Positions::Dense(r) => r.clone().last(),
+            Positions::List(v) => v.iter().copied().max(),
+        }
+    }
+}
+
+/// Bound for the typed integer select loop: `None` means the bound is nil
+/// or of a type this fast path doesn't handle.
+fn int_bound(col: ColumnView<'_>, v: &Value) -> Option<i64> {
+    match (col, v) {
+        (ColumnView::Int(_), Value::Int(x)) => Some(*x),
+        (ColumnView::Date(_), Value::Date(x)) => Some(*x as i64),
+        (ColumnView::Date(_), Value::Int(x)) => Some(*x),
+        (ColumnView::Oid(_), Value::Oid(x)) => i64::try_from(*x).ok(),
+        (ColumnView::Oid(_), Value::Int(x)) => Some(*x),
+        _ => None,
+    }
+}
+
+/// Typed select inner loops. Returns `Ok(false)` when the column/bound
+/// combination has no fast path (the caller falls back to `cmp_cell`).
+fn typed_select(
+    col: ColumnView<'_>,
+    pos: &Positions<'_>,
+    low: &Value,
+    high: &Value,
+    li: bool,
+    hi: bool,
+    out: &mut Vec<u64>,
+) -> bool {
+    // Fold inclusive/exclusive integer bounds into a closed interval.
+    let int_interval = || -> Option<(i64, i64)> {
+        let lo = if low.is_nil() {
+            i64::MIN
+        } else {
+            let b = int_bound(col, low)?;
+            if li {
+                b
+            } else {
+                b.checked_add(1)?
+            }
+        };
+        let hi_b = if high.is_nil() {
+            i64::MAX
+        } else {
+            let b = int_bound(col, high)?;
+            if hi {
+                b
+            } else {
+                b.checked_sub(1)?
+            }
+        };
+        Some((lo, hi_b))
+    };
+
+    macro_rules! int_scan {
+        ($v:expr, $cast:ty) => {{
+            let Some((lo, hi_b)) = int_interval() else {
+                return false;
+            };
+            match pos {
+                Positions::Dense(r) => {
+                    for o in r.clone() {
+                        let x = $v[o as usize] as $cast;
+                        if x as i64 >= lo && x as i64 <= hi_b {
+                            out.push(o);
+                        }
+                    }
+                }
+                Positions::List(l) => {
+                    for &o in *l {
+                        let x = $v[o as usize] as $cast;
+                        if x as i64 >= lo && x as i64 <= hi_b {
+                            out.push(o);
+                        }
+                    }
+                }
+            }
+            true
+        }};
+    }
+
+    match col {
+        ColumnView::Int(v) => int_scan!(v, i64),
+        ColumnView::Date(v) => int_scan!(v, i64),
+        ColumnView::Oid(v) => int_scan!(v, i64),
+        ColumnView::Dbl(v) => {
+            let lo = if low.is_nil() {
+                None
+            } else {
+                match low.as_dbl() {
+                    Some(x) => Some(x),
+                    None => return false,
+                }
+            };
+            let hi_b = if high.is_nil() {
+                None
+            } else {
+                match high.as_dbl() {
+                    Some(x) => Some(x),
+                    None => return false,
+                }
+            };
+            let ok = |x: f64| -> bool {
+                if let Some(lo) = lo {
+                    if if li { x < lo } else { x <= lo } {
+                        return false;
+                    }
+                }
+                if let Some(hi_b) = hi_b {
+                    if if hi { x > hi_b } else { x >= hi_b } {
+                        return false;
+                    }
+                }
+                true
+            };
+            match pos {
+                Positions::Dense(r) => {
+                    for o in r.clone() {
+                        if ok(v[o as usize]) {
+                            out.push(o);
+                        }
+                    }
+                }
+                Positions::List(l) => {
+                    for &o in *l {
+                        if ok(v[o as usize]) {
+                            out.push(o);
+                        }
+                    }
+                }
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Build the sorted candidate-list result of a selection, detecting
+/// density so downstream projections can take the O(1) view path.
+fn candidate(out: Vec<u64>) -> Bat {
+    Bat::oids(out)
 }
 
 /// `algebra.select` — range select producing a candidate list.
@@ -97,49 +259,58 @@ pub fn select(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
         li
     };
 
-    let keep = |i: usize| -> Result<bool> {
-        if !low.is_nil() {
-            let c = cmp_cell(&col.data, i, low)?;
-            if c == Ordering::Less || (!li && c == Ordering::Equal) {
-                return Ok(false);
-            }
-        }
-        if !high.is_nil() {
-            let c = cmp_cell(&col.data, i, high)?;
-            if c == Ordering::Greater || (!hi && c == Ordering::Equal) {
-                return Ok(false);
-            }
-        }
-        Ok(true)
+    let pos = match cand {
+        Some(c) => match c.as_dense_range() {
+            Some(r) => Positions::Dense(r),
+            None => Positions::List(c.as_oids()?),
+        },
+        None => Positions::Dense(0..col.len() as u64),
     };
+    if let Some(max) = pos.max_oid() {
+        if max as usize >= col.len() {
+            return Err(EngineError::OidOutOfRange {
+                oid: max,
+                len: col.len(),
+            });
+        }
+    }
 
+    let view = col.view();
     let mut out = Vec::new();
-    match cand {
-        Some(cand) => {
-            for &o in cand.as_oids()? {
-                let i = o as usize;
-                if i >= col.len() {
-                    return Err(EngineError::OidOutOfRange {
-                        oid: o,
-                        len: col.len(),
-                    });
-                }
-                if keep(i)? {
-                    out.push(o);
+    if !typed_select(view, &pos, low, high, li, hi, &mut out) {
+        let keep = |i: usize| -> Result<bool> {
+            if !low.is_nil() {
+                let c = cmp_cell(view, i, low)?;
+                if c == Ordering::Less || (!li && c == Ordering::Equal) {
+                    return Ok(false);
                 }
             }
-        }
-        None => {
-            for i in 0..col.len() {
-                if keep(i)? {
-                    out.push(i as u64);
+            if !high.is_nil() {
+                let c = cmp_cell(view, i, high)?;
+                if c == Ordering::Greater || (!hi && c == Ordering::Equal) {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        };
+        match pos {
+            Positions::Dense(r) => {
+                for o in r {
+                    if keep(o as usize)? {
+                        out.push(o);
+                    }
+                }
+            }
+            Positions::List(l) => {
+                for &o in l {
+                    if keep(o as usize)? {
+                        out.push(o);
+                    }
                 }
             }
         }
     }
-    Ok(vec![RuntimeValue::bat(Bat::new_sorted(ColumnData::Oid(
-        out,
-    )))])
+    Ok(vec![RuntimeValue::bat(candidate(out))])
 }
 
 /// `algebra.thetaselect(col, cand, val, op:str)` — select by comparison.
@@ -168,25 +339,70 @@ pub fn thetaselect(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
             )))
         }
     };
-    let mut out = Vec::new();
-    for &o in cand.as_oids()? {
-        let i = o as usize;
-        if i >= col.len() {
+    let pos = match cand.as_dense_range() {
+        Some(r) => Positions::Dense(r),
+        None => Positions::List(cand.as_oids()?),
+    };
+    if let Some(max) = pos.max_oid() {
+        if max as usize >= col.len() {
             return Err(EngineError::OidOutOfRange {
-                oid: o,
+                oid: max,
                 len: col.len(),
             });
         }
-        if pred(cmp_cell(&col.data, i, val)?) {
-            out.push(o);
-        }
     }
-    Ok(vec![RuntimeValue::bat(Bat::new_sorted(ColumnData::Oid(
-        out,
-    )))])
+    let view = col.view();
+    let mut out = Vec::new();
+
+    // Typed fast loop for int-family columns; `Value` dispatch otherwise.
+    let fast = int_bound(view, val);
+    macro_rules! theta_scan {
+        ($v:expr, $x:expr) => {{
+            let x = $x;
+            match &pos {
+                Positions::Dense(r) => {
+                    for o in r.clone() {
+                        if pred(($v[o as usize] as i64).cmp(&x)) {
+                            out.push(o);
+                        }
+                    }
+                }
+                Positions::List(l) => {
+                    for &o in *l {
+                        if pred(($v[o as usize] as i64).cmp(&x)) {
+                            out.push(o);
+                        }
+                    }
+                }
+            }
+        }};
+    }
+    match (view, fast) {
+        (ColumnView::Int(v), Some(x)) => theta_scan!(v, x),
+        (ColumnView::Date(v), Some(x)) => theta_scan!(v, x),
+        (ColumnView::Oid(v), Some(x)) => theta_scan!(v, x),
+        _ => match &pos {
+            Positions::Dense(r) => {
+                for o in r.clone() {
+                    if pred(cmp_cell(view, o as usize, val)?) {
+                        out.push(o);
+                    }
+                }
+            }
+            Positions::List(l) => {
+                for &o in *l {
+                    if pred(cmp_cell(view, o as usize, val)?) {
+                        out.push(o);
+                    }
+                }
+            }
+        },
+    }
+    Ok(vec![RuntimeValue::bat(candidate(out))])
 }
 
 /// `algebra.projection(cand, col)` — fetch tail values at candidates.
+/// A dense candidate range projects as an O(1) slice of `col`.
 pub fn projection(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     let op = "algebra.projection";
     if args.len() != 2 {
@@ -197,6 +413,19 @@ pub fn projection(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     }
     let cand = args[0].as_bat(op)?;
     let col = args[1].as_bat(op)?;
+    if !force_copy() {
+        if let Some(r) = cand.as_dense_range() {
+            if r.end as usize > col.len() {
+                return Err(EngineError::OidOutOfRange {
+                    oid: (r.start as usize).max(col.len()) as u64,
+                    len: col.len(),
+                });
+            }
+            let mut out = col.slice(r.start as usize, r.end as usize);
+            out.sorted = false;
+            return Ok(vec![RuntimeValue::bat(out)]);
+        }
+    }
     Ok(vec![RuntimeValue::bat(col.gather(cand.as_oids()?)?)])
 }
 
@@ -213,6 +442,19 @@ pub fn leftjoin(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     }
     let oids = args[0].as_bat(op)?;
     let col = args[1].as_bat(op)?;
+    if !force_copy() {
+        if let Some(r) = oids.as_dense_range() {
+            if r.end as usize > col.len() {
+                return Err(EngineError::OidOutOfRange {
+                    oid: (r.start as usize).max(col.len()) as u64,
+                    len: col.len(),
+                });
+            }
+            let mut out = col.slice(r.start as usize, r.end as usize);
+            out.sorted = false;
+            return Ok(vec![RuntimeValue::bat(out)]);
+        }
+    }
     Ok(vec![RuntimeValue::bat(col.gather(oids.as_oids()?)?)])
 }
 
@@ -225,14 +467,14 @@ enum Key<'a> {
     Bool(bool),
 }
 
-fn key_at(col: &ColumnData, i: usize) -> Key<'_> {
+fn key_at<'a>(col: &ColumnView<'a>, i: usize) -> Key<'a> {
     match col {
-        ColumnData::Int(v) => Key::Int(v[i]),
-        ColumnData::Oid(v) => Key::Int(v[i] as i64),
-        ColumnData::Date(v) => Key::Int(v[i] as i64),
-        ColumnData::Dbl(v) => Key::Bits(v[i].to_bits()),
-        ColumnData::Str(v) => Key::Str(&v[i]),
-        ColumnData::Bit(v) => Key::Bool(v[i]),
+        ColumnView::Int(v) => Key::Int(v[i]),
+        ColumnView::Oid(v) => Key::Int(v[i] as i64),
+        ColumnView::Date(v) => Key::Int(v[i] as i64),
+        ColumnView::Dbl(v) => Key::Bits(v[i].to_bits()),
+        ColumnView::Str(v) => Key::Str(&v[i]),
+        ColumnView::Bit(v) => Key::Bool(v[i]),
     }
 }
 
@@ -248,7 +490,7 @@ pub fn join(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     }
     let l = args[0].as_bat(op)?;
     let r = args[1].as_bat(op)?;
-    if std::mem::discriminant(&l.data) != std::mem::discriminant(&r.data) {
+    if l.tail_type() != r.tail_type() {
         return Err(EngineError::TypeMismatch {
             op: op.into(),
             expected: l.tail_type().to_string(),
@@ -261,17 +503,19 @@ pub fn join(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     } else {
         (l, r, true)
     };
+    let build_view = build.view();
+    let probe_view = probe.view();
     let mut table: HashMap<Key<'_>, Vec<u64>> = HashMap::with_capacity(build.len());
     for i in 0..build.len() {
         table
-            .entry(key_at(&build.data, i))
+            .entry(key_at(&build_view, i))
             .or_default()
             .push(i as u64);
     }
     let mut probe_out = Vec::new();
     let mut build_out = Vec::new();
     for i in 0..probe.len() {
-        if let Some(matches) = table.get(&key_at(&probe.data, i)) {
+        if let Some(matches) = table.get(&key_at(&probe_view, i)) {
             for &m in matches {
                 probe_out.push(i as u64);
                 build_out.push(m);
@@ -289,18 +533,18 @@ pub fn join(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     ])
 }
 
-fn order_of(col: &ColumnData, reverse: bool) -> Vec<u64> {
+fn order_of(col: ColumnView<'_>, reverse: bool) -> Vec<u64> {
     let n = col.len();
     let mut idx: Vec<u64> = (0..n as u64).collect();
     let cmp = |&a: &u64, &b: &u64| -> Ordering {
         let (a, b) = (a as usize, b as usize);
         match col {
-            ColumnData::Int(v) => v[a].cmp(&v[b]),
-            ColumnData::Oid(v) => v[a].cmp(&v[b]),
-            ColumnData::Date(v) => v[a].cmp(&v[b]),
-            ColumnData::Bit(v) => v[a].cmp(&v[b]),
-            ColumnData::Str(v) => v[a].cmp(&v[b]),
-            ColumnData::Dbl(v) => v[a].partial_cmp(&v[b]).unwrap_or(Ordering::Equal),
+            ColumnView::Int(v) => v[a].cmp(&v[b]),
+            ColumnView::Oid(v) => v[a].cmp(&v[b]),
+            ColumnView::Date(v) => v[a].cmp(&v[b]),
+            ColumnView::Bit(v) => v[a].cmp(&v[b]),
+            ColumnView::Str(v) => v[a].cmp(&v[b]),
+            ColumnView::Dbl(v) => v[a].partial_cmp(&v[b]).unwrap_or(Ordering::Equal),
         }
     };
     idx.sort_by(cmp);
@@ -327,7 +571,7 @@ pub fn sort(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     } else {
         false
     };
-    let order = order_of(&col.data, reverse);
+    let order = order_of(col.view(), reverse);
     let sorted = col.gather(&order)?;
     let mut sorted = sorted;
     sorted.sorted = !reverse;
@@ -350,13 +594,14 @@ pub fn firstn(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     let col = args[0].as_bat(op)?;
     let n = expect_int(op, &args[1])?.max(0) as usize;
     let asc = args[2].as_scalar(op)?.as_bit().unwrap_or(true);
-    let mut order = order_of(&col.data, !asc);
+    let mut order = order_of(col.view(), !asc);
     order.truncate(n);
     Ok(vec![RuntimeValue::bat(Bat::new(ColumnData::Oid(order)))])
 }
 
 /// `algebra.slice(b, lo:int, hi:int)` — positional slice `[lo, hi)`.
-/// Mitosis uses this to partition candidate lists.
+/// Mitosis uses this to partition candidate lists; with shared buffers it
+/// is a pure metadata operation.
 pub fn slice(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     let op = "algebra.slice";
     if args.len() != 3 {
@@ -452,6 +697,46 @@ mod tests {
     }
 
     #[test]
+    fn select_mixed_int_dbl_bounds_fall_back() {
+        // Int column with a dbl bound exercises the generic cmp_cell path.
+        let col = Bat::ints(vec![1, 2, 3, 4]);
+        let out = select(&[
+            rb(col),
+            RuntimeValue::Scalar(Value::Dbl(1.5)),
+            RuntimeValue::Scalar(Value::Dbl(3.5)),
+            rbit(true),
+        ])
+        .unwrap();
+        assert_eq!(oids(&out[0]), vec![1, 2]);
+    }
+
+    #[test]
+    fn select_exclusive_at_extremes() {
+        let col = Bat::ints(vec![i64::MIN, 0, i64::MAX]);
+        // low = MAX exclusive → empty, not overflow.
+        let out = select(&[rb(col.clone()), ri(i64::MAX), rnil(), rbit(false)]).unwrap();
+        assert_eq!(oids(&out[0]), Vec::<u64>::new());
+        let out = select(&[rb(col), rnil(), ri(i64::MIN), rbit(false), rbit(false)]).unwrap();
+        assert_eq!(oids(&out[0]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn select_on_dates_uses_fast_path() {
+        let col = Bat::dates(vec![8000, 8766, 9000, 9131]);
+        let cand = Bat::dense_oids(4);
+        let out = select(&[
+            rb(col),
+            rb(cand),
+            ri(8766),
+            ri(9131),
+            rbit(true),
+            rbit(false),
+        ])
+        .unwrap();
+        assert_eq!(oids(&out[0]), vec![1, 2]);
+    }
+
+    #[test]
     fn thetaselect_all_operators() {
         let col = Bat::ints(vec![1, 2, 3]);
         let cand = Bat::dense_oids(3);
@@ -475,11 +760,48 @@ mod tests {
     }
 
     #[test]
+    fn thetaselect_sparse_candidates() {
+        let col = Bat::ints(vec![9, 1, 9, 1, 9]);
+        let cand = Bat::oids(vec![0, 3, 4]);
+        let out = thetaselect(&[
+            rb(col),
+            rb(cand),
+            ri(5),
+            RuntimeValue::Scalar(Value::Str(">".into())),
+        ])
+        .unwrap();
+        assert_eq!(oids(&out[0]), vec![0, 4]);
+    }
+
+    #[test]
     fn projection_fetches() {
         let cand = Bat::oids(vec![2, 0]);
         let col = Bat::dbls(vec![0.1, 0.2, 0.3]);
         let out = projection(&[rb(cand), rb(col)]).unwrap();
         assert_eq!(out[0].as_bat("t").unwrap().as_dbls().unwrap(), &[0.3, 0.1]);
+    }
+
+    #[test]
+    fn projection_of_dense_candidates_is_a_view() {
+        let cand = Bat::dense_oids(100).slice(10, 20);
+        let col = Bat::ints((0..100).map(|x| x * 2).collect());
+        let out = projection(&[rb(cand), rb(col.clone())]).unwrap();
+        let b = out[0].as_bat("t").unwrap();
+        assert!(b.shares_buffer(&col));
+        assert_eq!(
+            b.as_ints().unwrap(),
+            &(10..20).map(|x| x * 2).collect::<Vec<i64>>()[..]
+        );
+    }
+
+    #[test]
+    fn projection_dense_out_of_range() {
+        let cand = Bat::oids(vec![1, 2, 3]);
+        let col = Bat::ints(vec![0, 1]);
+        assert!(matches!(
+            projection(&[rb(cand), rb(col)]),
+            Err(EngineError::OidOutOfRange { .. })
+        ));
     }
 
     #[test]

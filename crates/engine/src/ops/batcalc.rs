@@ -7,9 +7,12 @@
 //! count). Integer pairs stay integer; any double operand promotes the
 //! result to double.
 
+use std::ops::Range;
+use std::sync::Arc;
+
 use stetho_mal::Value;
 
-use crate::bat::{Bat, ColumnData};
+use crate::bat::{Bat, ColumnData, ColumnView};
 use crate::error::EngineError;
 use crate::rt::RuntimeValue;
 use crate::Result;
@@ -25,9 +28,9 @@ enum Num<'a> {
 impl<'a> Num<'a> {
     fn from(op: &str, v: &'a RuntimeValue) -> Result<Num<'a>> {
         match v {
-            RuntimeValue::Bat(b) => match &b.data {
-                ColumnData::Int(x) => Ok(Num::IntV(x)),
-                ColumnData::Dbl(x) => Ok(Num::DblV(x)),
+            RuntimeValue::Bat(b) => match b.view() {
+                ColumnView::Int(x) => Ok(Num::IntV(x)),
+                ColumnView::Dbl(x) => Ok(Num::DblV(x)),
                 other => Err(EngineError::TypeMismatch {
                     op: op.into(),
                     expected: "numeric BAT".into(),
@@ -79,10 +82,10 @@ fn split_cand<'a>(
     op: &str,
     args: &'a [RuntimeValue],
     arity: usize,
-) -> Result<(&'a [RuntimeValue], Option<&'a [u64]>)> {
+) -> Result<(&'a [RuntimeValue], Option<&'a Bat>)> {
     if args.len() == arity + 1 {
-        let cand = args[arity].as_bat(op)?.as_oids()?;
-        Ok((&args[..arity], Some(cand)))
+        let cand = args[arity].as_bat(op)?;
+        Ok((&args[..arity], Some(&**cand)))
     } else if args.len() == arity {
         Ok((args, None))
     } else {
@@ -110,22 +113,63 @@ fn common_len(op: &str, a: &Num<'_>, b: &Num<'_>) -> Result<usize> {
     }
 }
 
-/// Positions to evaluate: candidates if present, else `0..len`.
-fn positions(len: usize, cand: Option<&[u64]>) -> Result<Vec<usize>> {
-    match cand {
-        Some(c) => c
-            .iter()
-            .map(|&o| {
-                let i = o as usize;
-                if i >= len {
-                    Err(EngineError::OidOutOfRange { oid: o, len })
-                } else {
-                    Ok(i)
-                }
-            })
-            .collect(),
-        None => Ok((0..len).collect()),
+/// Positions to evaluate — candidate fusion without materialising an index
+/// vector: dense candidate lists (and the no-candidate case) iterate a
+/// range, sparse ones iterate the oid slice in place.
+enum Pos<'a> {
+    Range(Range<usize>),
+    List(&'a [u64]),
+}
+
+impl Pos<'_> {
+    fn count(&self) -> usize {
+        match self {
+            Pos::Range(r) => r.len(),
+            Pos::List(l) => l.len(),
+        }
     }
+}
+
+/// Iterate the positions of a [`Pos`]; the body may `return`/`?` out.
+macro_rules! for_pos {
+    ($pos:expr, $i:ident => $body:block) => {
+        match &$pos {
+            Pos::Range(r) => {
+                for $i in r.clone() {
+                    $body
+                }
+            }
+            Pos::List(l) => {
+                for &o in *l {
+                    let $i = o as usize;
+                    $body
+                }
+            }
+        }
+    };
+}
+
+/// Resolve candidates (if any) against a column of length `len`.
+fn positions<'a>(len: usize, cand: Option<&'a Bat>) -> Result<Pos<'a>> {
+    let Some(c) = cand else {
+        return Ok(Pos::Range(0..len));
+    };
+    if let Some(r) = c.as_dense_range() {
+        if r.end as usize > len {
+            return Err(EngineError::OidOutOfRange {
+                oid: (r.start as usize).max(len) as u64,
+                len,
+            });
+        }
+        return Ok(Pos::Range(r.start as usize..r.end as usize));
+    }
+    let l = c.as_oids()?;
+    if let Some(&max) = l.iter().max() {
+        if max as usize >= len {
+            return Err(EngineError::OidOutOfRange { oid: max, len });
+        }
+    }
+    Ok(Pos::List(l))
 }
 
 /// `batcalc.{+,-,*,/}`.
@@ -138,8 +182,8 @@ pub fn arith(f: &str, args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     let pos = positions(len, cand)?;
 
     if a.is_dbl() || b.is_dbl() {
-        let mut out = Vec::with_capacity(pos.len());
-        for &i in &pos {
+        let mut out = Vec::with_capacity(pos.count());
+        for_pos!(pos, i => {
             let (x, y) = (a.dbl_at(i), b.dbl_at(i));
             out.push(match f {
                 "+" => x + y,
@@ -152,11 +196,11 @@ pub fn arith(f: &str, args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
                     x / y
                 }
             });
-        }
+        });
         Ok(vec![RuntimeValue::bat(Bat::new(ColumnData::Dbl(out)))])
     } else {
-        let mut out = Vec::with_capacity(pos.len());
-        for &i in &pos {
+        let mut out = Vec::with_capacity(pos.count());
+        for_pos!(pos, i => {
             let (x, y) = (a.int_at(i), b.int_at(i));
             out.push(match f {
                 "+" => x.wrapping_add(y),
@@ -169,7 +213,7 @@ pub fn arith(f: &str, args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
                     x / y
                 }
             });
-        }
+        });
         Ok(vec![RuntimeValue::bat(Bat::new(ColumnData::Int(out)))])
     }
 }
@@ -234,7 +278,7 @@ pub fn compare(f: &str, args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
 
     // String comparison path.
     let str_side = |v: &RuntimeValue| match v {
-        RuntimeValue::Bat(b) => matches!(b.data, ColumnData::Str(_)),
+        RuntimeValue::Bat(b) => matches!(b.view(), ColumnView::Str(_)),
         RuntimeValue::Scalar(Value::Str(_)) => true,
         _ => false,
     };
@@ -246,8 +290,8 @@ pub fn compare(f: &str, args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     let b = Num::from(&op, &main[1])?;
     let len = common_len(&op, &a, &b)?;
     let pos = positions(len, cand)?;
-    let mut out = Vec::with_capacity(pos.len());
-    for &i in &pos {
+    let mut out = Vec::with_capacity(pos.count());
+    for_pos!(pos, i => {
         let (x, y) = (a.dbl_at(i), b.dbl_at(i));
         out.push(match f {
             "==" => x == y,
@@ -257,7 +301,7 @@ pub fn compare(f: &str, args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
             ">" => x > y,
             _ => x >= y,
         });
-    }
+    });
     Ok(vec![RuntimeValue::bat(Bat::new(ColumnData::Bit(out)))])
 }
 
@@ -265,16 +309,16 @@ fn compare_str(
     f: &str,
     op: &str,
     main: &[RuntimeValue],
-    cand: Option<&[u64]>,
+    cand: Option<&Bat>,
 ) -> Result<Vec<RuntimeValue>> {
     enum S<'a> {
-        V(&'a [String]),
+        V(&'a [Arc<str>]),
         C(&'a str),
     }
     fn side<'a>(op: &str, v: &'a RuntimeValue) -> Result<S<'a>> {
         match v {
-            RuntimeValue::Bat(b) => match &b.data {
-                ColumnData::Str(s) => Ok(S::V(s)),
+            RuntimeValue::Bat(b) => match b.view() {
+                ColumnView::Str(s) => Ok(S::V(s)),
                 other => Err(EngineError::TypeMismatch {
                     op: op.into(),
                     expected: "str".into(),
@@ -310,15 +354,16 @@ fn compare_str(
             })
         }
     };
-    let at = |s: &S<'_>, i: usize| -> String {
+    // Borrow, never clone: interned strings compare through the Arc.
+    fn at<'a>(s: &S<'a>, i: usize) -> &'a str {
         match s {
-            S::V(v) => v[i].clone(),
-            S::C(c) => c.to_string(),
+            S::V(v) => &v[i],
+            S::C(c) => c,
         }
-    };
+    }
     let pos = positions(len, cand)?;
-    let mut out = Vec::with_capacity(pos.len());
-    for &i in &pos {
+    let mut out = Vec::with_capacity(pos.count());
+    for_pos!(pos, i => {
         let (x, y) = (at(&a, i), at(&b, i));
         out.push(match f {
             "==" => x == y,
@@ -328,7 +373,7 @@ fn compare_str(
             ">" => x > y,
             _ => x >= y,
         });
-    }
+    });
     Ok(vec![RuntimeValue::bat(Bat::new(ColumnData::Bit(out)))])
 }
 
@@ -370,11 +415,11 @@ pub fn not(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
 pub fn cast_dbl(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     let op = "batcalc.dbl";
     let b = super::one_arg(op, args)?.as_bat(op)?;
-    let out = match &b.data {
-        ColumnData::Int(v) => v.iter().map(|&x| x as f64).collect(),
-        ColumnData::Dbl(v) => v.clone(),
-        ColumnData::Date(v) => v.iter().map(|&x| x as f64).collect(),
-        ColumnData::Oid(v) => v.iter().map(|&x| x as f64).collect(),
+    let out = match b.view() {
+        ColumnView::Int(v) => v.iter().map(|&x| x as f64).collect(),
+        ColumnView::Dbl(v) => v.to_vec(),
+        ColumnView::Date(v) => v.iter().map(|&x| x as f64).collect(),
+        ColumnView::Oid(v) => v.iter().map(|&x| x as f64).collect(),
         other => {
             return Err(EngineError::BadCast {
                 from: other.tail_type(),

@@ -59,7 +59,11 @@ pub fn mirror(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
 }
 
 /// `mat.pack(b1, ..., bk)` — concatenate partition results back into one
-/// BAT; the glue instruction the mitosis optimizer inserts.
+/// BAT; the glue instruction the mitosis optimizer inserts. A single-pass
+/// multi-way merge: when the parts are adjacent views of one shared buffer
+/// (the common mitosis case) no data moves at all, otherwise one output
+/// buffer is allocated and filled once — never the old O(k²) repeated
+/// pairwise concatenation.
 pub fn pack(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     let op = "mat.pack";
     if args.is_empty() {
@@ -68,12 +72,11 @@ pub fn pack(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
             msg: "expected at least 1 argument".into(),
         });
     }
-    let first = args[0].as_bat(op)?;
-    let mut acc = (**first).clone();
-    for a in &args[1..] {
-        acc = acc.concat(a.as_bat(op)?)?;
+    let mut parts = Vec::with_capacity(args.len());
+    for a in args {
+        parts.push((**a.as_bat(op)?).clone());
     }
-    Ok(vec![RuntimeValue::bat(acc)])
+    Ok(vec![RuntimeValue::bat(Bat::pack(&parts)?)])
 }
 
 #[cfg(test)]
@@ -123,6 +126,18 @@ mod tests {
     fn pack_single_is_identity() {
         let out = pack(&[rb(Bat::dbls(vec![1.5]))]).unwrap();
         assert_eq!(out[0].as_bat("t").unwrap().as_dbls().unwrap(), &[1.5]);
+    }
+
+    #[test]
+    fn pack_of_adjacent_partitions_is_zero_copy() {
+        let base = Bat::ints((0..100).collect());
+        let parts: Vec<RuntimeValue> = (0..4)
+            .map(|k| rb(base.slice(k * 25, (k + 1) * 25)))
+            .collect();
+        let out = pack(&parts).unwrap();
+        let b = out[0].as_bat("t").unwrap();
+        assert!(b.shares_buffer(&base));
+        assert_eq!(b.as_ints().unwrap(), base.as_ints().unwrap());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! end's LIKE / IN / DISTINCT features: pattern selects, candidate-list
 //! set operations, and duplicate elimination.
 
-use crate::bat::{Bat, ColumnData};
+use crate::bat::{Bat, ColumnData, ColumnView};
 use crate::error::EngineError;
 use crate::rt::RuntimeValue;
 use crate::Result;
@@ -54,8 +54,8 @@ pub fn likeselect(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     let cand = args[1].as_bat(op)?.as_oids()?;
     let pattern = expect_str(op, &args[2])?;
     let anti = args[3].as_scalar(op)?.as_bit().unwrap_or(false);
-    let strings = match &col.data {
-        ColumnData::Str(v) => v,
+    let strings = match col.view() {
+        ColumnView::Str(v) => v,
         other => {
             return Err(EngineError::TypeMismatch {
                 op: op.into(),
@@ -93,8 +93,8 @@ pub fn batcalc_like(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     }
     let col = args[0].as_bat(op)?;
     let pattern = expect_str(op, &args[1])?;
-    let strings = match &col.data {
-        ColumnData::Str(v) => v,
+    let strings = match col.view() {
+        ColumnView::Str(v) => v,
         other => {
             return Err(EngineError::TypeMismatch {
                 op: op.into(),
@@ -192,13 +192,13 @@ pub fn unique(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::new();
     for i in 0..col.len() {
-        let key = match &col.data {
-            ColumnData::Int(v) => format!("i{}", v[i]),
-            ColumnData::Oid(v) => format!("o{}", v[i]),
-            ColumnData::Date(v) => format!("d{}", v[i]),
-            ColumnData::Bit(v) => format!("b{}", v[i]),
-            ColumnData::Dbl(v) => format!("f{}", v[i].to_bits()),
-            ColumnData::Str(v) => format!("s{}", v[i]),
+        let key = match col.view() {
+            ColumnView::Int(v) => format!("i{}", v[i]),
+            ColumnView::Oid(v) => format!("o{}", v[i]),
+            ColumnView::Date(v) => format!("d{}", v[i]),
+            ColumnView::Bit(v) => format!("b{}", v[i]),
+            ColumnView::Dbl(v) => format!("f{}", v[i].to_bits()),
+            ColumnView::Str(v) => format!("s{}", v[i]),
         };
         if seen.insert(key) {
             out.push(i as u64);

@@ -10,29 +10,32 @@
 //! additional column (multi-column GROUP BY chains these).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use crate::bat::{Bat, ColumnData};
+use crate::bat::{Bat, ColumnData, ColumnView};
 use crate::error::EngineError;
 use crate::rt::RuntimeValue;
 use crate::Result;
 
-/// Hashable row-key view over one column.
+/// Hashable row-key view over one column. String keys share the column's
+/// interned `Arc<str>` storage — hashing a string group key never copies
+/// the character data.
 #[derive(Hash, PartialEq, Eq, Clone)]
 enum Key {
     Int(i64),
     Bits(u64),
-    Str(String),
+    Str(Arc<str>),
     Bool(bool),
 }
 
-fn key_at(col: &ColumnData, i: usize) -> Key {
+fn key_at(col: &ColumnView<'_>, i: usize) -> Key {
     match col {
-        ColumnData::Int(v) => Key::Int(v[i]),
-        ColumnData::Oid(v) => Key::Int(v[i] as i64),
-        ColumnData::Date(v) => Key::Int(v[i] as i64),
-        ColumnData::Dbl(v) => Key::Bits(v[i].to_bits()),
-        ColumnData::Str(v) => Key::Str(v[i].clone()),
-        ColumnData::Bit(v) => Key::Bool(v[i]),
+        ColumnView::Int(v) => Key::Int(v[i]),
+        ColumnView::Oid(v) => Key::Int(v[i] as i64),
+        ColumnView::Date(v) => Key::Int(v[i] as i64),
+        ColumnView::Dbl(v) => Key::Bits(v[i].to_bits()),
+        ColumnView::Str(v) => Key::Str(Arc::clone(&v[i])),
+        ColumnView::Bit(v) => Key::Bool(v[i]),
     }
 }
 
@@ -59,7 +62,8 @@ pub fn group(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     let op = "group.group";
     let col = super::one_arg(op, args)?.as_bat(op)?;
     let n = col.len();
-    let (groups, extents, histo) = group_by_keys((0..n).map(|i| key_at(&col.data, i)), n);
+    let view = col.view();
+    let (groups, extents, histo) = group_by_keys((0..n).map(|i| key_at(&view, i)), n);
     Ok(vec![
         RuntimeValue::bat(Bat::new(ColumnData::Oid(groups))),
         RuntimeValue::bat(Bat::new(ColumnData::Oid(extents))),
@@ -93,8 +97,9 @@ pub fn subgroup(args: &[RuntimeValue]) -> Result<Vec<RuntimeValue>> {
     let mut groups = Vec::with_capacity(n);
     let mut extents = Vec::new();
     let mut histo: Vec<i64> = Vec::new();
+    let view = col.view();
     for (i, &p) in prev.iter().enumerate().take(n) {
-        let k = Pair(p, key_at(&col.data, i));
+        let k = Pair(p, key_at(&view, i));
         let next = ids.len() as u64;
         let id = *ids.entry(k).or_insert_with(|| {
             extents.push(i as u64);

@@ -4,13 +4,29 @@
 //! instructions are scheduled by dataflow dependency rather than textual
 //! order. This module reproduces that: instructions become ready when all
 //! producers of their argument variables have finished, and a pool of
-//! worker threads drains the ready queue. The profiler events carry the
+//! worker threads drains the ready set. The profiler events carry the
 //! worker's thread index, which is what Stethoscope's §5 multi-core
 //! utilisation analysis plots.
+//!
+//! ## Work stealing
+//!
+//! Each worker owns a LIFO deque of ready instructions. An instruction's
+//! successors become ready on the worker that finished the producer, so
+//! a mitosis partition pipeline (`slice → select → projection → ...`)
+//! stays on one core with its operands cache-warm; idle workers steal
+//! from the *front* of a victim's deque, migrating the oldest ready
+//! instruction — typically the head of a different partition's pipeline.
+//! A shared [`Injector`] seeds the plan's source instructions and takes
+//! overflow. Wake-ups are batched: finishing an instruction that readies
+//! `k` successors issues one notification (broadcast when `k > 1`), not
+//! `k`, and idle workers park on a condvar with a short timeout backstop
+//! so a lost race between "checked queues" and "parked" self-heals.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex};
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::Mutex;
 use stetho_mal::{DataflowGraph, Plan};
 
@@ -19,9 +35,134 @@ use crate::interp::QueryRun;
 use crate::rt::RuntimeValue;
 use crate::Result;
 
-enum Job {
-    Run(usize),
-    Shutdown,
+/// How long an idle worker sleeps before re-polling the queues even
+/// without a wake-up — the backstop for the benign park/notify race.
+const PARK_BACKSTOP: Duration = Duration::from_millis(1);
+
+/// Parking lot for idle workers.
+struct Parking {
+    lock: StdMutex<()>,
+    ready: Condvar,
+    sleepers: AtomicUsize,
+}
+
+impl Parking {
+    fn new() -> Self {
+        Parking {
+            lock: StdMutex::new(()),
+            ready: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+        }
+    }
+
+    /// One batched notification for `newly_ready` tasks: a single
+    /// `notify_one` for one task, one broadcast for a fan-out. Skipped
+    /// entirely when nobody is parked (the common case mid-pipeline).
+    fn wake(&self, newly_ready: usize) {
+        if newly_ready == 0 || self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        if newly_ready == 1 {
+            self.ready.notify_one();
+        } else {
+            self.ready.notify_all();
+        }
+    }
+
+    fn wake_all(&self) {
+        self.ready.notify_all();
+    }
+
+    /// Park until notified or the backstop elapses. `recheck` runs after
+    /// registering as a sleeper but before sleeping, closing the window
+    /// where work arrived between the caller's last poll and the park.
+    fn park(&self, recheck: impl Fn() -> bool) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        if !recheck() {
+            let guard = match self.lock.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let _ = self.ready.wait_timeout(guard, PARK_BACKSTOP);
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Shared scheduler state, borrowed by every worker thread.
+struct Shared<'a> {
+    plan: &'a Plan,
+    graph: DataflowGraph,
+    stmts: Vec<String>,
+    /// Pending-producer counts per instruction.
+    pending: Vec<AtomicUsize>,
+    /// Instructions not yet executed (or abandoned after an error).
+    remaining: AtomicUsize,
+    /// Set when the plan has fully drained or an error was recorded.
+    done: AtomicBool,
+    /// Cheap error witness so workers skip stale tasks without locking.
+    errored: AtomicBool,
+    first_error: Mutex<Option<EngineError>>,
+    env: Vec<Mutex<Option<RuntimeValue>>>,
+    injector: Injector<usize>,
+    stealers: Vec<Stealer<usize>>,
+    parking: Parking,
+}
+
+impl Shared<'_> {
+    /// Next instruction for `local`'s owner: own deque first (LIFO —
+    /// cache-warm successor), then the injector (batch refill), then
+    /// steal from a sibling.
+    fn find_task(&self, local: &Worker<usize>) -> Option<usize> {
+        if let Some(pc) = local.pop() {
+            return Some(pc);
+        }
+        loop {
+            let mut retry = false;
+            match self.injector.steal_batch_and_pop(local) {
+                Steal::Success(pc) => return Some(pc),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+            for stealer in &self.stealers {
+                match stealer.steal() {
+                    Steal::Success(pc) => return Some(pc),
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !retry {
+                return None;
+            }
+        }
+    }
+
+    /// Any task visible anywhere? (Used to avoid parking on a race.)
+    fn work_in_sight(&self) -> bool {
+        !self.injector.is_empty() || self.stealers.iter().any(|s| !s.is_empty())
+    }
+
+    /// Record an error (first one wins) and release every worker.
+    fn record_error(&self, e: EngineError) {
+        let mut slot = self.first_error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        drop(slot);
+        self.errored.store(true, Ordering::SeqCst);
+        // The failed instruction's dependents never become ready, so
+        // `remaining` cannot drain to zero — declare the run over.
+        self.done.store(true, Ordering::SeqCst);
+        self.parking.wake_all();
+    }
+
+    /// Mark one instruction finished; the last one ends the run.
+    fn finish_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.done.store(true, Ordering::SeqCst);
+            self.parking.wake_all();
+        }
+    }
 }
 
 /// Execute `plan` on `workers` threads under dataflow ordering.
@@ -32,104 +173,89 @@ pub(crate) fn run_dataflow(plan: &Plan, run: &QueryRun, workers: usize) -> Resul
     }
     let workers = workers.max(1);
     let graph = DataflowGraph::from_plan(plan);
-    let stmts = plan.stmt_texts();
 
-    // Pending-producer counts per instruction.
-    let pending: Vec<AtomicUsize> = (0..n)
-        .map(|pc| AtomicUsize::new(graph.preds(pc).len()))
-        .collect();
-    let remaining = AtomicUsize::new(n);
-    let env: Vec<Mutex<Option<RuntimeValue>>> =
-        (0..plan.var_count()).map(|_| Mutex::new(None)).collect();
-    let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
-
-    let (tx, rx) = unbounded::<Job>();
-    for pc in graph.sources() {
-        tx.send(Job::Run(pc)).expect("queue open");
+    let locals: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let shared = Shared {
+        plan,
+        stmts: plan.stmt_texts(),
+        pending: (0..n)
+            .map(|pc| AtomicUsize::new(graph.preds(pc).len()))
+            .collect(),
+        remaining: AtomicUsize::new(n),
+        done: AtomicBool::new(false),
+        errored: AtomicBool::new(false),
+        first_error: Mutex::new(None),
+        env: (0..plan.var_count()).map(|_| Mutex::new(None)).collect(),
+        injector: Injector::new(),
+        stealers: locals.iter().map(Worker::stealer).collect(),
+        parking: Parking::new(),
+        graph,
+    };
+    for pc in shared.graph.sources() {
+        shared.injector.push(pc);
     }
     // A plan where every node has predecessors cannot happen (validated
     // single-assignment plans are acyclic with at least one source).
 
     std::thread::scope(|scope| {
-        for worker_id in 0..workers {
-            let rx = rx.clone();
-            let tx = tx.clone();
-            let graph = &graph;
-            let pending = &pending;
-            let remaining = &remaining;
-            let env = &env;
-            let first_error = &first_error;
-            let stmts = &stmts;
-            scope.spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    let pc = match job {
-                        Job::Run(pc) => pc,
-                        Job::Shutdown => break,
-                    };
-                    if first_error.lock().is_some() {
-                        // Abandon remaining work after a failure.
-                        finish_one(remaining, &tx, workers);
-                        continue;
-                    }
-                    let ins = &plan.instructions[pc];
-                    let outcome = run.run_instruction(
-                        ins,
-                        |v| {
-                            env[v].lock().clone().ok_or_else(|| {
-                                EngineError::Uninitialised(
-                                    plan.var(stetho_mal::VarId(v)).name.clone(),
-                                )
-                            })
-                        },
-                        &stmts[pc],
-                        worker_id,
-                    );
-                    match outcome {
-                        Ok(values) => {
-                            for (r, v) in ins.results.iter().zip(values) {
-                                *env[r.0].lock() = Some(v);
-                            }
-                            for &(succ, _) in graph.succs(pc) {
-                                if pending[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                    let _ = tx.send(Job::Run(succ));
-                                }
-                            }
-                        }
-                        Err(e) => {
-                            let mut slot = first_error.lock();
-                            if slot.is_none() {
-                                *slot = Some(e);
-                            }
-                            drop(slot);
-                            // The failed instruction's dependents will
-                            // never become ready, so `remaining` cannot
-                            // drain to zero — wake every worker now.
-                            for _ in 0..workers {
-                                let _ = tx.send(Job::Shutdown);
-                            }
-                        }
-                    }
-                    finish_one(remaining, &tx, workers);
-                }
-            });
+        for (worker_id, local) in locals.into_iter().enumerate() {
+            let shared = &shared;
+            scope.spawn(move || worker_loop(shared, run, worker_id, local));
         }
-        drop(tx);
-        drop(rx);
     });
 
-    match first_error.into_inner() {
+    match shared.first_error.into_inner() {
         Some(e) => Err(e),
         None => Ok(()),
     }
 }
 
-/// Mark one instruction finished; when all are done, wake every worker
-/// with a shutdown job.
-fn finish_one(remaining: &AtomicUsize, tx: &Sender<Job>, workers: usize) {
-    if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-        for _ in 0..workers {
-            let _ = tx.send(Job::Shutdown);
+fn worker_loop(shared: &Shared<'_>, run: &QueryRun, worker_id: usize, local: Worker<usize>) {
+    loop {
+        let Some(pc) = shared.find_task(&local) else {
+            if shared.done.load(Ordering::SeqCst) {
+                return;
+            }
+            shared
+                .parking
+                .park(|| shared.done.load(Ordering::SeqCst) || shared.work_in_sight());
+            continue;
+        };
+        if shared.errored.load(Ordering::SeqCst) {
+            // Abandon remaining work after a failure.
+            shared.finish_one();
+            continue;
         }
+        let ins = &shared.plan.instructions[pc];
+        let outcome = run.run_instruction(
+            ins,
+            |v| {
+                shared.env[v].lock().clone().ok_or_else(|| {
+                    EngineError::Uninitialised(shared.plan.var(stetho_mal::VarId(v)).name.clone())
+                })
+            },
+            &shared.stmts[pc],
+            worker_id,
+        );
+        match outcome {
+            Ok(values) => {
+                for (r, v) in ins.results.iter().zip(values) {
+                    *shared.env[r.0].lock() = Some(v);
+                }
+                let mut newly_ready = 0usize;
+                for &(succ, _) in shared.graph.succs(pc) {
+                    if shared.pending[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        local.push(succ);
+                        newly_ready += 1;
+                    }
+                }
+                // One batched wake-up for the whole fan-out; thieves
+                // take from the front of this worker's deque.
+                shared.parking.wake(newly_ready);
+            }
+            Err(e) => shared.record_error(e),
+        }
+        shared.finish_one();
     }
 }
 
@@ -306,6 +432,59 @@ mod tests {
             .expect("scheduler must terminate after a mid-plan error");
         assert!(errored);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn stress_wide_fanout_many_worker_counts() {
+        // 64 independent select→projection branches over a 50k-row
+        // column: a worst case for ready-queue contention. Every worker
+        // count must terminate, agree with the sequential interpreter,
+        // and actually spread work across threads.
+        let interp = Interpreter::new(catalog(50_000));
+        let plan = wide_plan(64);
+        let seq = interp.execute(&plan, &ExecOptions::default()).unwrap();
+        let want = seq
+            .result
+            .unwrap()
+            .column("v")
+            .unwrap()
+            .as_ints()
+            .unwrap()
+            .to_vec();
+        for workers in [2usize, 4, 8] {
+            let sink = VecSink::new();
+            let interp = Interpreter::new(catalog(50_000));
+            let plan = wide_plan(64);
+            let (tx, rx) = std::sync::mpsc::channel();
+            let handle = std::thread::spawn(move || {
+                let out = interp
+                    .execute(
+                        &plan,
+                        &ExecOptions::parallel(workers, ProfilerConfig::to_sink(sink.clone())),
+                    )
+                    .unwrap();
+                tx.send((out, sink.take())).unwrap();
+            });
+            let (out, events) = rx
+                .recv_timeout(std::time::Duration::from_secs(60))
+                .unwrap_or_else(|_| panic!("scheduler deadlocked with {workers} workers"));
+            handle.join().unwrap();
+            let got = out.result.unwrap();
+            assert_eq!(
+                got.column("v").unwrap().as_ints().unwrap(),
+                &want[..],
+                "results diverged with {workers} workers"
+            );
+            // Every instruction still emits its start/done pair.
+            assert_eq!(events.len(), 2 * (3 + 64 * 2 + 2));
+            let threads: std::collections::HashSet<usize> =
+                events.iter().map(|e| e.thread).collect();
+            assert!(
+                threads.len() >= 2,
+                "{workers} workers but only threads {threads:?} ran instructions"
+            );
+            assert!(threads.iter().all(|&t| t < workers));
+        }
     }
 
     #[test]

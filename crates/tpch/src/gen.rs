@@ -406,13 +406,9 @@ mod tests {
     fn dates_in_range() {
         let c = generate_catalog(&TpchConfig::sf(0.0005));
         let d = c.column("lineitem", "l_shipdate").unwrap();
-        match &d.data {
-            stetho_engine::ColumnData::Date(v) => {
-                assert!(v
-                    .iter()
-                    .all(|&x| (START_DATE..=START_DATE + DATE_SPAN + 121).contains(&x)));
-            }
-            other => panic!("expected date column, got {other:?}"),
-        }
+        let v = d.as_dates().unwrap();
+        assert!(v
+            .iter()
+            .all(|&x| (START_DATE..=START_DATE + DATE_SPAN + 121).contains(&x)));
     }
 }

@@ -183,10 +183,7 @@ mod tests {
         let price = cat.column("lineitem", "l_extendedprice").unwrap();
         let (lo, hi) = (8766, 9131); // 1994-01-01, 1995-01-01
         let mut want = 0.0;
-        let ship = match &ship.data {
-            stetho_engine::ColumnData::Date(v) => v,
-            _ => unreachable!(),
-        };
+        let ship = ship.as_dates().unwrap();
         for (i, &s) in ship.iter().enumerate() {
             let d = disc.as_dbls().unwrap()[i];
             if s >= lo && s < hi && (0.05..=0.07).contains(&d) && qty.as_ints().unwrap()[i] < 24 {
@@ -232,10 +229,7 @@ mod tests {
         let discs = cat.column("lineitem", "l_discount").unwrap();
         let ships = cat.column("lineitem", "l_shipdate").unwrap();
         let types = cat.column("part", "p_type").unwrap();
-        let ships = match &ships.data {
-            stetho_engine::ColumnData::Date(v) => v,
-            _ => unreachable!(),
-        };
+        let ships = ships.as_dates().unwrap();
         // 1995-09-01 = 9374, 1995-10-01 = 9404.
         let mut want = 0.0;
         for (i, &s) in ships.iter().enumerate() {

@@ -3,6 +3,9 @@
 //! per-server filter options and a full analysis report per source.
 //!
 //! Run with: `cargo run --release --example distributed_monitor`
+//!
+//! Pass `--verify` to statically check each server's plan (malcheck)
+//! and print the rendered reports before the session runs.
 
 use std::sync::Arc;
 
@@ -16,7 +19,7 @@ fn main() {
     let small = Arc::new(generate_catalog(&TpchConfig::sf(0.001)));
     let medium = Arc::new(generate_catalog(&TpchConfig::sf(0.003)));
 
-    let outcomes = MultiServerSession::run(vec![
+    let specs = vec![
         ServerSpec {
             name: "node-a (q6)".into(),
             catalog: Arc::clone(&small),
@@ -35,8 +38,18 @@ fn main() {
             sql: queries::FIGURE1.into(),
             filter: Some(FilterOptions::all().with_module("algebra")),
         },
-    ])
-    .expect("multi-server session");
+    ];
+
+    if stethoscope::verify_requested() {
+        // Each server compiles its own plan; check the same compilations
+        // up front so no server executes a plan malcheck rejects.
+        for spec in &specs {
+            let q = stethoscope::sql::compile(&spec.catalog, &spec.sql).expect("query compiles");
+            stethoscope::verify_plan(&spec.name, &q.plan);
+        }
+    }
+
+    let outcomes = MultiServerSession::run(specs).expect("multi-server session");
 
     println!("one textual Stethoscope, {} servers:\n", outcomes.len());
     for o in &outcomes {

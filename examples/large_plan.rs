@@ -4,6 +4,9 @@
 //! node, and a fisheye lens pass.
 //!
 //! Run with: `cargo run --release --example large_plan`
+//!
+//! Pass `--verify` to statically check the plan (malcheck) and print
+//! the rendered report before executing it.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -25,6 +28,7 @@ fn main() {
     // graphs arise in MonetDB.
     let q = compile_with(&catalog, queries::Q1, &CompileOptions::with_partitions(96))
         .expect("Q1 compiles");
+    stethoscope::verify_plan("q1-mitosis-96", &q.plan);
     println!("plan: {} instructions", q.plan.len());
     assert!(q.plan.len() > 1000, "claim 5 needs >1000 nodes");
 

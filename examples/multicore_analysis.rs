@@ -4,6 +4,9 @@
 //! of a MAL plan where multithreaded execution was expected".
 //!
 //! Run with: `cargo run --release --example multicore_analysis`
+//!
+//! Pass `--verify` to statically check the plan (malcheck) and print
+//! the rendered report before executing it.
 
 use std::sync::Arc;
 
@@ -41,6 +44,7 @@ fn main() {
     // A wide (8-way mitosis) Q1 plan.
     let q = compile_with(&catalog, queries::Q1, &CompileOptions::with_partitions(8))
         .expect("Q1 compiles");
+    stethoscope::verify_plan("q1-mitosis-8", &q.plan);
     println!("Q1 mitosis plan: {} instructions", q.plan.len());
 
     // ---- D7: serial vs parallel execution of the same plan ----------

@@ -5,6 +5,9 @@
 //! disk as SVG/PPM).
 //!
 //! Run with: `cargo run --release --example offline_replay`
+//!
+//! Pass `--verify` to statically check the plan (malcheck) and print
+//! the rendered report before executing it.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -26,6 +29,7 @@ fn main() {
     let catalog = Arc::new(generate_catalog(&TpchConfig::sf(0.002)));
     let q = compile_with(&catalog, queries::Q6, &CompileOptions::with_partitions(4))
         .expect("Q6 compiles");
+    stethoscope::verify_plan("q6-mitosis-4", &q.plan);
     let sink = VecSink::new();
     Interpreter::new(Arc::clone(&catalog))
         .execute(

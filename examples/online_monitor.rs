@@ -5,6 +5,9 @@
 //! §4.2.1 algorithms while the query executes.
 //!
 //! Run with: `cargo run --release --example online_monitor`
+//!
+//! Pass `--verify` to statically check the plan (malcheck) and print
+//! the rendered report before executing it.
 
 use std::sync::Arc;
 
@@ -29,6 +32,18 @@ fn main() {
         threshold_usec: Some(500),
         ..Default::default()
     };
+    if stethoscope::verify_requested() {
+        // The session compiles its own plan; check the same compilation
+        // up front so a broken plan never reaches the scheduler.
+        use stethoscope::sql::{compile_with, CompileOptions};
+        let q = compile_with(
+            &catalog,
+            queries::LONG_RUNNING,
+            &CompileOptions::with_partitions(cfg.partitions),
+        )
+        .expect("long-running query compiles");
+        stethoscope::verify_plan("long-running-mitosis-4", &q.plan);
+    }
     println!(
         "running online session over UDP (pacing {} ms)...",
         cfg.pacing_ms

@@ -3,6 +3,9 @@
 //! execution trace), then replays the trace through the Stethoscope.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Pass `--verify` to statically check the plan (malcheck) and print
+//! the rendered report before executing it.
 
 use std::sync::Arc;
 
@@ -19,6 +22,7 @@ fn main() {
 
     // ---- Figure 1: the MAL plan -------------------------------------
     let q = compile(&catalog, queries::FIGURE1).expect("figure-1 query compiles");
+    stethoscope::verify_plan("figure-1", &q.plan);
     println!("=== SQL ===\n{}\n", queries::FIGURE1);
     println!("=== Relational algebra ===\n{}", q.algebra);
     println!("=== MAL plan (Figure 1) ===\n{}", q.plan.listing());

@@ -60,3 +60,28 @@ pub use stetho_sql as sql;
 pub use stetho_tpch as tpch;
 /// The headless ZVTM substrate (glyphs, cameras, EDT, rendering).
 pub use stetho_zvtm as zvtm;
+
+/// True when `--verify` was passed on the command line. The example
+/// binaries consult this to statically check their plans (malcheck)
+/// before executing them.
+pub fn verify_requested() -> bool {
+    std::env::args().any(|a| a == "--verify")
+}
+
+/// When `--verify` was requested, run [`mal::Plan::verify`] on `plan`
+/// and print the rendered report under a `label` header. Panics if the
+/// verifier finds errors — an example must never execute a plan the
+/// static checker rejects.
+pub fn verify_plan(label: &str, plan: &mal::Plan) {
+    if !verify_requested() {
+        return;
+    }
+    let report = plan.verify();
+    println!("=== malcheck: {label} ===");
+    print!("{}", report.render(plan));
+    println!();
+    assert!(
+        report.is_clean(),
+        "`--verify` found errors in the {label} plan"
+    );
+}
