@@ -122,6 +122,49 @@ fn bench_profiling_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_metrics_overhead(c: &mut Criterion) {
+    // Acceptance probe for the self-observability layer: the scheduler
+    // with a live metrics registry attached must stay within a few
+    // percent of the uninstrumented run (hot path is atomic increments
+    // only — no locks, no clock reads beyond what the profiler does).
+    for (group_name, sql) in [
+        ("engine/q6_metrics", queries::Q6),
+        ("engine/q1_metrics", queries::Q1),
+    ] {
+        let cat = catalog(0.02);
+        let plan = plan_for(&cat, sql, 8);
+        let interp = Interpreter::new(std::sync::Arc::clone(&cat));
+        let mut group = c.benchmark_group(group_name);
+        group.sample_size(10);
+        group.bench_function("off", |b| {
+            b.iter(|| {
+                interp
+                    .execute(&plan, &ExecOptions::parallel(4, ProfilerConfig::off()))
+                    .unwrap()
+                    .result
+                    .unwrap()
+                    .rows()
+            })
+        });
+        let registry = std::sync::Arc::new(stetho_obsv::Registry::new());
+        group.bench_function("on", |b| {
+            b.iter(|| {
+                interp
+                    .execute(
+                        &plan,
+                        &ExecOptions::parallel(4, ProfilerConfig::off())
+                            .with_metrics(std::sync::Arc::clone(&registry)),
+                    )
+                    .unwrap()
+                    .result
+                    .unwrap()
+                    .rows()
+            })
+        });
+        group.finish();
+    }
+}
+
 fn bench_ablate_candidates(c: &mut Criterion) {
     // Engine design ablation: selection via candidate lists
     // (thetaselect + projection — MonetDB's way) versus computing a bit
@@ -200,6 +243,14 @@ fn describe(name: &str) -> Vec<(String, serde_json::Value)> {
     let mut push = |k: &str, v: serde_json::Value| fields.push((k.to_string(), v));
     let parts: Vec<&str> = name.split('/').collect();
     match parts.as_slice() {
+        ["engine", group, state] if group.ends_with("_metrics") => {
+            push("bench", text("metrics_overhead"));
+            push(
+                "query",
+                text(if group.starts_with("q6") { "Q6" } else { "Q1" }),
+            );
+            push("metrics", text(state));
+        }
         ["engine", group, rest @ ..] if group.starts_with("q6") || group.starts_with("q1") => {
             push("bench", text("parallel_speedup"));
             push(
@@ -271,7 +322,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default();
     targets = bench_parallel_speedup, bench_slice_scaling, bench_profiling_overhead,
-              bench_ablate_candidates
+              bench_metrics_overhead, bench_ablate_candidates
 }
 
 fn main() {

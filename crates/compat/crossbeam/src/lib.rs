@@ -403,6 +403,11 @@ pub mod deque {
         pub fn is_empty(&self) -> bool {
             lock(&self.inner).is_empty()
         }
+
+        /// Number of tasks currently in the owner's deque.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).len()
+        }
     }
 
     /// A shared FIFO entry queue all workers can push to and steal from.

@@ -126,6 +126,12 @@ impl PairElision {
     /// Like [`Self::analyse`] but returning only the nodes that must
     /// visibly change (RED/GREEN), ordered by pc — what gets queued on
     /// the EDT.
+    ///
+    /// Note this cannot *revert* a node: `Uncolored` results are
+    /// filtered out, so a previously-RED node whose pair completes and
+    /// elides (or slides out of the sample window) keeps its stale
+    /// fill. Sessions that track per-round state should use
+    /// [`Self::diff`] instead.
     pub fn changes(&self, buffer: &[TraceEvent]) -> Vec<ColorChange> {
         let mut v: Vec<ColorChange> = self
             .analyse(buffer)
@@ -133,6 +139,41 @@ impl PairElision {
             .filter(|(_, s)| !matches!(s, ColorState::Uncolored))
             .map(|(pc, state)| ColorChange { pc, state })
             .collect();
+        v.sort_by_key(|c| c.pc);
+        v
+    }
+
+    /// Analyse a buffer snapshot and diff it against the previous
+    /// round's states, returning every node whose visual state changed
+    /// — including reverts to [`ColorState::Uncolored`].
+    ///
+    /// Two revert paths exist that [`Self::changes`] silently drops:
+    /// a pc whose new analysis is `Uncolored` (its start/done pair now
+    /// sits adjacent in the buffer and elides), and a pc the analysis
+    /// no longer mentions at all (its events slid out of the bounded
+    /// sample window). Both must repaint to the default fill or the
+    /// node shows a stale RED forever. A pc absent from `prev` is
+    /// treated as `Uncolored`, so no change is emitted for nodes that
+    /// were never painted.
+    pub fn diff(
+        &self,
+        buffer: &[TraceEvent],
+        prev: &HashMap<usize, ColorState>,
+    ) -> Vec<ColorChange> {
+        let analysed = self.analyse(buffer);
+        let mut v: Vec<ColorChange> = analysed
+            .iter()
+            .filter(|(pc, state)| prev.get(pc).copied().unwrap_or(ColorState::Uncolored) != **state)
+            .map(|(&pc, &state)| ColorChange { pc, state })
+            .collect();
+        for (&pc, &state) in prev {
+            if state != ColorState::Uncolored && !analysed.contains_key(&pc) {
+                v.push(ColorChange {
+                    pc,
+                    state: ColorState::Uncolored,
+                });
+            }
+        }
         v.sort_by_key(|c| c.pc);
         v
     }
@@ -329,6 +370,56 @@ mod tests {
         assert_eq!(changes[0].state, ColorState::Red);
         assert_eq!(changes[1].pc, 9);
         assert_eq!(changes[1].state, ColorState::Green);
+    }
+
+    #[test]
+    fn diff_reverts_stale_red_when_pair_elides() {
+        // Regression: round 1 sees an unpaired start → pc=3 RED. Round 2
+        // the done arrived and more events follow, so the pair elides to
+        // Uncolored — but `changes()` filters Uncolored and the node
+        // stayed RED on screen forever.
+        let round1 = vec![start(3), start(4)];
+        let mut prev: HashMap<usize, ColorState> = HashMap::new();
+        for c in PairElision.diff(&round1, &prev) {
+            prev.insert(c.pc, c.state);
+        }
+        assert_eq!(prev.get(&3), Some(&ColorState::Red));
+        let round2 = vec![start(3), done(3), start(4), done(4), start(5)];
+        let changes = PairElision.diff(&round2, &prev);
+        let for3 = changes.iter().find(|c| c.pc == 3).expect("revert for pc=3");
+        assert_eq!(
+            for3.state,
+            ColorState::Uncolored,
+            "elided pair must repaint to the default fill"
+        );
+    }
+
+    #[test]
+    fn diff_reverts_red_node_that_slid_out_of_window() {
+        // Regression: the sample buffer is bounded; once pc=3's events
+        // fall off the front, the analysis no longer mentions it and the
+        // stale RED had nothing to overwrite it.
+        let prev: HashMap<usize, ColorState> = [(3, ColorState::Red)].into_iter().collect();
+        let window = vec![start(7), start(8), done(7), start(9)];
+        let changes = PairElision.diff(&window, &prev);
+        let for3 = changes.iter().find(|c| c.pc == 3).expect("revert for pc=3");
+        assert_eq!(for3.state, ColorState::Uncolored);
+        // Unmentioned *uncolored* nodes generate no churn.
+        let quiet: HashMap<usize, ColorState> = [(2, ColorState::Uncolored)].into_iter().collect();
+        assert!(PairElision.diff(&window, &quiet).iter().all(|c| c.pc != 2));
+    }
+
+    #[test]
+    fn diff_emits_nothing_when_states_are_stable() {
+        let buffer = vec![start(3), start(4)];
+        let mut prev: HashMap<usize, ColorState> = HashMap::new();
+        for c in PairElision.diff(&buffer, &prev) {
+            prev.insert(c.pc, c.state);
+        }
+        assert!(
+            PairElision.diff(&buffer, &prev).is_empty(),
+            "same buffer, same prev → no repaints"
+        );
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   "sequential execution of a MAL plan where multithreaded execution
 //!   was expected" finding;
 //! * [`prune`] — §6 selective pruning of administrative instructions;
+//! * [`metrics`] — self-observability: the sessions publish analyse
+//!   latency, pacing adherence, EDT backlog, sampling loss, progress
+//!   gauges, and transport health into a [`stetho_obsv::Registry`];
 //! * [`session`] — the offline and online workflows of §4, including the
 //!   full dot → svg → in-memory-graph pipeline and the multi-threaded
 //!   online mode over real UDP.
@@ -30,6 +33,7 @@ pub mod analysis;
 pub mod color;
 pub mod inspect;
 pub mod mapping;
+pub mod metrics;
 pub mod progress;
 pub mod prune;
 pub mod replay;
@@ -39,6 +43,7 @@ pub mod session;
 pub use analysis::SessionReport;
 pub use color::{ColorState, GradientColoring, PairElision, ThresholdColoring};
 pub use mapping::TraceDotMap;
+pub use metrics::SessionMetrics;
 pub use progress::{InstrState, ProgressModel, ProgressSnapshot};
 pub use replay::{repair_lost_dones, NodeRuntime, ReplayController};
 pub use script::{Action, InteractionScript};

@@ -82,12 +82,23 @@ impl ProgressModel {
         }
     }
 
-    /// Feed one trace event.
+    /// Feed one trace event. Events for pcs outside the plan (foreign or
+    /// garbled traces) are ignored, mirroring [`Self::mark_lost`]. A
+    /// `start` arriving after the pc's `done` — a transport reorder — is
+    /// also ignored: `Done` is sticky, so the instruction is never
+    /// double-counted and the fraction stays within `[0, 1]`.
     pub fn on_event(&mut self, e: &TraceEvent) {
+        if e.pc >= self.total {
+            return;
+        }
         self.last_clk = self.last_clk.max(e.clk);
         match e.status {
             EventStatus::Start => {
-                let prev = self.state.insert(e.pc, InstrState::Running);
+                let prev = self.state.get(&e.pc).copied();
+                if prev == Some(InstrState::Done) {
+                    return;
+                }
+                self.state.insert(e.pc, InstrState::Running);
                 if prev == Some(InstrState::Lost) {
                     self.lost -= 1;
                 }
@@ -308,6 +319,46 @@ mod tests {
         assert_eq!(m.state_of(0), InstrState::Done);
         m.mark_lost(3);
         assert_eq!(m.snapshot().fraction, 1.0, "all settled");
+    }
+
+    #[test]
+    fn reordered_start_after_done_does_not_double_count() {
+        // Regression: the transport can deliver `start` after `done`
+        // (UDP reorder). The old code re-inserted Running without
+        // decrementing `done`, so a second `done` pushed the fraction
+        // past 1.0 and left phantom running instructions.
+        let p = plan();
+        let mut m = ProgressModel::new(&p);
+        for pc in 0..4 {
+            m.on_event(&done(pc, pc as u64 + 1, 1));
+        }
+        assert_eq!(m.snapshot().fraction, 1.0);
+        // Late, reordered starts (and a duplicated done) arrive.
+        m.on_event(&start(2, 10));
+        m.on_event(&done(2, 11, 1));
+        let s = m.snapshot();
+        assert_eq!(s.done, 4, "done is sticky across reordered starts");
+        assert_eq!(s.running, 0, "no phantom running instruction");
+        assert!(s.fraction <= 1.0, "fraction overflowed: {}", s.fraction);
+        assert_eq!(m.state_of(2), InstrState::Done);
+    }
+
+    #[test]
+    fn out_of_range_pcs_are_ignored() {
+        // Regression: `mark_lost` bounds-checked the pc but `on_event`
+        // did not, so a garbled trace line could inflate `running`
+        // forever and skew the fraction's denominator accounting.
+        let p = plan();
+        let mut m = ProgressModel::new(&p);
+        m.on_event(&start(99, 1));
+        m.on_event(&done(99, 2, 1));
+        let s = m.snapshot();
+        assert_eq!((s.done, s.running, s.lost), (0, 0, 0));
+        assert_eq!(s.fraction, 0.0);
+        assert_eq!(s.clk, 0, "foreign events do not advance the clock");
+        // In-range events still work afterwards.
+        m.on_event(&done(0, 3, 1));
+        assert_eq!(m.snapshot().done, 1);
     }
 
     #[test]

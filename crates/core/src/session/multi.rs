@@ -59,10 +59,24 @@ impl MultiServerSession {
     /// Run every server's query concurrently; returns outcomes in spec
     /// order.
     pub fn run(specs: Vec<ServerSpec>) -> Result<Vec<ServerOutcome>, SessionError> {
+        Self::run_with_metrics(specs, None)
+    }
+
+    /// Like [`MultiServerSession::run`], publishing self-observability
+    /// into `metrics`: the shared receiver's transport counters are
+    /// bridged in, and `stetho_multi_events_total{server=...}` counts
+    /// the demultiplexed per-server event streams.
+    pub fn run_with_metrics(
+        specs: Vec<ServerSpec>,
+        metrics: Option<Arc<stetho_obsv::Registry>>,
+    ) -> Result<Vec<ServerOutcome>, SessionError> {
         if specs.is_empty() {
             return Ok(Vec::new());
         }
         let mut steth = TextualStethoscope::bind()?;
+        if let Some(reg) = &metrics {
+            crate::metrics::bridge_transport(reg, steth.counters());
+        }
         let addr = steth.local_addr()?;
 
         // Launch each server: connect its emitter first (so we can
@@ -104,6 +118,24 @@ impl MultiServerSession {
             );
         }
 
+        // Per-server demux counters, keyed by the source address the
+        // merged stream tags each event with.
+        let event_counters: HashMap<SocketAddr, stetho_obsv::Counter> = match &metrics {
+            Some(reg) => sources
+                .iter()
+                .zip(&specs)
+                .map(|(&source, spec)| {
+                    let c = reg.counter_with(
+                        "stetho_multi_events_total",
+                        "Events demultiplexed per connected server",
+                        &[("server", &spec.name)],
+                    );
+                    (source, c)
+                })
+                .collect(),
+            None => HashMap::new(),
+        };
+
         // Demultiplex the merged stream until every server sent its EOT.
         let rx = steth.start();
         let mut per_source: HashMap<SocketAddr, Vec<TraceEvent>> = HashMap::new();
@@ -116,6 +148,9 @@ impl MultiServerSession {
             }
             match rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(StreamItem::Event { source, event }) => {
+                    if let Some(c) = event_counters.get(&source) {
+                        c.inc();
+                    }
                     per_source.entry(source).or_default().push(event);
                 }
                 Ok(StreamItem::EndOfTrace { .. }) => eots += 1,
@@ -243,6 +278,38 @@ mod tests {
     #[test]
     fn empty_spec_list() {
         assert!(MultiServerSession::run(vec![]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn metrics_count_each_servers_stream() {
+        let registry = Arc::new(stetho_obsv::Registry::new());
+        let outcomes = MultiServerSession::run_with_metrics(
+            vec![
+                ServerSpec {
+                    name: "alpha".into(),
+                    catalog: catalog(100, 1.0),
+                    sql: "select v from t where k = 1".into(),
+                    filter: None,
+                },
+                ServerSpec {
+                    name: "beta".into(),
+                    catalog: catalog(100, 1.0),
+                    sql: "select sum(v) as s from t".into(),
+                    filter: None,
+                },
+            ],
+            Some(Arc::clone(&registry)),
+        )
+        .unwrap();
+        let snap = registry.snapshot();
+        let fam = snap.family("stetho_multi_events_total").unwrap();
+        assert_eq!(fam.samples.len(), 2, "one labelled sample per server");
+        let total: u64 = outcomes.iter().map(|o| o.events.len() as u64).sum();
+        assert_eq!(snap.counter_total("stetho_multi_events_total"), total);
+        assert!(
+            snap.counter_total("stetho_transport_received_total") > 0,
+            "transport bridge active over real UDP"
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 use stetho_dot::{parse_dot, Graph};
 use stetho_layout::{layout, parse_svg, write_svg, LayoutOptions, SceneGraph};
@@ -22,6 +24,7 @@ use stetho_zvtm::{Camera, Color, EventDispatchThread, VirtualSpace};
 use crate::color::ColorState;
 use crate::inspect::{tooltip, ToolTip};
 use crate::mapping::TraceDotMap;
+use crate::metrics::SessionMetrics;
 use crate::replay::ReplayController;
 use crate::session::SessionError;
 
@@ -43,7 +46,11 @@ pub struct OfflineSession {
     pub edt: EventDispatchThread,
     /// Virtual session clock (ms) driving the EDT.
     pub now_ms: u64,
+    /// Self-observability registry, when attached via
+    /// [`OfflineSession::with_metrics`].
+    pub metrics: Option<Arc<stetho_obsv::Registry>>,
     last_states: HashMap<usize, ColorState>,
+    instruments: Option<SessionMetrics>,
 }
 
 impl OfflineSession {
@@ -107,8 +114,19 @@ impl OfflineSession {
             camera,
             edt: EventDispatchThread::paper_default(),
             now_ms: 0,
+            metrics: None,
             last_states: HashMap::new(),
+            instruments: None,
         })
+    }
+
+    /// Publish self-observability into `registry`: each replay round
+    /// records its analyse latency against the EDT's pacing budget, and
+    /// the EDT backlog is kept as a gauge.
+    pub fn with_metrics(mut self, registry: Arc<stetho_obsv::Registry>) -> Self {
+        self.instruments = Some(SessionMetrics::new(&registry));
+        self.metrics = Some(registry);
+        self
     }
 
     /// Step one event forward and propagate colors through the EDT.
@@ -140,11 +158,15 @@ impl OfflineSession {
     pub fn advance_ms(&mut self, dt: u64) {
         self.now_ms += dt;
         self.edt.advance_into(self.now_ms, &mut self.space);
+        if let Some(m) = &self.instruments {
+            m.edt_queue_depth.set(self.edt.backlog() as f64);
+        }
     }
 
     /// Recompute pair-elision colors over the applied prefix and queue
     /// changed nodes on the EDT.
     fn sync_colors(&mut self) {
+        let round_started = Instant::now();
         let states = self.replay.current_colors();
         for (&pc, &state) in &states {
             if self.last_states.get(&pc) != Some(&state) {
@@ -166,6 +188,13 @@ impl OfflineSession {
                 self.edt.enqueue(glyph, Color::DEFAULT_FILL, self.now_ms);
             }
             self.last_states.remove(&pc);
+        }
+        if let Some(m) = &self.instruments {
+            m.record_round(
+                round_started.elapsed().as_micros() as u64,
+                self.edt.pacing_ms,
+            );
+            m.edt_queue_depth.set(self.edt.backlog() as f64);
         }
     }
 
@@ -384,6 +413,24 @@ mod tests {
         assert_eq!(s.replay.len(), 8);
         std::fs::remove_file(dot_path).ok();
         std::fs::remove_file(trace_path).ok();
+    }
+
+    #[test]
+    fn metrics_track_replay_rounds() {
+        let registry = Arc::new(stetho_obsv::Registry::new());
+        let mut s = OfflineSession::load_text(&dot_text(), &trace_text())
+            .unwrap()
+            .with_metrics(Arc::clone(&registry));
+        s.run_to_end();
+        s.advance_ms(10_000);
+        let snap = registry.snapshot();
+        assert!(snap.counter_total("stetho_edt_rounds_total") > 0);
+        assert_eq!(
+            snap.gauge_value("stetho_edt_queue_depth"),
+            Some(0.0),
+            "clock advance drained the queue"
+        );
+        assert!(snap.family("stetho_session_analyse_usec").is_some());
     }
 
     #[test]

@@ -50,6 +50,7 @@ use stetho_zvtm::{EventDispatchThread, VirtualSpace};
 
 use crate::color::{ColorState, PairElision, ThresholdColoring};
 use crate::mapping::TraceDotMap;
+use crate::metrics::SessionMetrics;
 use crate::progress::{InstrState, ProgressModel, ProgressSnapshot};
 use crate::replay::repair_lost_dones;
 use crate::session::SessionError;
@@ -80,6 +81,11 @@ pub struct OnlineConfig {
     pub chaos: Option<ChaosConfig>,
     /// Per-source reorder window of the receiver's reassembly stage.
     pub reorder_window: usize,
+    /// Self-observability registry. When set, the session publishes
+    /// analyse latency, pacing adherence, EDT backlog, sampling loss
+    /// and progress gauges into it, bridges the receiver's transport
+    /// counters, and hands it to the engine's dataflow scheduler.
+    pub metrics: Option<Arc<stetho_obsv::Registry>>,
 }
 
 impl Default for OnlineConfig {
@@ -97,6 +103,7 @@ impl Default for OnlineConfig {
             trace_path: dir.join(format!("stetho_online_{}_{id}.trace", std::process::id())),
             chaos: None,
             reorder_window: DEFAULT_REORDER_WINDOW,
+            metrics: None,
         }
     }
 }
@@ -175,6 +182,7 @@ struct Monitor<'a> {
     lost_gaps: Vec<(u64, u64)>,
     garbled_lines: u64,
     dot_degraded: bool,
+    metrics: Option<SessionMetrics>,
 }
 
 impl Monitor<'_> {
@@ -241,20 +249,35 @@ impl Monitor<'_> {
             t.on_tick(event.clk);
         }
         self.events.push(event);
-        // Run-time analysis over the sample buffer (§4.2.1).
+        // Run-time analysis over the sample buffer (§4.2.1), diffed
+        // against the previous round so nodes whose pair completed and
+        // elided — or slid out of the bounded window — repaint back to
+        // the default fill instead of keeping a stale RED.
+        let round_started = Instant::now();
         let snapshot = self.sample.snapshot();
-        let changes = PairElision.changes(&snapshot);
+        let changes = PairElision.diff(&snapshot, &self.last_states);
         let now_ms = self.started.elapsed().as_millis() as u64;
         if let Some(sp) = self.space.as_mut() {
             for c in changes {
-                if self.last_states.get(&c.pc) != Some(&c.state) {
-                    if let Some(g) = self.map.shape_of_pc(c.pc) {
-                        self.edt.enqueue(g, c.state.fill(), now_ms);
-                    }
+                if let Some(g) = self.map.shape_of_pc(c.pc) {
+                    self.edt.enqueue(g, c.state.fill(), now_ms);
+                }
+                if c.state == ColorState::Uncolored {
+                    self.last_states.remove(&c.pc);
+                } else {
                     self.last_states.insert(c.pc, c.state);
                 }
             }
             self.edt.advance_into(now_ms, sp);
+        }
+        if let Some(m) = &self.metrics {
+            m.record_round(
+                round_started.elapsed().as_micros() as u64,
+                self.cfg.pacing_ms,
+            );
+            m.edt_queue_depth.set(self.edt.backlog() as f64);
+            m.samples_dropped.set(self.sample.lifetime_dropped());
+            m.set_progress(&self.progress.snapshot());
         }
         Ok(())
     }
@@ -322,6 +345,9 @@ impl OnlineSession {
         };
         steth.set_reorder_window(cfg.reorder_window);
         steth.set_default_filter(cfg.filter.clone());
+        if let Some(reg) = &cfg.metrics {
+            crate::metrics::bridge_transport(reg, steth.counters());
+        }
         let rx = steth.start();
         let emitter = match &chaos_link {
             Some(link) => ProfilerEmitter::over(link),
@@ -336,6 +362,7 @@ impl OnlineSession {
         let catalog_for_query = Arc::clone(&catalog);
         let dot_for_query = dot_text.clone();
         let workers = cfg.workers;
+        let metrics_for_query = cfg.metrics.clone();
         let query_thread = std::thread::Builder::new()
             .name("mserver-query".into())
             .spawn(move || -> Result<usize, String> {
@@ -343,11 +370,12 @@ impl OnlineSession {
                     .send_dot(&plan_for_query.name, &dot_for_query)
                     .map_err(|e| e.to_string())?;
                 let sink = UdpSink::new(emitter);
-                let opts = if workers > 1 {
+                let mut opts = if workers > 1 {
                     ExecOptions::parallel(workers, ProfilerConfig::to_sink(sink.clone()))
                 } else {
                     ExecOptions::profiled(ProfilerConfig::to_sink(sink.clone()))
                 };
+                opts.metrics = metrics_for_query;
                 let interp = Interpreter::new(catalog_for_query);
                 let out = interp
                     .execute(&plan_for_query, &opts)
@@ -382,6 +410,7 @@ impl OnlineSession {
             lost_gaps: Vec::new(),
             garbled_lines: 0,
             dot_degraded: false,
+            metrics: cfg.metrics.as_deref().map(SessionMetrics::new),
         };
         let deadline = Instant::now() + Duration::from_secs(120);
 
@@ -438,6 +467,7 @@ impl OnlineSession {
 
         let transport = steth.transport_stats();
         let chaos_report = chaos_link.as_ref().map(|l| l.report());
+        let session_metrics = mon.metrics.clone();
         let Monitor {
             used_dot,
             scene,
@@ -460,6 +490,12 @@ impl OnlineSession {
         let ops = edt.flush();
         for d in &ops {
             space.glyph_mut(d.op.glyph).color = d.op.color;
+        }
+        // Settle the gauges on the session's final state so a scrape
+        // after the run reads the converged picture.
+        if let Some(m) = &session_metrics {
+            m.edt_queue_depth.set(edt.backlog() as f64);
+            m.set_progress(&progress.snapshot());
         }
 
         let final_states = PairElision.analyse(&events);
@@ -601,6 +637,39 @@ mod tests {
     }
 
     #[test]
+    fn no_glyph_stays_red_once_its_done_was_observed() {
+        // Regression for the stale-RED bug: with a tiny sample window a
+        // node colored RED in one round elides (or slides out of the
+        // window) in a later round, and the old `changes()` path never
+        // emitted the revert — the glyph stayed RED on the final frame
+        // even though its `done` was in the trace.
+        let cfg = OnlineConfig {
+            pacing_ms: 0,
+            sample_capacity: 8,
+            ..Default::default()
+        };
+        let out = OnlineSession::run(
+            catalog_sized(100_000),
+            "select l_tax from lineitem where l_partkey = 2",
+            &cfg,
+        )
+        .unwrap();
+        // Every instruction completed on the wire.
+        assert_eq!(out.events.len(), out.plan.len() * 2);
+        for pc in 0..out.plan.len() {
+            if let Some(g) = out.map.shape_of_pc(pc) {
+                assert_ne!(
+                    out.space.glyph(g).color,
+                    stetho_zvtm::Color::RED,
+                    "pc {pc} completed but its glyph is still RED"
+                );
+            }
+        }
+        std::fs::remove_file(&cfg.trace_path).ok();
+        std::fs::remove_file(&cfg.dot_path).ok();
+    }
+
+    #[test]
     fn compile_errors_surface() {
         let cfg = OnlineConfig::default();
         let r = OnlineSession::run(catalog(), "select nothing from nowhere", &cfg);
@@ -627,6 +696,81 @@ mod tests {
         assert_eq!(out.transport.lost, 0);
         assert_eq!(out.transport.duplicated, 0);
         assert_eq!(out.synthesized_dones, 0);
+        std::fs::remove_file(&cfg.trace_path).ok();
+        std::fs::remove_file(&cfg.dot_path).ok();
+    }
+
+    #[test]
+    fn metrics_cover_the_whole_stack_under_chaos() {
+        let registry = Arc::new(stetho_obsv::Registry::new());
+        let cfg = OnlineConfig {
+            pacing_ms: 0,
+            partitions: 4,
+            workers: 4,
+            sample_capacity: 32,
+            chaos: Some(ChaosConfig::hostile(42)),
+            metrics: Some(Arc::clone(&registry)),
+            ..Default::default()
+        };
+        let out = OnlineSession::run(
+            catalog_sized(50_000),
+            "select l_tax from lineitem where l_partkey = 1",
+            &cfg,
+        )
+        .unwrap();
+        let snap = registry.snapshot();
+        // Engine scheduler: every instruction of the parallel run counted.
+        assert_eq!(
+            snap.counter_total("stetho_scheduler_executed_total"),
+            out.plan.len() as u64
+        );
+        // Transport bridge mirrors the receiver's own counters exactly.
+        assert_eq!(
+            snap.counter_total("stetho_transport_lost_total"),
+            out.transport.lost
+        );
+        assert_eq!(
+            snap.counter_total("stetho_transport_received_total"),
+            out.transport.received
+        );
+        // Sample-buffer loss rides along.
+        assert_eq!(
+            snap.counter_total("stetho_samples_dropped_total"),
+            out.samples_dropped
+        );
+        // Session rounds ran and were timed.
+        let rounds = snap.counter_total("stetho_edt_rounds_total");
+        assert!(rounds > 0);
+        let analyse = snap.family("stetho_session_analyse_usec").unwrap();
+        match &analyse.samples[0].value {
+            stetho_obsv::SampleValue::Histogram { count, .. } => {
+                assert_eq!(*count, rounds, "every round observed once")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Progress gauges settled on the converged picture.
+        let fraction = snap.gauge_value("stetho_progress_fraction").unwrap();
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction out of range: {fraction}"
+        );
+        assert_eq!(fraction, 1.0, "hostile session still converges");
+        assert_eq!(
+            snap.gauge_value("stetho_progress_total"),
+            Some(out.plan.len() as f64)
+        );
+        assert_eq!(snap.gauge_value("stetho_edt_queue_depth"), Some(0.0));
+        // And the whole thing renders as a scrapeable exposition.
+        let text = registry.render_text();
+        for family in [
+            "stetho_scheduler_executed_total",
+            "stetho_transport_lost_total",
+            "stetho_samples_dropped_total",
+            "stetho_session_analyse_usec_bucket",
+            "stetho_progress_fraction",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
         std::fs::remove_file(&cfg.trace_path).ok();
         std::fs::remove_file(&cfg.dot_path).ok();
     }

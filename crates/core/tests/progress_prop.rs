@@ -1,0 +1,127 @@
+//! Property tests for [`ProgressModel`]: under *any* event stream —
+//! duplicated, reordered, interleaved with transport-gap write-offs,
+//! even foreign out-of-range pcs from garbled traces — the progress
+//! picture must stay sane after every single step:
+//!
+//! * `fraction` never leaves `[0, 1]`;
+//! * `done + running + lost` never exceeds the plan size;
+//! * the counters agree exactly with a recount over the per-pc states;
+//! * a pc that reported `done` stays `Done` (reordered late `start`s
+//!   never resurrect it).
+//!
+//! These pin the two regression fixes in `progress.rs`: the reordered
+//! start-after-done double count and the missing `on_event` bound check.
+
+use proptest::prelude::*;
+
+use stetho_core::{InstrState, ProgressModel};
+use stetho_mal::{parse_plan, Plan};
+use stetho_profiler::TraceEvent;
+
+/// One step of an adversarial trace stream.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Start(usize),
+    Done(usize),
+    Lost(usize),
+}
+
+const PLAN_LEN: usize = 12;
+
+fn plan() -> Plan {
+    // A chain long enough to have depth structure; only `len` and the
+    // dataflow depths matter to the model.
+    let mut text = String::from("X_0:int := sql.mvc();\n");
+    for i in 1..PLAN_LEN {
+        text.push_str(&format!("X_{i}:int := calc.+(X_{}, 1:int);\n", i - 1));
+    }
+    parse_plan(&text).unwrap()
+}
+
+/// Arbitrary op over pcs up to 2× the plan size, so roughly half the
+/// stream is out-of-range noise the model must ignore.
+fn arb_op() -> impl Strategy<Value = Op> {
+    let pc = 0..PLAN_LEN * 2;
+    prop_oneof![
+        pc.clone().prop_map(Op::Start),
+        pc.clone().prop_map(Op::Done),
+        pc.prop_map(Op::Lost),
+    ]
+}
+
+fn apply(m: &mut ProgressModel, op: Op, clk: u64) {
+    match op {
+        Op::Start(pc) => m.on_event(&TraceEvent::start(0, pc, 0, clk, 0, "f.g();")),
+        Op::Done(pc) => m.on_event(&TraceEvent::done(0, pc, 0, clk, 7, 0, "f.g();")),
+        Op::Lost(pc) => m.mark_lost(pc),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn progress_invariants_hold_under_arbitrary_streams(
+        ops in proptest::collection::vec(arb_op(), 1..200)
+    ) {
+        let p = plan();
+        let mut m = ProgressModel::new(&p);
+        let mut done_seen = [false; PLAN_LEN];
+        for (i, &op) in ops.iter().enumerate() {
+            apply(&mut m, op, i as u64 + 1);
+            if let Op::Done(pc) = op {
+                if pc < PLAN_LEN {
+                    done_seen[pc] = true;
+                }
+            }
+
+            let s = m.snapshot();
+            prop_assert!(
+                (0.0..=1.0).contains(&s.fraction),
+                "fraction {} outside [0,1] after step {i} ({op:?})",
+                s.fraction
+            );
+            prop_assert!(
+                s.done + s.running + s.lost <= s.total,
+                "{} done + {} running + {} lost > {} total after step {i}",
+                s.done, s.running, s.lost, s.total
+            );
+
+            // The counters are exactly a recount of the per-pc states.
+            let mut by_state = (0usize, 0usize, 0usize);
+            for pc in 0..PLAN_LEN {
+                match m.state_of(pc) {
+                    InstrState::Done => by_state.0 += 1,
+                    InstrState::Running => by_state.1 += 1,
+                    InstrState::Lost => by_state.2 += 1,
+                    InstrState::Pending => {}
+                }
+            }
+            prop_assert_eq!((s.done, s.running, s.lost), by_state);
+
+            // Done is sticky: no later start/lost may unsettle it.
+            for (pc, &seen) in done_seen.iter().enumerate() {
+                if seen {
+                    prop_assert_eq!(m.state_of(pc), InstrState::Done);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fraction_reaches_one_exactly_when_every_pc_settles(
+        ops in proptest::collection::vec(arb_op(), 1..200)
+    ) {
+        let p = plan();
+        let mut m = ProgressModel::new(&p);
+        for (i, &op) in ops.iter().enumerate() {
+            apply(&mut m, op, i as u64 + 1);
+        }
+        let settled = (0..PLAN_LEN)
+            .filter(|&pc| matches!(m.state_of(pc), InstrState::Done | InstrState::Lost))
+            .count();
+        let s = m.snapshot();
+        prop_assert_eq!(s.fraction == 1.0, settled == PLAN_LEN);
+        prop_assert!((s.fraction - settled as f64 / PLAN_LEN as f64).abs() < 1e-12);
+    }
+}

@@ -35,6 +35,10 @@ pub struct ExecOptions {
     /// Run the static verifier on admission and reject plans with
     /// verifier errors before executing a single instruction.
     pub verify_on_admit: bool,
+    /// Self-observability registry. When set, the dataflow scheduler
+    /// publishes per-worker executed/stolen/park counters and a queue
+    /// depth gauge into it (`stetho_scheduler_*`).
+    pub metrics: Option<Arc<stetho_obsv::Registry>>,
 }
 
 impl Default for ExecOptions {
@@ -44,6 +48,7 @@ impl Default for ExecOptions {
             workers: 0,
             profiler: ProfilerConfig::off(),
             verify_on_admit: false,
+            metrics: None,
         }
     }
 }
@@ -70,6 +75,12 @@ impl ExecOptions {
     /// Enable admission-time static verification.
     pub fn with_verify_on_admit(mut self) -> Self {
         self.verify_on_admit = true;
+        self
+    }
+
+    /// Publish scheduler metrics into `registry` during execution.
+    pub fn with_metrics(mut self, registry: Arc<stetho_obsv::Registry>) -> Self {
+        self.metrics = Some(registry);
         self
     }
 
@@ -229,7 +240,12 @@ impl Interpreter {
         let run = QueryRun::new(Arc::clone(&self.catalog), opts.profiler.clone());
         let started = Instant::now();
         if opts.parallel {
-            scheduler::run_dataflow(plan, &run, opts.effective_workers())?;
+            scheduler::run_dataflow(
+                plan,
+                &run,
+                opts.effective_workers(),
+                opts.metrics.as_deref(),
+            )?;
         } else {
             self.run_sequential(plan, &run)?;
         }

@@ -1,0 +1,67 @@
+//! # stetho-obsv — self-observability for the Stethoscope platform
+//!
+//! Stethoscope exists to observe a query engine; this crate lets the
+//! platform observe *itself*: is the EDT keeping up with the paper's
+//! 150 ms pacing constraint (§4.2.1)? Is the sample buffer dropping
+//! events? Are scheduler workers starving? The same "profile the
+//! profiler" gap VegaProf identifies for visualization pipelines.
+//!
+//! Three pieces, all dependency-free std:
+//!
+//! * [`Registry`] — a lock-free-on-the-hot-path metrics registry of
+//!   atomic [`Counter`]s, [`Gauge`]s, and fixed-bucket [`Histogram`]s.
+//!   Registration takes a lock; incrementing an instrument touches only
+//!   its own atomics. The registry never reads a clock: callers measure
+//!   durations with whatever clock they already own (the trace `clk`,
+//!   an `Instant`) and pass the number in, exactly like the trace
+//!   events themselves.
+//! * [`Snapshot`] / [`Registry::render_text`] — a point-in-time copy of
+//!   every instrument and its Prometheus-style text exposition, used by
+//!   tests and the debug window.
+//! * [`MetricsServer`] — a minimal blocking HTTP listener over
+//!   [`std::net::TcpListener`] serving `GET /metrics`.
+//!
+//! ```
+//! use stetho_obsv::Registry;
+//! use std::sync::Arc;
+//!
+//! let reg = Arc::new(Registry::new());
+//! let frames = reg.counter("stetho_frames_total", "Frames processed");
+//! frames.inc();
+//! let lat = reg.histogram(
+//!     "stetho_round_usec",
+//!     "Per-round latency (µs)",
+//!     &[100.0, 1000.0, 10_000.0],
+//! );
+//! lat.observe(250.0);
+//! let text = reg.render_text();
+//! assert!(text.contains("stetho_frames_total 1"));
+//! assert!(text.contains("stetho_round_usec_bucket{le=\"1000\"} 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod registry;
+mod server;
+
+pub use registry::{
+    Counter, Gauge, Histogram, MetricFamily, MetricKind, Registry, Sample, SampleValue, Snapshot,
+};
+pub use server::{scrape, MetricsServer};
+
+/// Default latency-histogram bucket upper bounds in microseconds,
+/// spanning sub-100µs analysis rounds up to multi-second stalls. The
+/// 150_000 µs bound sits exactly at the paper's 150 ms EDT pacing
+/// budget, so pacing adherence can be read straight off the histogram.
+pub const LATENCY_BUCKETS_USEC: [f64; 10] = [
+    100.0,
+    500.0,
+    1_000.0,
+    5_000.0,
+    10_000.0,
+    50_000.0,
+    100_000.0,
+    150_000.0,
+    500_000.0,
+    1_000_000.0,
+];

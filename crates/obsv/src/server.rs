@@ -1,0 +1,189 @@
+//! The scrape endpoint: a minimal blocking HTTP/1.1 listener over
+//! [`std::net::TcpListener`] serving the registry's text exposition at
+//! `GET /metrics`. One request per connection, `Connection: close` —
+//! exactly enough for `curl`, a Prometheus scraper, or the CI smoke
+//! job, with no dependencies and no async runtime.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+/// A running metrics endpoint. Dropping (or [`MetricsServer::stop`])
+/// shuts the listener down and joins its thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Serve `registry` at `addr` (e.g. `"127.0.0.1:0"` for an
+    /// ephemeral port). Returns once the socket is bound; requests are
+    /// answered on a background thread.
+    pub fn serve(registry: Arc<Registry>, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let thread_running = Arc::clone(&running);
+        let handle = std::thread::Builder::new()
+            .name("stetho-metrics".into())
+            .spawn(move || serve_loop(listener, thread_running, registry))?;
+        Ok(MetricsServer {
+            addr,
+            running,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener and join its thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_loop(listener: TcpListener, running: Arc<AtomicBool>, registry: Arc<Registry>) {
+    while running.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Render outside any stream I/O error path so a slow or
+                // broken client never wedges the registry.
+                let _ = handle_request(stream, &registry);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_request(mut stream: TcpStream, registry: &Registry) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_nonblocking(false)?;
+    // Read until the end of the request head (or the cap) — the request
+    // body, if any, is irrelevant for a scrape.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "method not allowed\n".to_string())
+    } else if path == "/metrics" || path == "/" {
+        ("200 OK", registry.render_text())
+    } else {
+        ("404 Not Found", "not found; try /metrics\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Scrape a metrics endpoint over plain HTTP and return the response
+/// body. Used by the examples' self-scrape (`--metrics-addr` prints the
+/// exposition it serves) and the CI smoke job.
+pub fn scrape(addr: impl ToSocketAddrs) -> io::Result<String> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(
+        format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.1 200") => Ok(body.to_string()),
+        Some((head, _)) => Err(io::Error::other(format!(
+            "scrape failed: {}",
+            head.lines().next().unwrap_or("")
+        ))),
+        None => Err(io::Error::other("malformed HTTP response")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_the_exposition_over_http() {
+        let reg = Arc::new(Registry::new());
+        reg.counter("srv_total", "served").inc_by(3);
+        let mut server = MetricsServer::serve(Arc::clone(&reg), "127.0.0.1:0").unwrap();
+        let body = scrape(server.local_addr()).unwrap();
+        assert!(body.contains("srv_total 3"), "{body}");
+        // Values move between scrapes.
+        reg.counter("srv_total", "served").inc();
+        let body = scrape(server.local_addr()).unwrap();
+        assert!(body.contains("srv_total 4"), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_server_survives() {
+        let reg = Arc::new(Registry::new());
+        reg.gauge("g", "g").set(1.0);
+        let server = MetricsServer::serve(Arc::clone(&reg), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /nope HTTP/1.1\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        // The listener still answers real scrapes afterwards.
+        assert!(scrape(addr).unwrap().contains("g 1"));
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_frees_the_port() {
+        let reg = Arc::new(Registry::new());
+        let mut server = MetricsServer::serve(reg, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        server.stop();
+        server.stop();
+        assert!(
+            scrape(addr).is_err(),
+            "stopped server must not answer scrapes"
+        );
+    }
+}

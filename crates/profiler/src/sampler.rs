@@ -19,7 +19,10 @@ use crate::event::TraceEvent;
 pub struct SampleBuffer {
     buf: VecDeque<TraceEvent>,
     capacity: usize,
+    /// Evictions since the last [`SampleBuffer::clear`].
     dropped: u64,
+    /// Evictions over the buffer's whole lifetime, across clears.
+    lifetime_dropped: u64,
 }
 
 impl SampleBuffer {
@@ -30,6 +33,7 @@ impl SampleBuffer {
             buf: VecDeque::with_capacity(capacity.max(1)),
             capacity: capacity.max(1),
             dropped: 0,
+            lifetime_dropped: 0,
         }
     }
 
@@ -38,6 +42,7 @@ impl SampleBuffer {
         if self.buf.len() == self.capacity {
             self.buf.pop_front();
             self.dropped += 1;
+            self.lifetime_dropped += 1;
         }
         self.buf.push_back(e);
     }
@@ -62,9 +67,17 @@ impl SampleBuffer {
         self.buf.is_empty()
     }
 
-    /// Events evicted so far — the sampling loss.
+    /// Events evicted since the last [`SampleBuffer::clear`] — the
+    /// sampling loss of the current run.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Events evicted over the buffer's whole lifetime; unlike
+    /// [`SampleBuffer::dropped`], this survives clears (feeding the
+    /// `stetho_samples_dropped_total` metric).
+    pub fn lifetime_dropped(&self) -> u64 {
+        self.lifetime_dropped
     }
 
     /// Buffer capacity.
@@ -72,9 +85,12 @@ impl SampleBuffer {
         self.capacity
     }
 
-    /// Drop everything (replay restart).
+    /// Drop everything (replay restart). Resets the per-run eviction
+    /// count so a restarted replay doesn't report the previous run's
+    /// sampling loss; the lifetime count keeps accumulating.
     pub fn clear(&mut self) {
         self.buf.clear();
+        self.dropped = 0;
     }
 }
 
@@ -145,5 +161,25 @@ mod tests {
         b.clear();
         assert!(b.is_empty());
         assert_eq!(b.capacity(), 2);
+    }
+
+    #[test]
+    fn clear_resets_per_run_drop_count() {
+        // Regression: `clear()` emptied the window but left `dropped`
+        // at its old value, so a restarted replay reported the previous
+        // run's sampling loss as its own.
+        let mut b = SampleBuffer::new(2);
+        for i in 0..5 {
+            b.push(ev(i));
+        }
+        assert_eq!(b.dropped(), 3);
+        b.clear();
+        assert_eq!(b.dropped(), 0, "restart begins with zero loss");
+        assert_eq!(b.lifetime_dropped(), 3, "lifetime count survives");
+        for i in 0..3 {
+            b.push(ev(i));
+        }
+        assert_eq!(b.dropped(), 1);
+        assert_eq!(b.lifetime_dropped(), 4);
     }
 }

@@ -528,6 +528,12 @@ impl TextualStethoscope {
         self.counters.snapshot()
     }
 
+    /// Shared handle on the live transport counters, for bridging them
+    /// into an external metrics registry at snapshot time.
+    pub fn counters(&self) -> Arc<TransportCounters> {
+        Arc::clone(&self.counters)
+    }
+
     /// Start the listening thread; returns the stream of items. Call at
     /// most once.
     pub fn start(&mut self) -> StreamReceiver {

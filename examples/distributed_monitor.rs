@@ -6,10 +6,16 @@
 //!
 //! Pass `--verify` to statically check each server's plan (malcheck)
 //! and print the rendered reports before the session runs.
+//!
+//! Pass `--metrics-addr <host:port>` to serve the session's
+//! self-observability registry (shared transport health plus
+//! per-server demux counters) as Prometheus text exposition; the final
+//! exposition is also self-scraped and printed.
 
 use std::sync::Arc;
 
 use stethoscope::core::{MultiServerSession, ServerSpec};
+use stethoscope::obsv::{scrape, MetricsServer, Registry};
 use stethoscope::profiler::FilterOptions;
 use stethoscope::tpch::{generate_catalog, queries, TpchConfig};
 
@@ -49,7 +55,22 @@ fn main() {
         }
     }
 
-    let outcomes = MultiServerSession::run(specs).expect("multi-server session");
+    let mut metrics_server = None;
+    let mut registry = None;
+    if let Some(addr) = stethoscope::arg_value("metrics-addr") {
+        let reg = Arc::new(Registry::new());
+        let server =
+            MetricsServer::serve(Arc::clone(&reg), addr.as_str()).expect("bind metrics endpoint");
+        println!(
+            "serving metrics at http://{}/metrics\n",
+            server.local_addr()
+        );
+        registry = Some(reg);
+        metrics_server = Some(server);
+    }
+
+    let outcomes =
+        MultiServerSession::run_with_metrics(specs, registry).expect("multi-server session");
 
     println!("one textual Stethoscope, {} servers:\n", outcomes.len());
     for o in &outcomes {
@@ -79,4 +100,13 @@ fn main() {
     let json: Vec<String> = outcomes.iter().map(|o| o.report.to_json()).collect();
     std::fs::write(&path, format!("[\n{}\n]", json.join(",\n"))).unwrap();
     println!("wrote {}", path.display());
+
+    // Self-scrape so the final exposition lands on stdout.
+    if let Some(server) = metrics_server.as_mut() {
+        let body = scrape(server.local_addr()).expect("self-scrape the metrics endpoint");
+        println!("\n--- metrics exposition begin ---");
+        print!("{body}");
+        println!("--- metrics exposition end ---");
+        server.stop();
+    }
 }

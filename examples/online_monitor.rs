@@ -8,10 +8,18 @@
 //!
 //! Pass `--verify` to statically check the plan (malcheck) and print
 //! the rendered report before executing it.
+//!
+//! Pass `--metrics-addr <host:port>` to serve the self-observability
+//! registry as Prometheus text exposition while the session runs (the
+//! final exposition is also self-scraped and printed), and
+//! `--chaos <seed>` to route the stream through the deterministic
+//! hostile chaos link instead of clean UDP.
 
 use std::sync::Arc;
 
 use stethoscope::core::{OnlineConfig, OnlineSession};
+use stethoscope::obsv::{scrape, MetricsServer, Registry};
+use stethoscope::profiler::ChaosConfig;
 use stethoscope::tpch::{generate_catalog, queries, TpchConfig};
 use stethoscope::zvtm::render::render_svg_frame;
 
@@ -24,13 +32,29 @@ fn main() {
 
     // The §5 "long running query": a 3-way join + aggregation, compiled
     // with mitosis and executed on the multi-core dataflow scheduler.
-    let cfg = OnlineConfig {
+    let mut cfg = OnlineConfig {
         partitions: 4,
         workers: 4,
         pacing_ms: 150, // the paper's render pacing
         sample_capacity: 512,
         threshold_usec: Some(500),
         ..Default::default()
+    };
+    if let Some(seed) = stethoscope::arg_value("chaos") {
+        let seed: u64 = seed.parse().expect("--chaos takes a numeric seed");
+        println!("chaos link enabled (hostile schedule, seed {seed})");
+        cfg.chaos = Some(ChaosConfig::hostile(seed));
+    }
+    let mut metrics_server = match stethoscope::arg_value("metrics-addr") {
+        Some(addr) => {
+            let registry = Arc::new(Registry::new());
+            cfg.metrics = Some(Arc::clone(&registry));
+            let server =
+                MetricsServer::serve(registry, addr.as_str()).expect("bind the metrics endpoint");
+            println!("serving metrics at http://{}/metrics", server.local_addr());
+            Some(server)
+        }
+        None => None,
     };
     if stethoscope::verify_requested() {
         // The session compiles its own plan; check the same compilation
@@ -117,4 +141,14 @@ fn main() {
     let frame = out_dir.join("online_final.svg");
     std::fs::write(&frame, render_svg_frame(&out.space)).unwrap();
     println!("\nwrote {}", frame.display());
+
+    // Self-scrape the endpoint so the final exposition lands on stdout
+    // (the CI smoke job parses the block between the markers).
+    if let Some(server) = metrics_server.as_mut() {
+        let body = scrape(server.local_addr()).expect("self-scrape the metrics endpoint");
+        println!("\n--- metrics exposition begin ---");
+        print!("{body}");
+        println!("--- metrics exposition end ---");
+        server.stop();
+    }
 }

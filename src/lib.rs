@@ -52,6 +52,8 @@ pub use stetho_engine as engine;
 pub use stetho_layout as layout;
 /// The MAL language model.
 pub use stetho_mal as mal;
+/// Self-observability: metrics registry, exposition, scrape endpoint.
+pub use stetho_obsv as obsv;
 /// Profiler events, trace files, filters, UDP streaming.
 pub use stetho_profiler as profiler;
 /// SQL front end: parser, algebra, codegen, optimizers.
@@ -66,6 +68,24 @@ pub use stetho_zvtm as zvtm;
 /// before executing them.
 pub fn verify_requested() -> bool {
     std::env::args().any(|a| a == "--verify")
+}
+
+/// The value following `--<flag>` (or inside `--<flag>=value`) on the
+/// command line, if present. The example binaries use this for their
+/// `--metrics-addr` / `--chaos` options.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let long = format!("--{flag}");
+    let prefixed = format!("--{flag}=");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == long {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&prefixed) {
+            return Some(v.to_string());
+        }
+    }
+    None
 }
 
 /// When `--verify` was requested, run [`mal::Plan::verify`] on `plan`
